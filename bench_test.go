@@ -1,0 +1,423 @@
+package satpg
+
+// Benchmark harness: every table and figure-level claim of the paper's
+// evaluation has a bench that regenerates it.  See EXPERIMENTS.md for
+// the mapping and the recorded paper-vs-measured comparison.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dft"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+// benchSuite runs the full two-model ATPG flow for every circuit of a
+// suite, reporting fault coverage as a metric — the machinery behind
+// Tables 1 and 2.
+func benchSuite(b *testing.B, suite []Benchmark) {
+	for _, bm := range suite {
+		bm := bm
+		b.Run(bm.Name, func(b *testing.B) {
+			var covered, total int
+			for i := 0; i < b.N; i++ {
+				g, err := Abstract(bm.Circuit, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := Generate(g, OutputStuckAt, Options{Seed: 1})
+				in := Generate(g, InputStuckAt, Options{Seed: 1})
+				covered = out.Covered + in.Covered
+				total = out.Total + in.Total
+			}
+			b.ReportMetric(100*float64(covered)/float64(total), "%cov")
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: the speed-independent suite.
+func BenchmarkTable1(b *testing.B) { benchSuite(b, SpeedIndependentSuite()) }
+
+// BenchmarkTable2 regenerates Table 2: the hazard-free suite, including
+// the redundant trio whose coverage collapses.
+func BenchmarkTable2(b *testing.B) { benchSuite(b, HazardFreeSuite()) }
+
+// BenchmarkCSSGConstruction isolates the §4 abstraction cost (the
+// symbolic-traversal analogue of the paper's reachability step).
+func BenchmarkCSSGConstruction(b *testing.B) {
+	for _, ref := range []string{"si/chu150", "si/master-read", "si/mmu", "hf/vbe6a"} {
+		c, err := LoadBenchmark(ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(ref, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Abstract(c, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRandomTPGAblation quantifies the §5.4 claim that random TPG
+// covers a large fault fraction at low cost: the same flow with and
+// without the random phase.
+func BenchmarkRandomTPGAblation(b *testing.B) {
+	c, err := LoadBenchmark("si/seq4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := Abstract(c, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("with-random", func(b *testing.B) {
+		var rnd int
+		for i := 0; i < b.N; i++ {
+			res := Generate(g, InputStuckAt, Options{Seed: 1})
+			rnd = res.ByPhase[1] // PhaseRandom
+		}
+		b.ReportMetric(float64(rnd), "rnd-detections")
+	})
+	b.Run("three-phase-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Generate(g, InputStuckAt, Options{Seed: 1, SkipRandom: true})
+		}
+	})
+}
+
+// BenchmarkParallelVsSerialFaultSim measures the §5.4 parallel
+// (64-way) ternary fault simulation against one-at-a-time simulation of
+// the same faults over the same vector sequence.
+func BenchmarkParallelVsSerialFaultSim(b *testing.B) {
+	c, err := LoadBenchmark("si/mmu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl := faults.InputUniverse(c)
+	if len(fl) > sim.Lanes {
+		fl = fl[:sim.Lanes]
+	}
+	patterns := make([]uint64, 24)
+	rng := rand.New(rand.NewSource(5))
+	g, err := Abstract(c, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := g.Init
+	for i := range patterns {
+		edges := g.Edges[node]
+		e := edges[rng.Intn(len(edges))]
+		patterns[i] = e.Pattern
+		node = e.To
+	}
+	b.Run("parallel-64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			par := sim.NewParallel(c, fl)
+			for _, p := range patterns {
+				par.Apply(p)
+			}
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for fi := range fl {
+				m := sim.Machine{C: c, Fault: &fl[fi]}
+				st := m.InitState()
+				for _, p := range patterns {
+					st = m.Step(st, p)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkKSweep explores the §4.1 trade-off: shorter test cycles
+// (smaller k) reject slow-settling vectors, shrinking the CSSG.
+func BenchmarkKSweep(b *testing.B) {
+	c, err := LoadBenchmark("si/seq4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		k := k
+		b.Run(byteCount(k), func(b *testing.B) {
+			var edges int
+			for i := 0; i < b.N; i++ {
+				g, err := Abstract(c, Options{K: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = g.Stats.NumEdges
+			}
+			b.ReportMetric(float64(edges), "valid-edges")
+		})
+	}
+}
+
+func byteCount(k int) string {
+	switch {
+	case k < 10:
+		return "k=00" + string(rune('0'+k))
+	case k < 100:
+		return "k=0" + string(rune('0'+k/10)) + string(rune('0'+k%10))
+	default:
+		return "k=" + string(rune('0'+k/100)) + string(rune('0'+k/10%10)) + string(rune('0'+k%10))
+	}
+}
+
+// BenchmarkSymbolicVsExplicit compares the paper's BDD-based traversal
+// with the explicit engine on the same circuit.
+func BenchmarkSymbolicVsExplicit(b *testing.B) {
+	c, err := LoadBenchmark("si/vbe5b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := 2 * c.NumSignals()
+	b.Run("explicit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(c, core.Options{K: k}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("symbolic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := symb.NewEncoder(c)
+			if _, err := e.ExtractEdges(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTesterValidation measures Monte-Carlo timed validation of a
+// generated program (the §2/§6 delay-independence claim).
+func BenchmarkTesterValidation(b *testing.B) {
+	c, err := LoadBenchmark("si/chu150")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, res, err := GenerateForCircuit(c, InputStuckAt, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ValidateOnTester(g, res, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineComparison measures the §6.1 comparison experiment.
+func BenchmarkBaselineComparison(b *testing.B) {
+	for _, ref := range []string{"fig1a", "si/converta"} {
+		c, err := LoadBenchmark(ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := Abstract(c, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(ref, func(b *testing.B) {
+			var opt float64
+			for i := 0; i < b.N; i++ {
+				cmp := baseline.Compare(g, faults.OutputSA, 200000)
+				opt = cmp.Optimism()
+			}
+			b.ReportMetric(100*opt, "%optimism")
+		})
+	}
+}
+
+// BenchmarkSTGConformance measures the closed-loop verification of the
+// pipeline circuit against its handshake specification.
+func BenchmarkSTGConformance(b *testing.B) {
+	spec, err := ParseSTGString(`
+.model pipe2
+.inputs Li Ra
+.outputs c1 c2
+.graph
+Li+ c1+
+c2- c1+
+c1+ Li-
+c1+ c2+
+Ra- c2+
+c2+ Ra+
+c2+ c1-
+Li- c1-
+c1- Li+
+c1- c2-
+Ra+ c2-
+c2- Ra-
+.marking { <c1-,Li+> <c2-,c1+> <Ra-,c2+> }
+.end
+`, "pipe2.g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := ParseCircuitString(`
+circuit pipe2
+input Li Ra
+output c1 c2
+gate n1 NOT c2
+gate c1 C Li n1
+gate n2 NOT Ra
+gate c2 C c1 n2
+init Li=0 Ra=0 n1=1 c1=0 n2=1 c2=0
+`, "pipe2.ckt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Conform(c, spec)
+		if err != nil || !res.OK {
+			b.Fatalf("conformance failed: %v %v", err, res)
+		}
+	}
+}
+
+// BenchmarkDFTRecovery measures the §6 test-point experiment: coverage
+// before and after inserting a control point on the fork-join demo.
+func BenchmarkDFTRecovery(b *testing.B) {
+	c := dft.DemoCircuit()
+	instrumented, err := InsertTestPoints(c, []TestPoint{{Signal: "bc", Kind: ControlPoint}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("before", func(b *testing.B) {
+		var cov float64
+		for i := 0; i < b.N; i++ {
+			_, res, err := GenerateForCircuit(c, InputStuckAt, Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cov = res.Coverage()
+		}
+		b.ReportMetric(100*cov, "%cov")
+	})
+	b.Run("after", func(b *testing.B) {
+		var cov float64
+		for i := 0; i < b.N; i++ {
+			_, res, err := GenerateForCircuit(instrumented, InputStuckAt, Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cov = res.Coverage()
+		}
+		b.ReportMetric(100*cov, "%cov")
+	})
+}
+
+// BenchmarkHazardScan measures the semi-modularity diagnostic over a
+// benchmark's valid vectors.
+func BenchmarkHazardScan(b *testing.B) {
+	c, err := LoadBenchmark("si/chu150")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := Abstract(c, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(g.Hazards(0))
+	}
+	b.ReportMetric(float64(n), "glitches")
+}
+
+// BenchmarkSymbolicJustification measures the BDD-based realisation of
+// ATPG phases 1–2 (activation + justification) against the explicit
+// shortest-path search.
+func BenchmarkSymbolicJustification(b *testing.B) {
+	c, err := LoadBenchmark("si/vbe5b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := 2 * c.NumSignals()
+	g, err := Abstract(c, Options{K: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl := faults.OutputUniverse(c)
+	b.Run("symbolic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := symb.NewEncoder(c)
+			for _, f := range fl {
+				e.JustifyFault(k, f)
+			}
+		}
+	})
+	b.Run("explicit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range fl {
+				f := f
+				g.ShortestPath(g.Init, func(id int) bool {
+					return f.ExcitedIn(c, g.Nodes[id])
+				})
+			}
+		}
+	})
+}
+
+// BenchmarkTransitionFaults measures the §7 gross-delay extension:
+// full transition-fault ATPG (3-phase + exact dropping only).
+func BenchmarkTransitionFaults(b *testing.B) {
+	for _, ref := range []string{"si/vbe5b", "si/chu150", "si/seq4"} {
+		c, err := LoadBenchmark(ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := Abstract(c, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(ref, func(b *testing.B) {
+			var cov float64
+			for i := 0; i < b.N; i++ {
+				res := Generate(g, TransitionFaults, Options{Seed: 1})
+				cov = res.Coverage()
+			}
+			b.ReportMetric(100*cov, "%cov")
+		})
+	}
+}
+
+// BenchmarkTernarySettle measures one Eichelberger A+B settling pass
+// (the inner loop of fault simulation).
+func BenchmarkTernarySettle(b *testing.B) {
+	c, err := LoadBenchmark("si/master-read")
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := sim.TernaryFromPacked(c, c.InitState())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ApplyVector(c, st, uint64(i)&0b1111, nil)
+	}
+}
+
+// BenchmarkExploreVector measures one exact interleaving exploration
+// (the inner loop of CSSG construction) on a racy pattern.
+func BenchmarkExploreVector(b *testing.B) {
+	c, err := LoadBenchmark("fig1a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	init := c.InitState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.AnalyzeVector(c, init, 0b11, core.Options{})
+	}
+}

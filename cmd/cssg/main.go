@@ -1,0 +1,99 @@
+// Command cssg builds and inspects the synchronous abstraction of an
+// asynchronous circuit: the Confluent Stable State Graph.
+//
+// Usage:
+//
+//	cssg -bench si/chu150                # summary + per-state listing
+//	cssg -circuit my.ckt -dot cssg.dot   # Graphviz export
+//	cssg -bench fig1a -analyze           # classify every vector
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	satpg "repro"
+)
+
+func main() {
+	var (
+		circuitFile = flag.String("circuit", "", "path to a .ckt circuit file")
+		benchRef    = flag.String("bench", "", "bundled benchmark (si/<name>, hf/<name>, fig1a, fig1b)")
+		k           = flag.Int("k", 0, "test-cycle length in transitions (0: 4×signals)")
+		dotOut      = flag.String("dot", "", "write Graphviz dot to this file")
+		analyze     = flag.Bool("analyze", false, "classify every (state, vector) pair")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitFile, *benchRef)
+	if err != nil {
+		fatal(err)
+	}
+	opts := satpg.Options{K: *k}
+	g, err := satpg.Abstract(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(g.Summary())
+	fmt.Printf("signals: %v\n", c.SignalNames())
+	for id, s := range g.Nodes {
+		mark := " "
+		if id == g.Init {
+			mark = "*"
+		}
+		fmt.Printf("%s state %3d: %s  inputs=%0*b outputs=%0*b\n",
+			mark, id, c.FormatState(s), c.NumInputs(), g.InputsOf(id), len(c.Outputs), g.OutputsOf(id))
+		for _, e := range g.Edges[id] {
+			fmt.Printf("      --%0*b--> %d\n", c.NumInputs(), e.Pattern, e.To)
+		}
+	}
+	if *analyze {
+		fmt.Println("vector analysis (all patterns at all stable states):")
+		for id, s := range g.Nodes {
+			for p := uint64(0); p < 1<<uint(c.NumInputs()); p++ {
+				if p == c.InputBits(s) {
+					continue
+				}
+				an := satpg.Analyze(c, s, p, opts)
+				fmt.Printf("  state %3d pattern %0*b: %-14s (stables=%d graph=%d depth=%d)\n",
+					id, c.NumInputs(), p, an.Class, len(an.StableSuccs), an.GraphStates, an.SettleDepth)
+			}
+		}
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteDot(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+}
+
+func loadCircuit(file, bench string) (*satpg.Circuit, error) {
+	switch {
+	case file != "" && bench != "":
+		return nil, fmt.Errorf("use either -circuit or -bench, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return satpg.ParseCircuit(f, file)
+	case bench != "":
+		return satpg.LoadBenchmark(bench)
+	}
+	return nil, fmt.Errorf("one of -circuit or -bench is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cssg:", err)
+	os.Exit(1)
+}

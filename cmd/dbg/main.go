@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/randckt"
+	"repro/internal/sim"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		c, ok := randckt.New(rng, randckt.Config{MaxGates: 9, MinGates: 4})
+		if !ok {
+			panic("gen")
+		}
+		if c.Name != "rand9b67d266" {
+			continue
+		}
+		fmt.Println("FOUND", c.Name)
+		fmt.Print(c.String())
+		g, err := core.Build(c, core.Options{MaxStatesPerPattern: 20000})
+		if err != nil {
+			panic(err)
+		}
+		for id := 0; id < g.NumNodes() && id < 6; id++ {
+			s := g.Nodes[id]
+			for p := uint64(0); p < 1<<uint(c.NumInputs()); p++ {
+				if p == c.InputBits(s) {
+					continue
+				}
+				an := core.AnalyzeVector(c, s, p, core.Options{MaxStatesPerPattern: 20000})
+				tern := sim.ApplyVector(c, sim.TernaryFromPacked(c, s), p, nil)
+				if tern.Definite() && an.Class != core.Valid {
+					fmt.Printf("MISMATCH state=%s pattern=%b class=%s ternary=%s\n",
+						c.FormatState(s), p, an.Class, tern.State)
+					fmt.Printf("  stables=%d unstableAtK=%v graph=%d depth=%d\n",
+						len(an.StableSuccs), an.UnstableAtK, an.GraphStates, an.SettleDepth)
+					for _, su := range an.StableSuccs {
+						fmt.Printf("  stable succ: %s\n", c.FormatState(su))
+					}
+					// Random settles
+					seen := map[uint64]int{}
+					fail := 0
+					for rep := 0; rep < 200; rep++ {
+						st := c.WithInputBits(s, p)
+						final, ok2 := sim.SettleRandom(c, st, 200000, rng)
+						if !ok2 {
+							fail++
+						} else {
+							seen[final]++
+						}
+					}
+					fmt.Printf("  random settles: %d failures, outcomes:\n", fail)
+					for st, n := range seen {
+						fmt.Printf("    %s x%d stable=%v\n", c.FormatState(st), n, c.Stable(st))
+					}
+					// check ternary claimed state stability
+					tb := tern.State.Bits()
+					fmt.Printf("  ternary state stable=%v equals-claim=%v\n", c.Stable(tb), logic.FromBits(tb, c.NumSignals()).Equal(tern.State))
+				}
+			}
+		}
+		return
+	}
+	fmt.Println("not found")
+}

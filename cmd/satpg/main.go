@@ -1,0 +1,113 @@
+// Command satpg runs the full test-generation flow on one circuit:
+// CSSG abstraction, random TPG, three-phase ATPG, fault simulation,
+// and optional Monte-Carlo validation on the timed chip model.
+//
+// Usage:
+//
+//	satpg -bench si/chu150 -model input -seed 1
+//	satpg -circuit my.ckt -model output -tests tests.txt -validate 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	satpg "repro"
+)
+
+func main() {
+	var (
+		circuitFile = flag.String("circuit", "", "path to a .ckt circuit file")
+		benchRef    = flag.String("bench", "", "bundled benchmark (si/<name>, hf/<name>, fig1a, fig1b)")
+		model       = flag.String("model", "input", "fault model: input or output stuck-at")
+		k           = flag.Int("k", 0, "test-cycle length in transitions (0: 4×signals)")
+		seed        = flag.Int64("seed", 1, "random TPG seed")
+		seqs        = flag.Int("random-seqs", 0, "random walks (0: default 256)")
+		seqLen      = flag.Int("random-len", 0, "vectors per walk (0: default 24)")
+		skipRandom  = flag.Bool("skip-random", false, "disable the random TPG phase")
+		testsOut    = flag.String("tests", "", "write tester programs to this file")
+		validate    = flag.Int("validate", 0, "Monte-Carlo trials on the timed chip model (0: skip)")
+		perFault    = flag.Bool("per-fault", false, "print the verdict for every fault")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitFile, *benchRef)
+	if err != nil {
+		fatal(err)
+	}
+	var fm satpg.FaultModel
+	switch *model {
+	case "input":
+		fm = satpg.InputStuckAt
+	case "output":
+		fm = satpg.OutputStuckAt
+	default:
+		fatal(fmt.Errorf("unknown model %q (want input or output)", *model))
+	}
+	opts := satpg.Options{
+		K: *k, Seed: *seed,
+		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
+	}
+	g, err := satpg.Abstract(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(g.Summary())
+	res := satpg.Generate(g, fm, opts)
+	fmt.Println(res.Summary())
+
+	if *perFault {
+		for _, fr := range res.PerFault {
+			status := fr.Phase.String()
+			switch {
+			case fr.Untestable:
+				status = "untestable"
+			case fr.Aborted:
+				status = "aborted"
+			}
+			fmt.Printf("  %-24s %s\n", fr.Fault.Describe(c), status)
+		}
+	}
+	if *testsOut != "" {
+		f, err := os.Create(*testsOut)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range satpg.Programs(g, res) {
+			fmt.Fprintln(f, satpg.FormatProgram(c, p))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d tester programs to %s\n", len(res.Tests), *testsOut)
+	}
+	if *validate > 0 {
+		if err := satpg.ValidateOnTester(g, res, *validate, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("validated on the timed chip model: %d delay assignments per program\n", *validate)
+	}
+}
+
+func loadCircuit(file, bench string) (*satpg.Circuit, error) {
+	switch {
+	case file != "" && bench != "":
+		return nil, fmt.Errorf("use either -circuit or -bench, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return satpg.ParseCircuit(f, file)
+	case bench != "":
+		return satpg.LoadBenchmark(bench)
+	}
+	return nil, fmt.Errorf("one of -circuit or -bench is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satpg:", err)
+	os.Exit(1)
+}

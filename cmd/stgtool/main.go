@@ -1,0 +1,101 @@
+// Command stgtool parses Signal Transition Graph specifications
+// (Petrify/SIS .g format), plays the token game, and optionally checks
+// a gate-level circuit against the specification in a closed loop.
+//
+// Usage:
+//
+//	stgtool -spec celem.g                       # parse + reachability report
+//	stgtool -spec pipe.g -circuit pipe.ckt      # conformance check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	satpg "repro"
+)
+
+func main() {
+	var (
+		specFile    = flag.String("spec", "", "path to a .g STG specification")
+		circuitFile = flag.String("circuit", "", "optional .ckt circuit to verify against the spec")
+		benchRef    = flag.String("bench", "", "optional bundled benchmark to verify")
+		maxStates   = flag.Int("max-states", 0, "reachability cap (0: default)")
+		selfCheck   = flag.Bool("selfcheck", false, "also run the §1 self-checking experiment (output stuck-at faults must halt the closed loop)")
+	)
+	flag.Parse()
+	if *specFile == "" {
+		fatal(fmt.Errorf("-spec is required"))
+	}
+	f, err := os.Open(*specFile)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := satpg.ParseSTG(f, *specFile)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(spec.String())
+	sg, err := spec.Reach(*maxStates, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("reachable markings: %d, deadlocks: %d\n", sg.NumStates(), len(sg.Deadlocks))
+	for _, sig := range sg.SigNames {
+		v, _ := sg.InitialValue(sig)
+		fmt.Printf("  initial %s = %d\n", sig, v)
+	}
+
+	var c *satpg.Circuit
+	switch {
+	case *circuitFile != "":
+		cf, err := os.Open(*circuitFile)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = satpg.ParseCircuit(cf, *circuitFile)
+		cf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *benchRef != "":
+		c, err = satpg.LoadBenchmark(*benchRef)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		return
+	}
+	res, err := satpg.Conform(c, spec)
+	if err != nil {
+		fatal(err)
+	}
+	if !res.OK {
+		fmt.Printf("VIOLATIONS (%d composite states):\n", res.States)
+		for _, v := range res.Violations {
+			fmt.Println(" ", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("CONFORMS: %s implements %s (%d composite states)\n", c.Name, spec.Name, res.States)
+	if *selfCheck {
+		rep, err := satpg.SelfCheck(c, spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("self-checking: %d/%d output stuck-at faults halt the closed loop\n", rep.Halting, rep.Total)
+		for _, f := range rep.Escaping {
+			fmt.Printf("  ESCAPES: %s\n", f.Describe(c))
+		}
+		if len(rep.Escaping) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stgtool:", err)
+	os.Exit(1)
+}

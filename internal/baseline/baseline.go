@@ -1,0 +1,395 @@
+// Package baseline implements the comparison approach of Banerjee,
+// Chakradhar & Roy (VLSI Design 1996) discussed in §6.1 of the paper:
+// feedback loops of the asynchronous circuit are cut by virtual
+// synchronous flip-flops, standard synchronous sequential ATPG runs on
+// the resulting FSM, and the generated vectors are validated on the
+// asynchronous circuit afterwards.
+//
+// The paper's point is that this is *optimistic*: the synchronous
+// abstraction assumes every gate settles once per clock, so a vector
+// sequence that looks like a test synchronously may be non-confluent or
+// oscillating on the real asynchronous circuit, and post-validation by
+// plain simulation cannot see non-confluence at all.  This package
+// quantifies that optimism by replaying every baseline test under the
+// exact unbounded-delay semantics.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Model is the virtual-flip-flop synchronous abstraction of a circuit.
+type Model struct {
+	C *netlist.Circuit
+	// FFs lists the gates replaced by virtual flip-flops (their outputs
+	// form the synchronous state), in ascending order.
+	FFs []int
+	// Topo is the evaluation order of the remaining combinational gates.
+	Topo  []int
+	ffIdx map[int]int // gate -> bit position in the FF state
+}
+
+// Cut builds the synchronous model: every self-dependent gate and one
+// gate per remaining dependency cycle becomes a virtual flip-flop, so
+// the rest of the netlist is combinational.
+func Cut(c *netlist.Circuit) *Model {
+	m := &Model{C: c, ffIdx: map[int]int{}}
+	isFF := make([]bool, c.NumGates())
+	for gi := 0; gi < c.NumGates(); gi++ {
+		if c.Gates[gi].Kind.SelfDependent() {
+			isFF[gi] = true
+		}
+	}
+	// Break remaining cycles: DFS over gate dependencies (u → v when v
+	// reads u's output), turning the target of each back edge into a FF
+	// until the combinational part is acyclic.
+	for {
+		cycleGate := m.findCycle(isFF)
+		if cycleGate < 0 {
+			break
+		}
+		isFF[cycleGate] = true
+	}
+	for gi := 0; gi < c.NumGates(); gi++ {
+		if isFF[gi] {
+			m.ffIdx[gi] = len(m.FFs)
+			m.FFs = append(m.FFs, gi)
+		}
+	}
+	m.Topo = m.topoOrder(isFF)
+	return m
+}
+
+// findCycle returns a gate on a combinational cycle, or -1.
+func (m *Model) findCycle(isFF []bool) int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	c := m.C
+	color := make([]uint8, c.NumGates())
+	var found int = -1
+	var dfs func(gi int) bool
+	dfs = func(gi int) bool {
+		color[gi] = grey
+		for _, fg := range c.Fanouts(c.Gates[gi].Out) {
+			if isFF[fg] {
+				continue // cut: the FF boundary stops propagation
+			}
+			switch color[fg] {
+			case grey:
+				found = fg
+				return true
+			case white:
+				if dfs(fg) {
+					return true
+				}
+			}
+		}
+		color[gi] = black
+		return false
+	}
+	for gi := 0; gi < c.NumGates(); gi++ {
+		if isFF[gi] || color[gi] != white {
+			continue
+		}
+		if dfs(gi) {
+			return found
+		}
+	}
+	return -1
+}
+
+// topoOrder orders the non-FF gates so every gate follows its non-FF
+// fanin drivers.
+func (m *Model) topoOrder(isFF []bool) []int {
+	c := m.C
+	indeg := make([]int, c.NumGates())
+	for gi := 0; gi < c.NumGates(); gi++ {
+		if isFF[gi] {
+			continue
+		}
+		for _, f := range c.Gates[gi].Fanin {
+			if d := c.GateOf(f); d >= 0 && !isFF[d] {
+				indeg[gi]++
+			}
+		}
+	}
+	var queue, order []int
+	for gi := 0; gi < c.NumGates(); gi++ {
+		if !isFF[gi] && indeg[gi] == 0 {
+			queue = append(queue, gi)
+		}
+	}
+	for len(queue) > 0 {
+		sort.Ints(queue) // determinism
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		for _, fg := range c.Fanouts(c.Gates[gi].Out) {
+			if isFF[fg] {
+				continue
+			}
+			indeg[fg]--
+			if indeg[fg] == 0 {
+				queue = append(queue, fg)
+			}
+		}
+	}
+	return order
+}
+
+// NumFFs returns the synchronous state width.
+func (m *Model) NumFFs() int { return len(m.FFs) }
+
+// step performs one synchronous clock: with the FF outputs fixed from
+// `state` and the rails set to pattern, the combinational part is
+// evaluated in topological order, the next FF values are latched, and
+// the settled full signal vector is returned together with the packed
+// next FF state.  An optional fault pins one gate (materialised tables
+// work too, but pinning keeps the good circuit shared).
+func (m *Model) step(state uint64, pattern uint64, f *faults.Fault) (full uint64, next uint64) {
+	c := m.C
+	full = c.WithInputBits(0, pattern)
+	// Load FF outputs.
+	for idx, gi := range m.FFs {
+		if state>>uint(idx)&1 == 1 {
+			full |= 1 << uint(c.Gates[gi].Out)
+		}
+	}
+	eval := func(gi int) bool {
+		if f != nil && f.Gate == gi {
+			if f.Type == faults.OutputSA {
+				return f.Value.Bool()
+			}
+			return c.EvalBinaryPinned(gi, full, f.Pin, f.Value.Bool())
+		}
+		return c.EvalBinary(gi, full)
+	}
+	// Combinational settle (single pass in topo order).
+	for _, gi := range m.Topo {
+		out := c.Gates[gi].Out
+		if eval(gi) {
+			full |= 1 << uint(out)
+		} else {
+			full &^= 1 << uint(out)
+		}
+	}
+	// Latch.
+	for idx, gi := range m.FFs {
+		if eval(gi) {
+			next |= 1 << uint(idx)
+		}
+	}
+	return full, next
+}
+
+// InitState packs the declared reset values of the FF gates.
+func (m *Model) InitState() uint64 {
+	var st uint64
+	init := m.C.InitState()
+	for idx, gi := range m.FFs {
+		if init>>uint(m.C.Gates[gi].Out)&1 == 1 {
+			st |= 1 << uint(idx)
+		}
+	}
+	return st
+}
+
+// Test is a synchronous test sequence produced by the baseline ATPG.
+type Test struct {
+	Patterns []uint64
+	Expected []uint64 // synchronous-model good outputs per cycle
+}
+
+// GenerateTest searches for a test for one fault on the synchronous
+// model: exact BFS over (good FF state, faulty FF state) pairs trying
+// every input vector each clock.  maxStates caps the search.
+func (m *Model) GenerateTest(f faults.Fault, maxStates int) (Test, bool) {
+	type node struct {
+		good, faulty uint64
+		parent       int
+		pat          uint64
+	}
+	start := node{good: m.InitState(), faulty: m.InitState(), parent: -1}
+	nodes := []node{start}
+	seen := map[[2]uint64]bool{{start.good, start.faulty}: true}
+	numPat := uint64(1) << uint(m.C.NumInputs())
+	for head := 0; head < len(nodes); head++ {
+		cur := nodes[head]
+		for p := uint64(0); p < numPat; p++ {
+			gFull, gNext := m.step(cur.good, p, nil)
+			fFull, fNext := m.step(cur.faulty, p, &f)
+			nd := node{good: gNext, faulty: fNext, parent: head, pat: p}
+			if m.C.OutputBits(gFull) != m.C.OutputBits(fFull) {
+				// Detected: reconstruct.
+				nodes = append(nodes, nd)
+				var rev []uint64
+				for i := len(nodes) - 1; nodes[i].parent >= 0; i = nodes[i].parent {
+					rev = append(rev, nodes[i].pat)
+				}
+				t := Test{}
+				good := m.InitState()
+				for i := len(rev) - 1; i >= 0; i-- {
+					full, next := m.step(good, rev[i], nil)
+					t.Patterns = append(t.Patterns, rev[i])
+					t.Expected = append(t.Expected, m.C.OutputBits(full))
+					good = next
+				}
+				return t, true
+			}
+			key := [2]uint64{gNext, fNext}
+			if !seen[key] {
+				seen[key] = true
+				nodes = append(nodes, nd)
+				if len(nodes) > maxStates {
+					return Test{}, false
+				}
+			}
+		}
+	}
+	return Test{}, false
+}
+
+// Validation is the verdict for one baseline test replayed on the real
+// asynchronous circuit under the unbounded-delay semantics.
+type Validation uint8
+
+// Validation outcomes.
+const (
+	Confirmed     Validation = iota // detection guaranteed asynchronously too
+	InvalidVector                   // some vector is non-confluent/oscillating on the good circuit
+	NotGuaranteed                   // vectors valid, but detection depends on delays
+)
+
+// String names the validation verdict.
+func (v Validation) String() string {
+	switch v {
+	case Confirmed:
+		return "confirmed"
+	case InvalidVector:
+		return "invalid-vector"
+	case NotGuaranteed:
+		return "not-guaranteed"
+	}
+	return fmt.Sprintf("Validation(%d)", uint8(v))
+}
+
+// Validate replays a baseline test on the asynchronous circuit: the
+// good machine must traverse valid CSSG edges (consecutive duplicate
+// vectors — synchronous wait states with no asynchronous meaning — are
+// compressed away), and the fault must be guaranteed-detected by the
+// exact set-semantics machine.
+func Validate(g *core.CSSG, f faults.Fault, t Test) Validation {
+	// Compress duplicates and walk the CSSG.
+	var patterns []uint64
+	var expected []uint64
+	node := g.Init
+	last := g.InputsOf(g.Init)
+	for _, p := range t.Patterns {
+		if p == last {
+			continue
+		}
+		next, ok := g.Succ(node, p)
+		if !ok {
+			return InvalidVector
+		}
+		patterns = append(patterns, p)
+		expected = append(expected, g.OutputsOf(next))
+		node = next
+		last = p
+	}
+	fc := faults.Apply(g.C, f)
+	set := []uint64{}
+	cr := core.Explore(fc, fc.InitState(), core.Options{K: g.K})
+	if cr.Truncated {
+		return NotGuaranteed
+	}
+	set = cr.ReachK
+	detected := allDiffer(g.C, set, g.OutputsOf(g.Init))
+	for cyc, p := range patterns {
+		if detected {
+			break
+		}
+		var nextSet []uint64
+		seen := map[uint64]bool{}
+		for _, s := range set {
+			sub := core.Explore(fc, fc.WithInputBits(s, p), core.Options{K: g.K})
+			if sub.Truncated {
+				return NotGuaranteed
+			}
+			for _, t2 := range sub.ReachK {
+				if !seen[t2] {
+					seen[t2] = true
+					nextSet = append(nextSet, t2)
+				}
+			}
+		}
+		set = nextSet
+		detected = allDiffer(g.C, set, expected[cyc])
+	}
+	if detected {
+		return Confirmed
+	}
+	return NotGuaranteed
+}
+
+func allDiffer(c *netlist.Circuit, set []uint64, goodOut uint64) bool {
+	if len(set) == 0 {
+		return false
+	}
+	for _, s := range set {
+		if c.OutputBits(s) == goodOut {
+			return false
+		}
+	}
+	return true
+}
+
+// Comparison aggregates the §6.1 experiment for one circuit and model.
+type Comparison struct {
+	Total         int // faults in the universe
+	SyncCovered   int // faults the baseline claims to cover
+	Confirmed     int // baseline tests that hold asynchronously
+	InvalidVector int // tests using non-confluent/oscillating vectors
+	NotGuaranteed int // tests whose detection depends on gate delays
+}
+
+// Optimism returns the fraction of synchronously-claimed detections
+// that do not survive asynchronous validation.
+func (c Comparison) Optimism() float64 {
+	if c.SyncCovered == 0 {
+		return 0
+	}
+	return float64(c.SyncCovered-c.Confirmed) / float64(c.SyncCovered)
+}
+
+// Compare runs the baseline ATPG for every fault and validates each
+// claimed test on the asynchronous circuit.
+func Compare(g *core.CSSG, model faults.Type, maxStates int) Comparison {
+	m := Cut(g.C)
+	universe := faults.Universe(g.C, model)
+	cmp := Comparison{Total: len(universe)}
+	for _, f := range universe {
+		t, ok := m.GenerateTest(f, maxStates)
+		if !ok {
+			continue
+		}
+		cmp.SyncCovered++
+		switch Validate(g, f, t) {
+		case Confirmed:
+			cmp.Confirmed++
+		case InvalidVector:
+			cmp.InvalidVector++
+		case NotGuaranteed:
+			cmp.NotGuaranteed++
+		}
+	}
+	return cmp
+}

@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+const pipe2Src = `
+circuit pipe2
+input Li Ra
+output c1 c2
+gate n1 NOT c2
+gate c1 C Li n1
+gate n2 NOT Ra
+gate c2 C c1 n2
+init Li=0 Ra=0 n1=1 c1=0 n2=1 c2=0
+`
+
+const fig1aSrc = `
+circuit fig1a
+input A B
+output y
+gate c NAND A B
+gate d AND  A c
+gate e OR   B d
+gate y C    d e
+init A=0 B=1 c=1 d=0 e=1 y=0
+`
+
+func parse(t testing.TB, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(src, "b.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCutBreaksAllCycles(t *testing.T) {
+	for _, src := range []string{pipe2Src, fig1aSrc} {
+		c := parse(t, src)
+		m := Cut(c)
+		// Every C element must be a FF (self-loop), and the comb part
+		// must be a complete topological order of the rest.
+		for gi := 0; gi < c.NumGates(); gi++ {
+			if c.Gates[gi].Kind.SelfDependent() {
+				if _, ok := m.ffIdx[gi]; !ok {
+					t.Errorf("%s: self-dependent gate %s not cut", c.Name, c.Gates[gi].Name)
+				}
+			}
+		}
+		if len(m.Topo)+m.NumFFs() != c.NumGates() {
+			t.Errorf("%s: topo(%d) + ffs(%d) != gates(%d)", c.Name, len(m.Topo), m.NumFFs(), c.NumGates())
+		}
+		// Topological property: every non-FF fanin of a topo gate
+		// appears earlier.
+		pos := map[int]int{}
+		for i, gi := range m.Topo {
+			pos[gi] = i
+		}
+		for i, gi := range m.Topo {
+			for _, f := range c.Gates[gi].Fanin {
+				d := c.GateOf(f)
+				if d < 0 {
+					continue
+				}
+				if _, isFF := m.ffIdx[d]; isFF {
+					continue
+				}
+				if pos[d] >= i {
+					t.Errorf("%s: gate %s evaluated before its driver %s",
+						c.Name, c.Gates[gi].Name, c.Gates[d].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSRLatchIsCut(t *testing.T) {
+	src := `
+circuit sr
+input s r
+output q
+gate q  NOR r qb
+gate qb NOR s q
+init s=0 r=0 q=0 qb=1
+`
+	c := parse(t, src)
+	m := Cut(c)
+	if m.NumFFs() == 0 {
+		t.Fatal("cross-coupled NOR pair must be cut by at least one FF")
+	}
+}
+
+func TestBaselineFindsSynchronousTests(t *testing.T) {
+	c := parse(t, pipe2Src)
+	m := Cut(c)
+	universe := faults.Universe(c, faults.OutputSA)
+	found := 0
+	for _, f := range universe {
+		if _, ok := m.GenerateTest(f, 100000); ok {
+			found++
+		}
+	}
+	if found < len(universe)/2 {
+		t.Fatalf("baseline found tests for only %d/%d output faults", found, len(universe))
+	}
+}
+
+func TestCompareQuantifiesOptimism(t *testing.T) {
+	// On Figure-1(a)-style logic the synchronous model happily uses the
+	// racing vector AB=11 that the CSSG rejects; validation must expose
+	// baseline tests that do not survive.
+	c := parse(t, fig1aSrc)
+	g, err := core.Build(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(g, faults.OutputSA, 100000)
+	if cmp.SyncCovered == 0 {
+		t.Fatal("baseline covered nothing")
+	}
+	if cmp.Confirmed+cmp.InvalidVector+cmp.NotGuaranteed != cmp.SyncCovered {
+		t.Fatalf("accounting: %+v", cmp)
+	}
+	if cmp.InvalidVector+cmp.NotGuaranteed == 0 {
+		t.Fatalf("expected optimism on a racy circuit, got %+v", cmp)
+	}
+	if cmp.Optimism() <= 0 {
+		t.Fatalf("optimism should be positive: %+v", cmp)
+	}
+	t.Logf("fig1a output-SA baseline: %+v optimism=%.0f%%", cmp, 100*cmp.Optimism())
+}
+
+func TestCompareOnCleanPipeline(t *testing.T) {
+	c := parse(t, pipe2Src)
+	g, err := core.Build(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(g, faults.OutputSA, 100000)
+	if cmp.Confirmed == 0 {
+		t.Fatalf("some baseline tests must survive on an SI pipeline: %+v", cmp)
+	}
+	t.Logf("pipe2 output-SA baseline: %+v optimism=%.0f%%", cmp, 100*cmp.Optimism())
+}
+
+func TestValidationVerdictString(t *testing.T) {
+	for _, v := range []Validation{Confirmed, InvalidVector, NotGuaranteed} {
+		if v.String() == "" {
+			t.Error("empty verdict name")
+		}
+	}
+}
+
+func TestStepDeterminism(t *testing.T) {
+	c := parse(t, pipe2Src)
+	m := Cut(c)
+	s := m.InitState()
+	f1, n1 := m.step(s, 0b01, nil)
+	f2, n2 := m.step(s, 0b01, nil)
+	if f1 != f2 || n1 != n2 {
+		t.Fatal("synchronous step must be deterministic")
+	}
+}

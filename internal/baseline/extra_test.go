@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/logic"
+)
+
+func TestValidateDetectsInvalidVector(t *testing.T) {
+	c := parse(t, fig1aSrc)
+	g, err := core.Build(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yID, _ := c.SignalID("y")
+	f := faults.Fault{Type: faults.OutputSA, Gate: c.GateOf(yID), Pin: -1, Value: logic.Zero}
+	// AB=11 from reset is the paper's racing vector: invalid.
+	v := Validate(g, f, Test{Patterns: []uint64{0b11}, Expected: []uint64{1}})
+	if v != InvalidVector {
+		t.Fatalf("racing vector should be flagged, got %s", v)
+	}
+}
+
+func TestValidateConfirmsGoodTest(t *testing.T) {
+	c := parse(t, pipe2Src)
+	g, err := core.Build(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1ID, _ := c.SignalID("c1")
+	f := faults.Fault{Type: faults.OutputSA, Gate: c.GateOf(c1ID), Pin: -1, Value: logic.Zero}
+	// Li+ makes good c1 rise; the stuck version stays 0: detected.
+	node, ok := g.Succ(g.Init, 0b01)
+	if !ok {
+		t.Fatal("Li+ invalid?")
+	}
+	v := Validate(g, f, Test{
+		Patterns: []uint64{0b01},
+		Expected: []uint64{g.OutputsOf(node)},
+	})
+	if v != Confirmed {
+		t.Fatalf("want confirmed, got %s", v)
+	}
+}
+
+func TestValidateCompressesDuplicateVectors(t *testing.T) {
+	c := parse(t, pipe2Src)
+	g, err := core.Build(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1ID, _ := c.SignalID("c1")
+	f := faults.Fault{Type: faults.OutputSA, Gate: c.GateOf(c1ID), Pin: -1, Value: logic.Zero}
+	node, _ := g.Succ(g.Init, 0b01)
+	// Repeating the same vector (a synchronous wait state) must not
+	// invalidate the asynchronous replay.
+	v := Validate(g, f, Test{
+		Patterns: []uint64{0b01, 0b01, 0b01},
+		Expected: []uint64{g.OutputsOf(node), g.OutputsOf(node), g.OutputsOf(node)},
+	})
+	if v != Confirmed {
+		t.Fatalf("duplicate compression failed: %s", v)
+	}
+}
+
+func TestNotGuaranteedVerdict(t *testing.T) {
+	c := parse(t, pipe2Src)
+	g, err := core.Build(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1ID, _ := c.SignalID("c1")
+	f := faults.Fault{Type: faults.OutputSA, Gate: c.GateOf(c1ID), Pin: -1, Value: logic.Zero}
+	// Toggling only Ra never excites c1/SA0: valid vectors, no detection.
+	node, _ := g.Succ(g.Init, 0b10)
+	v := Validate(g, f, Test{Patterns: []uint64{0b10}, Expected: []uint64{g.OutputsOf(node)}})
+	if v != NotGuaranteed {
+		t.Fatalf("want not-guaranteed, got %s", v)
+	}
+}
+
+func TestCutOnBenchmark(t *testing.T) {
+	// The cut must break every cycle on a decorated benchmark circuit.
+	c := parse(t, pipe2Src)
+	m := Cut(c)
+	if m.NumFFs() == 0 {
+		t.Fatal("pipeline has feedback: must cut something")
+	}
+	// One synchronous step from reset with no input change keeps state.
+	full, next := m.step(m.InitState(), c.InputBits(c.InitState()), nil)
+	if next != m.InitState() {
+		t.Fatalf("stable reset must be a synchronous fixpoint: %b -> %b", m.InitState(), next)
+	}
+	if full != c.InitState() {
+		t.Fatalf("comb evaluation of reset diverged: %s vs %s", c.FormatState(full), c.FormatState(c.InitState()))
+	}
+}

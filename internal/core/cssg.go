@@ -1,0 +1,478 @@
+// Package core implements the paper's primary contribution: the
+// synchronous abstraction of an asynchronous circuit as a Confluent
+// Stable State Graph (CSSG, §4).
+//
+// The circuit in test mode is the TCSG: from a stable state the tester
+// may change any subset of primary inputs (relation R_I), after which
+// gates fire one at a time under the unbounded gate-delay model
+// (relation R_δ, stable states self-looping).  With a test cycle of at
+// most k transitions, the k-step test cycle relation TCR_k holds between
+// a stable state s and every state reachable in exactly k transitions
+// (stuttering on stable states) after applying one input pattern.  The
+// CSSG_k keeps only the pairs where that set is a single stable state:
+// input vectors that cause neither non-confluence nor oscillation nor
+// over-long settling.  The result is a deterministic synchronous FSM on
+// which standard ATPG techniques are safe.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// EdgeClass classifies the outcome of applying one input pattern to one
+// stable state.
+type EdgeClass uint8
+
+// Outcome classes for a (stable state, input pattern) pair.
+const (
+	Valid        EdgeClass = iota // unique stable state after exactly k transitions
+	NonConfluent                  // ≥2 reachable stable states (critical race)
+	Unsettled                     // an unstable state is reachable at depth k (oscillation or too slow)
+	Truncated                     // settling-graph cap hit; conservatively invalid
+)
+
+// String names the class.
+func (e EdgeClass) String() string {
+	switch e {
+	case Valid:
+		return "valid"
+	case NonConfluent:
+		return "non-confluent"
+	case Unsettled:
+		return "unsettled"
+	case Truncated:
+		return "truncated"
+	}
+	return fmt.Sprintf("EdgeClass(%d)", uint8(e))
+}
+
+// Options tunes CSSG construction.
+type Options struct {
+	// K is the test-cycle length in gate transitions (§4.1: k = ⌊t/α⌋).
+	// Zero selects the default 4·NumSignals, generous for the bundled
+	// controllers.
+	K int
+	// MaxStatesPerPattern caps each settling-graph exploration; hitting
+	// the cap classifies the pattern Truncated (conservatively invalid).
+	// Zero selects 65536.
+	MaxStatesPerPattern int
+	// MaxStableStates caps the total number of CSSG nodes. Zero selects
+	// 65536.
+	MaxStableStates int
+	// DisablePOR turns off the partial-order reduction for
+	// observation-only gates.  The CSSG is identical either way (a
+	// property the tests verify); the full graph is needed only for
+	// hazard diagnostics, which must see filtered glitches.
+	DisablePOR bool
+}
+
+func (o Options) withDefaults(c *netlist.Circuit) Options {
+	if o.K == 0 {
+		o.K = 4 * c.NumSignals()
+	}
+	if o.MaxStatesPerPattern == 0 {
+		o.MaxStatesPerPattern = 65536
+	}
+	if o.MaxStableStates == 0 {
+		o.MaxStableStates = 65536
+	}
+	return o
+}
+
+// Edge is a valid CSSG transition: applying Pattern to the source node
+// always settles in node To within k transitions.
+type Edge struct {
+	Pattern uint64 // new primary-input rail values (bit i = input i)
+	To      int    // destination node id
+}
+
+// Stats aggregates construction statistics.
+type Stats struct {
+	NumStates    int // CSSG nodes (reachable stable states)
+	NumEdges     int // valid vectors
+	NonConfluent int // invalid (state, pattern) pairs by class
+	Unsettled    int
+	Truncated    int
+	// MaxSettleDepth is the largest transition count |σ| needed by any
+	// valid vector; τ = α·MaxSettleDepth bounds the test cycle (§4.1).
+	MaxSettleDepth int
+	// SettlingStates is the total number of states visited across all
+	// settling-graph explorations (TCSG size proxy).
+	SettlingStates int
+}
+
+// CSSG is the Confluent Stable State Graph: a deterministic synchronous
+// FSM abstraction of the asynchronous circuit in test mode.
+type CSSG struct {
+	C     *netlist.Circuit
+	K     int
+	Init  int      // node id of the reset state
+	Nodes []uint64 // packed stable states, by node id
+	Edges [][]Edge // valid outgoing edges per node, sorted by pattern
+	Stats Stats
+	index map[uint64]int
+}
+
+// VectorAnalysis is the detailed outcome of one (stable state, pattern)
+// exploration; see AnalyzeVector.
+type VectorAnalysis struct {
+	Class       EdgeClass
+	StableSuccs []uint64 // distinct stable states in TCR_k (sorted)
+	UnstableAtK bool     // an unstable state is reachable at depth exactly k
+	GraphStates int      // settling-graph size
+	SettleDepth int      // depth at which the reach set reached fixpoint
+}
+
+// CycleResult is the exact outcome of one synchronous test cycle from an
+// arbitrary start state: the set of states the circuit can occupy after
+// exactly k transitions (with stuttering on stable states), under every
+// possible delay assignment.
+type CycleResult struct {
+	ReachK      []uint64 // all states in TCR_k's image (sorted)
+	StableSuccs []uint64 // the stable ones among them (sorted)
+	UnstableAtK bool
+	Truncated   bool
+	GraphStates int
+	SettleDepth int
+}
+
+// Explore computes CycleResult for the given start state (input rails
+// already set).  This is the §3.2 state-space analysis; AnalyzeVector
+// wraps it for stable-state+pattern pairs, and the ATPG uses it directly
+// to track the exact state set of a faulty circuit.
+func Explore(c *netlist.Circuit, start uint64, opts Options) CycleResult {
+	opts = opts.withDefaults(c)
+	return explore(c, start, opts)
+}
+
+// AnalyzeVector explores all gate-firing interleavings after applying
+// pattern to the stable state, and classifies the pair exactly per the
+// TCR_k/CSSG_k definitions.  The exploration builds the settling graph
+// (stopping at stable states) and runs an exact depth-indexed
+// reachability DP with stable-state stuttering.
+func AnalyzeVector(c *netlist.Circuit, stable uint64, pattern uint64, opts Options) VectorAnalysis {
+	opts = opts.withDefaults(c)
+	cr := explore(c, c.WithInputBits(stable, pattern), opts)
+	res := VectorAnalysis{
+		StableSuccs: cr.StableSuccs,
+		UnstableAtK: cr.UnstableAtK,
+		GraphStates: cr.GraphStates,
+		SettleDepth: cr.SettleDepth,
+	}
+	switch {
+	case cr.Truncated:
+		res.Class = Truncated
+	case len(res.StableSuccs) > 1:
+		res.Class = NonConfluent
+	case res.UnstableAtK || len(res.StableSuccs) == 0:
+		res.Class = Unsettled
+	default:
+		res.Class = Valid
+	}
+	return res
+}
+
+func explore(c *netlist.Circuit, start uint64, opts Options) CycleResult {
+
+	// Settling graph: nodes discovered by BFS, stable nodes are sinks.
+	ids := map[uint64]int{start: 0}
+	states := []uint64{start}
+	var succs [][]int32
+	isStable := []bool{}
+	queue := []int{0}
+	truncated := false
+	var excited []int
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		st := states[id]
+		for len(isStable) <= id {
+			isStable = append(isStable, false)
+			succs = append(succs, nil)
+		}
+		excited = c.ExcitedGates(st, excited[:0])
+		if len(excited) == 0 {
+			isStable[id] = true
+			continue
+		}
+		// Partial-order reduction: if an observation-only gate (zero
+		// fanout, e.g. a pure output tap) is excited, fire it alone.
+		// Such firings commute with every other firing, so the set of
+		// reachable stable states and the cycle structure are preserved
+		// while the interleaving hypercube of concurrent taps collapses
+		// to a single order.  (Depth counts on the reduced graph can be
+		// marginally shorter than the true worst case when a tap could
+		// glitch; the default k is far above either bound.)
+		if !opts.DisablePOR {
+			for _, gi := range excited {
+				if c.ObservationOnly(gi) {
+					excited[0] = gi
+					excited = excited[:1]
+					break
+				}
+			}
+		}
+		for _, gi := range excited {
+			nx := c.Fire(gi, st)
+			nid, ok := ids[nx]
+			if !ok {
+				if len(states) >= opts.MaxStatesPerPattern {
+					truncated = true
+					continue
+				}
+				nid = len(states)
+				ids[nx] = nid
+				states = append(states, nx)
+				queue = append(queue, nid)
+			}
+			succs[id] = append(succs[id], int32(nid))
+		}
+	}
+	for len(isStable) < len(states) {
+		isStable = append(isStable, false)
+		succs = append(succs, nil)
+	}
+	res := CycleResult{GraphStates: len(states)}
+	if truncated {
+		res.Truncated = true
+		return res
+	}
+
+	// Depth DP: reach[d+1] = post(reach[d]), stable nodes self-loop.
+	nw := (len(states) + 63) / 64
+	cur := make([]uint64, nw)
+	next := make([]uint64, nw)
+	cur[0] = 1 // {start}
+	depth := 0
+	for ; depth < opts.K; depth++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for w := 0; w < nw; w++ {
+			rem := cur[w]
+			for rem != 0 {
+				b := bits.TrailingZeros64(rem)
+				rem &= rem - 1
+				id := w*64 + b
+				if isStable[id] {
+					next[w] |= 1 << uint(b)
+					continue
+				}
+				for _, s := range succs[id] {
+					next[s/64] |= 1 << uint(s%64)
+				}
+			}
+		}
+		same := true
+		for i := range next {
+			if next[i] != cur[i] {
+				same = false
+				break
+			}
+		}
+		cur, next = next, cur
+		if same {
+			break
+		}
+	}
+	res.SettleDepth = depth
+
+	// Inspect reach[k].
+	for w := 0; w < nw; w++ {
+		rem := cur[w]
+		for rem != 0 {
+			b := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			id := w*64 + b
+			res.ReachK = append(res.ReachK, states[id])
+			if isStable[id] {
+				res.StableSuccs = append(res.StableSuccs, states[id])
+			} else {
+				res.UnstableAtK = true
+			}
+		}
+	}
+	sort.Slice(res.ReachK, func(i, j int) bool { return res.ReachK[i] < res.ReachK[j] })
+	sort.Slice(res.StableSuccs, func(i, j int) bool { return res.StableSuccs[i] < res.StableSuccs[j] })
+	return res
+}
+
+// Build constructs the CSSG_k of the circuit from its declared reset
+// state, exploring every input pattern (2^m − 1 per stable state).
+func Build(c *netlist.Circuit, opts Options) (*CSSG, error) {
+	opts = opts.withDefaults(c)
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	init := c.InitState()
+	g := &CSSG{
+		C:     c,
+		K:     opts.K,
+		Init:  0,
+		Nodes: []uint64{init},
+		Edges: [][]Edge{nil},
+		index: map[uint64]int{init: 0},
+	}
+	m := c.NumInputs()
+	numPatterns := uint64(1) << uint(m)
+	for id := 0; id < len(g.Nodes); id++ {
+		s := g.Nodes[id]
+		cu := c.InputBits(s)
+		for p := uint64(0); p < numPatterns; p++ {
+			if p == cu {
+				continue
+			}
+			an := AnalyzeVector(c, s, p, opts)
+			g.Stats.SettlingStates += an.GraphStates
+			if an.SettleDepth > g.Stats.MaxSettleDepth && an.Class == Valid {
+				g.Stats.MaxSettleDepth = an.SettleDepth
+			}
+			switch an.Class {
+			case Valid:
+				t := an.StableSuccs[0]
+				tid, ok := g.index[t]
+				if !ok {
+					if len(g.Nodes) >= opts.MaxStableStates {
+						return nil, fmt.Errorf("core: stable-state cap %d exceeded for %s", opts.MaxStableStates, c.Name)
+					}
+					tid = len(g.Nodes)
+					g.index[t] = tid
+					g.Nodes = append(g.Nodes, t)
+					g.Edges = append(g.Edges, nil)
+				}
+				g.Edges[id] = append(g.Edges[id], Edge{Pattern: p, To: tid})
+				g.Stats.NumEdges++
+			case NonConfluent:
+				g.Stats.NonConfluent++
+			case Unsettled:
+				g.Stats.Unsettled++
+			case Truncated:
+				g.Stats.Truncated++
+			}
+		}
+	}
+	g.Stats.NumStates = len(g.Nodes)
+	return g, nil
+}
+
+// NumNodes returns the number of stable states in the graph.
+func (g *CSSG) NumNodes() int { return len(g.Nodes) }
+
+// NodeOf returns the node id of a packed stable state.
+func (g *CSSG) NodeOf(state uint64) (int, bool) {
+	id, ok := g.index[state]
+	return id, ok
+}
+
+// Succ returns the destination of the edge labelled pattern out of node
+// id, if that vector is valid there.
+func (g *CSSG) Succ(id int, pattern uint64) (int, bool) {
+	for _, e := range g.Edges[id] {
+		if e.Pattern == pattern {
+			return e.To, true
+		}
+	}
+	return 0, false
+}
+
+// OutputsOf returns the primary-output values of a node.
+func (g *CSSG) OutputsOf(id int) uint64 { return g.C.OutputBits(g.Nodes[id]) }
+
+// InputsOf returns the primary-input rail values of a node.
+func (g *CSSG) InputsOf(id int) uint64 { return g.C.InputBits(g.Nodes[id]) }
+
+// Walk follows a pattern sequence from a node, returning the node visited
+// after each vector.  ok is false if some vector is invalid at the
+// reached state (the walk stops there).
+func (g *CSSG) Walk(from int, patterns []uint64) (nodes []int, ok bool) {
+	cur := from
+	for _, p := range patterns {
+		nx, valid := g.Succ(cur, p)
+		if !valid {
+			return nodes, false
+		}
+		nodes = append(nodes, nx)
+		cur = nx
+	}
+	return nodes, true
+}
+
+// StatesWhere returns the node ids whose stable state satisfies pred.
+func (g *CSSG) StatesWhere(pred func(state uint64) bool) []int {
+	var out []int
+	for id, s := range g.Nodes {
+		if pred(s) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ShortestPath returns a minimal pattern sequence driving the machine
+// from node `from` to any node satisfying accept, using BFS over valid
+// edges.  It returns nil, false if unreachable.  An empty sequence is
+// returned when `from` itself is accepted.
+func (g *CSSG) ShortestPath(from int, accept func(id int) bool) ([]uint64, bool) {
+	if accept(from) {
+		return []uint64{}, true
+	}
+	type link struct {
+		prev    int
+		pattern uint64
+	}
+	back := make(map[int]link, len(g.Nodes))
+	back[from] = link{prev: -1}
+	queue := []int{from}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Edges[id] {
+			if _, seen := back[e.To]; seen {
+				continue
+			}
+			back[e.To] = link{prev: id, pattern: e.Pattern}
+			if accept(e.To) {
+				// Reconstruct.
+				var rev []uint64
+				cur := e.To
+				for cur != from {
+					l := back[cur]
+					rev = append(rev, l.pattern)
+					cur = l.prev
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev, true
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil, false
+}
+
+// CycleBound returns τ = α·|σ|max, the §4.1 upper bound on the test
+// cycle given the longest gate delay α.
+func (g *CSSG) CycleBound(alpha float64) float64 {
+	return alpha * float64(g.Stats.MaxSettleDepth)
+}
+
+// KForCycle returns k = ⌊t/α⌋, the maximum number of transitions that
+// fit in a test cycle of length t when the longest gate delay is α.
+func KForCycle(t, alpha float64) int {
+	if alpha <= 0 {
+		panic("core: non-positive gate delay")
+	}
+	return int(t / alpha)
+}
+
+// Summary renders a one-line statistics summary.
+func (g *CSSG) Summary() string {
+	return fmt.Sprintf("%s: k=%d states=%d edges=%d invalid(nonconf=%d unsettled=%d trunc=%d) |σ|max=%d",
+		g.C.Name, g.K, g.Stats.NumStates, g.Stats.NumEdges,
+		g.Stats.NonConfluent, g.Stats.Unsettled, g.Stats.Truncated, g.Stats.MaxSettleDepth)
+}

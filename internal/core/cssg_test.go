@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// fig1aSrc reconstructs the paper's Figure 1(a): from the initial stable
+// state AB=01, raising A (pattern AB=11) races gates c/d/y to two
+// different stable states ("if gate c is slow to fall...").
+const fig1aSrc = `
+circuit fig1a
+input A B
+output y
+gate c NAND A B
+gate d AND  A c
+gate e OR   B d
+gate y C    d e
+init A=0 B=1 c=1 d=0 e=1 y=0
+`
+
+// fig1bSrc reconstructs Figure 1(b): raising A starts an oscillation.
+const fig1bSrc = `
+circuit fig1b
+input A
+output d
+gate c NAND A d
+gate d BUF  c
+init A=0 c=1 d=1
+`
+
+// pipe2Src is a 2-stage Muller pipeline (C-elements + inverters), a
+// classic speed-independent controller with a deterministic handshake.
+const pipe2Src = `
+circuit pipe2
+input Li Ra
+output c1 c2
+gate n1 NOT c2
+gate c1 C Li n1
+gate n2 NOT Ra
+gate c2 C c1 n2
+init Li=0 Ra=0 n1=1 c1=0 n2=1 c2=0
+`
+
+func parseMust(t testing.TB, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(src, name)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return c
+}
+
+func TestFig1aNonConfluence(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	an := AnalyzeVector(c, c.InitState(), 0b11, Options{}) // raise A, hold B
+	if an.Class != NonConfluent {
+		t.Fatalf("AB=11 should be non-confluent, got %s (stables %d)", an.Class, len(an.StableSuccs))
+	}
+	if len(an.StableSuccs) != 2 {
+		t.Fatalf("expected exactly 2 racing outcomes, got %d", len(an.StableSuccs))
+	}
+	// The two outcomes differ exactly in y (and the d/c path history).
+	yID, _ := c.SignalID("y")
+	y0 := an.StableSuccs[0] >> uint(yID) & 1
+	y1 := an.StableSuccs[1] >> uint(yID) & 1
+	if y0 == y1 {
+		t.Errorf("racing outcomes should differ on y: %s vs %s",
+			c.FormatState(an.StableSuccs[0]), c.FormatState(an.StableSuccs[1]))
+	}
+}
+
+func TestFig1aValidVector(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	an := AnalyzeVector(c, c.InitState(), 0b00, Options{}) // drop B
+	if an.Class != Valid {
+		t.Fatalf("AB=00 should be valid, got %s", an.Class)
+	}
+	if !c.Stable(an.StableSuccs[0]) {
+		t.Error("valid successor must be stable")
+	}
+}
+
+func TestFig1bOscillation(t *testing.T) {
+	c := parseMust(t, fig1bSrc, "fig1b.ckt")
+	an := AnalyzeVector(c, c.InitState(), 1, Options{})
+	if an.Class != Unsettled {
+		t.Fatalf("A+ should oscillate, got %s", an.Class)
+	}
+	if !an.UnstableAtK {
+		t.Error("oscillation must leave an unstable state at depth k")
+	}
+	if len(an.StableSuccs) != 0 {
+		t.Errorf("pure oscillation reaches no stable state, got %d", len(an.StableSuccs))
+	}
+}
+
+func TestCSSGPrunesInvalidVectors(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.NonConfluent == 0 {
+		t.Error("fig1a must have non-confluent vectors")
+	}
+	// Every recorded edge must be re-verifiable by AnalyzeVector.
+	for id, edges := range g.Edges {
+		for _, e := range edges {
+			an := AnalyzeVector(c, g.Nodes[id], e.Pattern, Options{})
+			if an.Class != Valid || an.StableSuccs[0] != g.Nodes[e.To] {
+				t.Fatalf("edge %d --%b--> %d not reproducible", id, e.Pattern, e.To)
+			}
+		}
+	}
+}
+
+func TestPipelineCSSGDeterministicHandshake(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 4 {
+		t.Fatalf("pipeline CSSG too small: %s", g.Summary())
+	}
+	// The canonical 4-phase sequence must be walkable: Li+ then Ra+.
+	nodes, ok := g.Walk(g.Init, []uint64{0b01, 0b11})
+	if !ok || len(nodes) != 2 {
+		t.Fatalf("handshake walk failed: %v %v", nodes, ok)
+	}
+	c1ID, _ := c.SignalID("c1")
+	if g.Nodes[nodes[0]]>>uint(c1ID)&1 != 1 {
+		t.Error("after Li+ the first C element must be set")
+	}
+}
+
+// Cross-check AnalyzeVector against ternary simulation and random
+// binary interleavings.
+func TestAnalyzeVectorVsTernaryAndRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	srcs := []struct{ src, name string }{
+		{fig1aSrc, "fig1a"}, {fig1bSrc, "fig1b"}, {pipe2Src, "pipe2"},
+	}
+	for _, s := range srcs {
+		c := parseMust(t, s.src, s.name)
+		g, err := Build(c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < g.NumNodes(); id++ {
+			stable := g.Nodes[id]
+			for p := uint64(0); p < 1<<uint(c.NumInputs()); p++ {
+				if p == c.InputBits(stable) {
+					continue
+				}
+				an := AnalyzeVector(c, stable, p, Options{})
+				tern := sim.ApplyVector(c, sim.TernaryFromPacked(c, stable), p, nil)
+				if tern.Definite() {
+					// Exact ternary result ⇒ unique successor: must be Valid
+					// and agree.
+					if an.Class != Valid {
+						t.Fatalf("%s state %s pattern %b: ternary definite but class %s",
+							s.name, c.FormatState(stable), p, an.Class)
+					}
+					if an.StableSuccs[0] != tern.State.Bits() {
+						t.Fatalf("%s: exact successor mismatch", s.name)
+					}
+				}
+				if an.Class == Valid {
+					// Every random interleaving must reach the unique state,
+					// and the ternary envelope must cover it.
+					want := an.StableSuccs[0]
+					wantVec := logic.FromBits(want, c.NumSignals())
+					for s2 := range wantVec {
+						if !logic.Compatible(tern.State[s2], wantVec[s2]) {
+							t.Fatalf("%s: ternary %s incompatible with exact %s",
+								s.name, tern.State, wantVec)
+						}
+					}
+					for rep := 0; rep < 5; rep++ {
+						st := c.WithInputBits(stable, p)
+						final, ok := sim.SettleRandom(c, st, 100000, rng)
+						if !ok || final != want {
+							t.Fatalf("%s: random interleaving gave %s, want %s",
+								s.name, c.FormatState(final), c.FormatState(want))
+						}
+					}
+				}
+				if an.Class == NonConfluent {
+					// Random interleavings must be able to reach ≥2 states
+					// (probabilistically; just check membership).
+					seen := map[uint64]bool{}
+					for rep := 0; rep < 60; rep++ {
+						st := c.WithInputBits(stable, p)
+						final, ok := sim.SettleRandom(c, st, 100000, rng)
+						if ok {
+							seen[final] = true
+							found := false
+							for _, su := range an.StableSuccs {
+								if su == final {
+									found = true
+								}
+							}
+							if !found {
+								t.Fatalf("%s: random outcome %s not in StableSuccs",
+									s.name, c.FormatState(final))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSmallKRejectsSlowVectors(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	// Li+ needs 4 transitions (buffer, c1, c2, n1). With k=2 it must be
+	// rejected as unsettled; with k≥4 it is valid.
+	an := AnalyzeVector(c, c.InitState(), 0b01, Options{K: 2})
+	if an.Class != Unsettled {
+		t.Fatalf("k=2 should reject Li+, got %s", an.Class)
+	}
+	an = AnalyzeVector(c, c.InitState(), 0b01, Options{K: 4})
+	if an.Class != Valid {
+		t.Fatalf("k=4 should accept Li+, got %s", an.Class)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2ID, _ := c.SignalID("c2")
+	seq, ok := g.ShortestPath(g.Init, func(id int) bool {
+		return g.Nodes[id]>>uint(c2ID)&1 == 1
+	})
+	if !ok {
+		t.Fatal("no path to c2=1")
+	}
+	nodes, ok := g.Walk(g.Init, seq)
+	if !ok {
+		t.Fatal("returned path not walkable")
+	}
+	last := g.Init
+	if len(nodes) > 0 {
+		last = nodes[len(nodes)-1]
+	}
+	if g.Nodes[last]>>uint(c2ID)&1 != 1 {
+		t.Error("path does not end in accepting state")
+	}
+	// Self-accepting: empty path.
+	seq, ok = g.ShortestPath(g.Init, func(id int) bool { return id == g.Init })
+	if !ok || len(seq) != 0 {
+		t.Error("self path should be empty")
+	}
+	// Unreachable predicate.
+	if _, ok := g.ShortestPath(g.Init, func(int) bool { return false }); ok {
+		t.Error("impossible predicate should be unreachable")
+	}
+}
+
+func TestStatesWhereAndAccessors(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := g.StatesWhere(func(uint64) bool { return true })
+	if len(all) != g.NumNodes() {
+		t.Error("StatesWhere(true) must return all nodes")
+	}
+	if id, ok := g.NodeOf(g.Nodes[0]); !ok || id != 0 {
+		t.Error("NodeOf round trip")
+	}
+	if _, ok := g.NodeOf(^uint64(0)); ok {
+		t.Error("NodeOf of garbage state")
+	}
+	if g.InputsOf(g.Init) != c.InputBits(c.InitState()) {
+		t.Error("InputsOf mismatch")
+	}
+	_ = g.OutputsOf(g.Init)
+	if g.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestCycleEstimation(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.MaxSettleDepth <= 0 {
+		t.Fatal("MaxSettleDepth must be positive")
+	}
+	alpha := 2.5
+	if got := g.CycleBound(alpha); got != alpha*float64(g.Stats.MaxSettleDepth) {
+		t.Errorf("CycleBound = %v", got)
+	}
+	if KForCycle(10, 2.5) != 4 {
+		t.Errorf("KForCycle(10,2.5) = %d", KForCycle(10, 2.5))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("KForCycle with α≤0 must panic")
+		}
+	}()
+	KForCycle(1, 0)
+}
+
+func TestEdgeClassString(t *testing.T) {
+	for _, e := range []EdgeClass{Valid, NonConfluent, Unsettled, Truncated} {
+		if e.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+	if fmt.Sprint(EdgeClass(99)) == "" {
+		t.Error("unknown class must still render")
+	}
+}
+
+func TestTruncationIsConservative(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	an := AnalyzeVector(c, c.InitState(), 0b11, Options{MaxStatesPerPattern: 2})
+	if an.Class != Truncated {
+		t.Fatalf("tiny cap should truncate, got %s", an.Class)
+	}
+}
+
+func TestBuildRejectsInvalidCircuit(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	cID, _ := c.SignalID("c")
+	c.Init[cID] = logic.Zero // corrupt: c=NAND(0,1)=1, so c=0 is excited
+	if _, err := Build(c, Options{}); err == nil {
+		t.Fatal("Build must reject unstable init")
+	}
+}
+
+func TestWalkInvalidVector(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern 0b11 is non-confluent at init: Walk must fail.
+	if _, ok := g.Walk(g.Init, []uint64{0b11}); ok {
+		t.Error("walk through invalid vector must fail")
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot emits the CSSG in Graphviz dot format: one node per stable
+// state (labelled with the packed state in signal order, the reset node
+// double-circled) and one edge per valid vector, labelled with the
+// input pattern it applies.
+func (g *CSSG) WriteDot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", g.C.Name)
+	fmt.Fprintf(bw, "  rankdir=LR;\n  node [shape=box, fontname=monospace];\n")
+	for id, s := range g.Nodes {
+		shape := ""
+		if id == g.Init {
+			shape = ", peripheries=2"
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\"%s];\n", id, g.C.FormatState(s), shape)
+	}
+	m := g.C.NumInputs()
+	for id, edges := range g.Edges {
+		for _, e := range edges {
+			fmt.Fprintf(bw, "  n%d -> n%d [label=\"%0*b\"];\n", id, e.To, m, e.Pattern)
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}

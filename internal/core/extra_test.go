@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreFromUnstableStart(t *testing.T) {
+	// The exact machine explores faulty circuits whose start state is
+	// unstable; Explore must handle that directly.
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	st := c.InitState() | 1 // raise the Li rail without firing the buffer
+	cr := Explore(c, st, Options{})
+	if cr.Truncated {
+		t.Fatal("tiny exploration truncated")
+	}
+	if len(cr.StableSuccs) != 1 {
+		t.Fatalf("Li+ from reset must settle uniquely, got %d", len(cr.StableSuccs))
+	}
+	if cr.UnstableAtK {
+		t.Fatal("pipeline cascade cannot run past k")
+	}
+	// ReachK of a settling cascade is exactly the final stable state.
+	if len(cr.ReachK) != 1 || cr.ReachK[0] != cr.StableSuccs[0] {
+		t.Fatalf("ReachK %v vs StableSuccs %v", cr.ReachK, cr.StableSuccs)
+	}
+}
+
+func TestExploreStableStart(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	cr := Explore(c, c.InitState(), Options{})
+	if len(cr.ReachK) != 1 || cr.ReachK[0] != c.InitState() {
+		t.Fatal("a stable start stutters in place")
+	}
+	if cr.SettleDepth != 0 {
+		t.Fatalf("stable start should reach fixpoint immediately, depth %d", cr.SettleDepth)
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "peripheries=2") {
+		t.Fatalf("dot output malformed:\n%s", dot)
+	}
+	if strings.Count(dot, "->") != g.Stats.NumEdges {
+		t.Fatalf("dot edge count %d != %d", strings.Count(dot, "->"), g.Stats.NumEdges)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	o := Options{}.withDefaults(c)
+	if o.K != 4*c.NumSignals() {
+		t.Errorf("default K = %d", o.K)
+	}
+	if o.MaxStatesPerPattern == 0 || o.MaxStableStates == 0 {
+		t.Error("caps not defaulted")
+	}
+	// Explicit values survive.
+	o2 := Options{K: 7, MaxStatesPerPattern: 9, MaxStableStates: 11}.withDefaults(c)
+	if o2.K != 7 || o2.MaxStatesPerPattern != 9 || o2.MaxStableStates != 11 {
+		t.Error("explicit options overridden")
+	}
+}
+
+// Snapshot test: the pipeline CSSG's exact shape (8 states, 20 edges,
+// 4 non-confluent pairs) is deterministic and meaningful — it is the
+// 4-phase handshake with a free environment.
+func TestPipelineCSSGSnapshot(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 8 || g.Stats.NumEdges != 20 || g.Stats.NonConfluent != 4 {
+		t.Fatalf("pipeline CSSG drifted: %s", g.Summary())
+	}
+	if g.Stats.MaxSettleDepth != 6 {
+		t.Fatalf("|σ|max drifted: %d", g.Stats.MaxSettleDepth)
+	}
+}
+
+func TestSettlingStatesAccounting(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.SettlingStates <= g.Stats.NumStates {
+		t.Fatalf("settling-state counter implausible: %+v", g.Stats)
+	}
+}

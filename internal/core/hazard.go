@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Hazard records a semi-modularity violation along a valid vector: in
+// some state of the settling cascade, firing one gate disabled another
+// excited gate before it could fire.  Under the inertial delay model
+// the pulse is filtered — the vector stays valid (confluent) — but the
+// glitch marks logic that is not speed-independent in the strict
+// Muller sense (cf. the paper's reliance on semi-modularity [3] for
+// the 100% output-stuck-at result).
+type Hazard struct {
+	Node     int    // CSSG node where the vector is applied
+	Pattern  uint64 // the applied input vector
+	State    uint64 // settling-graph state where the disabling happened
+	Fired    int    // gate whose firing disabled the other
+	Disabled int    // the gate that lost its excitation without firing
+}
+
+// Describe renders the hazard with signal names.
+func (h Hazard) Describe(c *netlist.Circuit) string {
+	return fmt.Sprintf("node %d pattern %b: firing %s disables %s in state %s",
+		h.Node, h.Pattern, c.Gates[h.Fired].Name, c.Gates[h.Disabled].Name, c.FormatState(h.State))
+}
+
+// Hazards scans the settling cascades of every valid CSSG edge for
+// semi-modularity violations, returning at most `limit` of them
+// (limit ≤ 0 means all).  A speed-independent circuit driven only
+// through its valid vectors reports none; observation logic over
+// multi-signal cascades typically reports filtered glitches.
+//
+// The scan disables the partial-order reduction so that glitches on
+// observation-only gates are visible too.
+func (g *CSSG) Hazards(limit int) []Hazard {
+	c := g.C
+	opts := Options{
+		K:                   g.K,
+		DisablePOR:          true,
+		MaxStatesPerPattern: 1 << 18,
+	}.withDefaults(c)
+	var out []Hazard
+	var excited, nextExcited []int
+	for id, edges := range g.Edges {
+		for _, e := range edges {
+			start := c.WithInputBits(g.Nodes[id], e.Pattern)
+			seen := map[uint64]bool{start: true}
+			queue := []uint64{start}
+			for len(queue) > 0 {
+				st := queue[0]
+				queue = queue[1:]
+				excited = c.ExcitedGates(st, excited[:0])
+				for _, gi := range excited {
+					nx := c.Fire(gi, st)
+					nextExcited = c.ExcitedGates(nx, nextExcited[:0])
+					stillExcited := map[int]bool{}
+					for _, h := range nextExcited {
+						stillExcited[h] = true
+					}
+					for _, h := range excited {
+						if h == gi || stillExcited[h] {
+							continue
+						}
+						out = append(out, Hazard{
+							Node: id, Pattern: e.Pattern, State: st, Fired: gi, Disabled: h,
+						})
+						if limit > 0 && len(out) >= limit {
+							return out
+						}
+					}
+					if !seen[nx] && len(seen) < opts.MaxStatesPerPattern {
+						seen[nx] = true
+						queue = append(queue, nx)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SemiModular reports whether every valid vector settles without any
+// gate being disabled while excited — the strict speed-independence
+// criterion for the circuit as driven through its CSSG.
+func (g *CSSG) SemiModular() bool { return len(g.Hazards(1)) == 0 }

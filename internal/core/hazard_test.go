@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randckt"
+)
+
+func TestPipelineIsSemiModular(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.SemiModular() {
+		hz := g.Hazards(5)
+		for _, h := range hz {
+			t.Log(h.Describe(c))
+		}
+		t.Fatal("a pure Muller pipeline must be semi-modular through its valid vectors")
+	}
+}
+
+func TestGlitchyTapReportsHazard(t *testing.T) {
+	// t = AND(a, n), n = NOT(a): on a+, the AND is excited briefly and
+	// then disabled when the inverter fires — a filtered glitch, but a
+	// semi-modularity violation.
+	src := `
+circuit glitch
+input a
+output t
+gate n NOT a
+gate t AND a n
+init a=0 n=1 t=0
+`
+	c := parseMust(t, src, "glitch.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz := g.Hazards(0)
+	if len(hz) == 0 {
+		t.Fatal("the classic static hazard must be reported")
+	}
+	found := false
+	for _, h := range hz {
+		if c.Gates[h.Disabled].Name == "t" && c.Gates[h.Fired].Name == "n" {
+			found = true
+		}
+		if h.Describe(c) == "" {
+			t.Error("empty hazard description")
+		}
+	}
+	if !found {
+		t.Errorf("expected 'n disables t', got %v", hz)
+	}
+}
+
+func TestHazardLimit(t *testing.T) {
+	src := `
+circuit glitch2
+input a b
+output t u
+gate n NOT a
+gate t AND a n
+gate m NOT b
+gate u AND b m
+init a=0 b=0 n=1 m=1 t=0 u=0
+`
+	c := parseMust(t, src, "glitch2.ckt")
+	g, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Hazards(1); len(got) != 1 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+	if all := g.Hazards(0); len(all) < 2 {
+		t.Fatalf("expected several hazards, got %d", len(all))
+	}
+}
+
+// The partial-order reduction must not change the CSSG: building with
+// and without it yields identical node and edge sets.  (This validates
+// the commutation argument in DESIGN.md on real and random circuits.)
+func TestPORDoesNotChangeCSSG(t *testing.T) {
+	srcs := []string{pipe2Src, fig1aSrc, `
+circuit taps
+input a b
+output t1 t2 t3
+gate t1 AND a b
+gate t2 NOR a b
+gate t3 XOR a b
+init a=0 b=0 t1=0 t2=1 t3=0
+`}
+	for _, src := range srcs {
+		c := parseMust(t, src, "por.ckt")
+		g1, err := Build(c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Build(c, Options{DisablePOR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.NumNodes() != g2.NumNodes() || g1.Stats.NumEdges != g2.Stats.NumEdges {
+			t.Fatalf("%s: POR changed the CSSG: %s vs %s", c.Name, g1.Summary(), g2.Summary())
+		}
+		for id := range g1.Nodes {
+			if g1.Nodes[id] != g2.Nodes[id] {
+				t.Fatalf("%s: node %d differs", c.Name, id)
+			}
+			if len(g1.Edges[id]) != len(g2.Edges[id]) {
+				t.Fatalf("%s: edges of node %d differ", c.Name, id)
+			}
+			for j := range g1.Edges[id] {
+				if g1.Edges[id][j] != g2.Edges[id][j] {
+					t.Fatalf("%s: edge %d/%d differs", c.Name, id, j)
+				}
+			}
+		}
+		// Invalid-vector classification must agree as well.
+		if g1.Stats.NonConfluent != g2.Stats.NonConfluent || g1.Stats.Unsettled != g2.Stats.Unsettled {
+			t.Fatalf("%s: POR changed invalid classification: %s vs %s", c.Name, g1.Summary(), g2.Summary())
+		}
+	}
+}
+
+func TestPORDoesNotChangeCSSGOnRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		c, ok := randckt.New(rng, randckt.Config{MaxGates: 9, MinGates: 4})
+		if !ok {
+			t.Fatal("no random circuit")
+		}
+		opts := Options{MaxStatesPerPattern: 40000}
+		g1, err := Build(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.DisablePOR = true
+		g2, err := Build(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.NumNodes() != g2.NumNodes() || g1.Stats.NumEdges != g2.Stats.NumEdges ||
+			g1.Stats.NonConfluent != g2.Stats.NonConfluent || g1.Stats.Unsettled != g2.Stats.Unsettled {
+			t.Fatalf("%s: POR changed the abstraction: %s vs %s", c.Name, g1.Summary(), g2.Summary())
+		}
+		for id := range g1.Nodes {
+			if g1.Nodes[id] != g2.Nodes[id] {
+				t.Fatalf("%s: node %d differs", c.Name, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package dft implements the design-for-testability aids the paper
+// recommends for poorly-covered circuits (§6: "testability can be
+// assisted by partial scan-path [16]" and §1's observation/control
+// points [13]):
+//
+//   - observation points: an internal signal is routed through a probe
+//     buffer to a new primary output, making faults on its cone
+//     observable;
+//   - control points: a test multiplexer is spliced into a signal, with
+//     two new primary inputs (enable and value); when enabled, the
+//     tester overrides the signal, breaking correlations that make
+//     faults unexcitable.
+//
+// Insertion rebuilds the circuit (netlists are immutable), preserving
+// reset stability: multiplexers reset to the transparent position.
+package dft
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Kind selects the test-point type.
+type Kind uint8
+
+// Test-point kinds.
+const (
+	Observe Kind = iota
+	Control
+)
+
+// Point names a signal to instrument.
+type Point struct {
+	Signal string
+	Kind   Kind
+}
+
+// muxTable is out = en ? val : orig with fanin order (orig, en, val).
+const muxTable = "01000111"
+
+// Insert returns a copy of the circuit with the given test points.
+// Observation points add a probe buffer `tp_<sig>` as a new primary
+// output.  Control points add inputs `tc_<sig>_en`/`tc_<sig>_val` and a
+// multiplexer `tm_<sig>`; every reader of the signal is rewired to the
+// multiplexer output.  Points on primary-input rails are rejected
+// (rails are already controllable), as are duplicates.
+func Insert(c *netlist.Circuit, points []Point) (*netlist.Circuit, error) {
+	seen := map[string]bool{}
+	controlled := map[netlist.SigID]string{} // original signal -> mux name
+	for _, p := range points {
+		id, ok := c.SignalID(p.Signal)
+		if !ok {
+			return nil, fmt.Errorf("dft: unknown signal %q", p.Signal)
+		}
+		gi := c.GateOf(id)
+		if gi < 0 || gi < c.NumInputs() {
+			return nil, fmt.Errorf("dft: %q is a primary input; it is already controllable and observable", p.Signal)
+		}
+		key := fmt.Sprintf("%d/%s", p.Kind, p.Signal)
+		if seen[key] {
+			return nil, fmt.Errorf("dft: duplicate test point on %q", p.Signal)
+		}
+		seen[key] = true
+		if p.Kind == Control {
+			controlled[id] = "tm_" + p.Signal
+		}
+	}
+
+	b := netlist.NewBuilder(c.Name + "+dft")
+	// Original inputs, then test-control inputs.
+	for i, name := range c.Inputs {
+		b.Input(name)
+		b.Init(name, c.Init[i])
+	}
+	for _, p := range points {
+		if p.Kind != Control {
+			continue
+		}
+		en, val := "tc_"+p.Signal+"_en", "tc_"+p.Signal+"_val"
+		b.Input(en)
+		b.Input(val)
+		b.Init(en, logic.Zero) // transparent at reset
+		b.Init(val, logic.Zero)
+	}
+
+	// ref maps a fanin signal to the name gates should now read.
+	ref := func(s netlist.SigID) string {
+		if mux, ok := controlled[s]; ok {
+			return mux
+		}
+		return c.SignalName(s)
+	}
+	// Re-emit every declared gate (buffers are implicit) with rewired
+	// fanins.
+	for gi := c.NumInputs(); gi < c.NumGates(); gi++ {
+		g := &c.Gates[gi]
+		fanins := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			fanins[j] = ref(f)
+		}
+		if g.Kind == netlist.Table {
+			bits := make([]byte, len(g.Tbl))
+			for k, v := range g.Tbl {
+				bits[k] = byte('0' + v)
+			}
+			b.TableGate(g.Name, string(bits), fanins...)
+		} else {
+			b.Gate(g.Name, g.Kind, fanins...)
+		}
+		b.Init(g.Name, c.Init[g.Out])
+	}
+	// Multiplexers and probe buffers.
+	for _, p := range points {
+		id, _ := c.SignalID(p.Signal)
+		switch p.Kind {
+		case Control:
+			mux := "tm_" + p.Signal
+			b.TableGate(mux, muxTable, p.Signal, "tc_"+p.Signal+"_en", "tc_"+p.Signal+"_val")
+			b.Init(mux, c.Init[id]) // transparent: follows the signal
+		case Observe:
+			probe := "tp_" + p.Signal
+			b.Gate(probe, netlist.Buf, ref(id))
+			b.Init(probe, c.Init[id])
+		}
+	}
+	// Outputs: originals (possibly rerouted through muxes for
+	// downstream consistency — the original signal itself remains the
+	// observable), plus probes, plus mux outputs for controlled signals
+	// so the tester can observe the override taking effect.
+	var outs []string
+	for _, o := range c.Outputs {
+		outs = append(outs, c.SignalName(o))
+	}
+	for _, p := range points {
+		switch p.Kind {
+		case Observe:
+			outs = append(outs, "tp_"+p.Signal)
+		case Control:
+			outs = append(outs, "tm_"+p.Signal)
+		}
+	}
+	b.Output(outs...)
+	return b.Build()
+}
+
+// DemoCircuit builds a fork-join controller whose observation logic
+// XORs the two lock-stepped pipeline branches: in every reachable
+// stable state the branches agree, so the XOR taps are constant and
+// several of their input faults are untestable.  A control point on one
+// branch breaks the correlation and recovers full coverage — the §6
+// experiment in miniature.
+func DemoCircuit() *netlist.Circuit {
+	b := netlist.NewBuilder("forkjoin")
+	b.Input("req")
+	b.Input("ack")
+	b.Init("req", logic.Zero)
+	b.Init("ack", logic.Zero)
+	// Two identical single-stage branches.
+	for _, pre := range []string{"a", "b"} {
+		b.Gate(pre+"n", netlist.Not, "ack")
+		b.Init(pre+"n", logic.One)
+		b.Gate(pre+"c", netlist.C, "req", pre+"n")
+		b.Init(pre+"c", logic.Zero)
+	}
+	b.Gate("join", netlist.C, "ac", "bc")
+	b.Init("join", logic.Zero)
+	// Correlated observation logic: with ac == bc in every reachable
+	// stable state, AND(1, bc) ≡ AND(bc, bc), NAND(1, bc) ≡ NAND(bc, bc)
+	// and NOR(0, bc) ≡ NOR(bc, bc), so the corresponding pin stuck-at
+	// faults are masked — untestable without a control point.
+	b.Gate("t1", netlist.And, "ac", "bc")
+	b.Init("t1", logic.Zero)
+	b.Gate("t2", netlist.Nand, "ac", "bc")
+	b.Init("t2", logic.One)
+	b.Gate("t3", netlist.Nor, "ac", "bc")
+	b.Init("t3", logic.One)
+	b.Output("join", "t1", "t2", "t3")
+	c, err := b.Build()
+	if err != nil {
+		panic("dft: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,242 @@
+// Package faults defines the stuck-at fault models used by the ATPG
+// engine: the single output stuck-at model and the single input stuck-at
+// model (which subsumes it), as in §1 and §6 of Roig et al. (DAC'97).
+//
+// A fault is located at a gate: either its output is stuck at a constant
+// (output stuck-at), or one of its input pins perceives a constant
+// regardless of the driving signal (input stuck-at).  Input stuck-at
+// faults on different fanout branches of the same signal are distinct
+// faults, which is what makes the input model strictly stronger.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Type distinguishes the fault models.
+type Type uint8
+
+// Fault types.  OutputSA and InputSA are the paper's models.  SlowRise
+// and SlowFall are the gross gate-delay extension the paper lists as
+// future work (§7, "a wider spectrum of fault models (e.g. delay
+// faults)"): the affected gate's transition in one direction never
+// completes within a test cycle, so its output can only fall (SlowRise)
+// or only rise (SlowFall).  Transition is a model selector only: it
+// denotes the universe of all SlowRise and SlowFall faults.
+const (
+	OutputSA   Type = iota // gate output stuck at Value
+	InputSA                // gate input pin stuck at Value
+	SlowRise               // gate never completes a rising transition
+	SlowFall               // gate never completes a falling transition
+	Transition             // model selector: SlowRise ∪ SlowFall universe
+)
+
+// Fault is a single stuck-at fault site.
+type Fault struct {
+	Type  Type
+	Gate  int     // gate index in the circuit (includes input buffers)
+	Pin   int     // fanin pin index for InputSA; -1 for OutputSA
+	Value logic.V // stuck value: Zero or One
+}
+
+// Describe renders the fault with circuit signal names, e.g. "y/SA0"
+// (output), "c.pin1(A)/SA1" (input pin 1 of gate c, driven by A),
+// "y/STR" (slow to rise) or "y/STF" (slow to fall).
+func (f Fault) Describe(c *netlist.Circuit) string {
+	g := &c.Gates[f.Gate]
+	switch f.Type {
+	case SlowRise:
+		return fmt.Sprintf("%s/STR", g.Name)
+	case SlowFall:
+		return fmt.Sprintf("%s/STF", g.Name)
+	}
+	sa := "SA0"
+	if f.Value == logic.One {
+		sa = "SA1"
+	}
+	if f.Type == OutputSA {
+		return fmt.Sprintf("%s/%s", g.Name, sa)
+	}
+	return fmt.Sprintf("%s.pin%d(%s)/%s", g.Name, f.Pin, c.SignalName(g.Fanin[f.Pin]), sa)
+}
+
+// Site returns the signal whose stable value excites the fault: the gate
+// output for output and transition faults, the driving signal of the pin
+// for input faults.  The fault is excited in a state iff the site's
+// value differs from the stuck value (§5.1); a slow-to-rise gate behaves
+// like its output stuck low once it should have risen, and dually.
+func (f Fault) Site(c *netlist.Circuit) netlist.SigID {
+	g := &c.Gates[f.Gate]
+	if f.Type == InputSA {
+		return g.Fanin[f.Pin]
+	}
+	return g.Out
+}
+
+// ExcitedIn reports whether the fault is excited in the packed state.
+func (f Fault) ExcitedIn(c *netlist.Circuit, state uint64) bool {
+	bit := state>>uint(f.Site(c))&1 == 1
+	switch f.Type {
+	case SlowRise:
+		return bit // the good circuit holds 1 that the faulty one missed
+	case SlowFall:
+		return !bit
+	}
+	return logic.FromBool(bit) != f.Value
+}
+
+// Apply materialises the fault into a deep copy of the circuit by
+// rewriting the affected gate's truth table: an output fault becomes the
+// constant function; an input fault makes the function ignore the pin
+// and read the stuck value instead.  The copy is meant for simulation —
+// do not serialise it (the printed kind keyword would not reflect the
+// modified table) and do not Validate it (the reset state may be
+// unstable under the fault, which is precisely what the ATPG exploits).
+func Apply(c *netlist.Circuit, f Fault) *netlist.Circuit {
+	fc := c.Clone()
+	g := &fc.Gates[f.Gate]
+	switch f.Type {
+	case SlowRise, SlowFall:
+		// A transition fault makes the output directional:
+		// slow-to-rise ⇒ out' = f(ins) ∧ out, slow-to-fall ⇒
+		// out' = f(ins) ∨ out.  The materialised gate must read its own
+		// output, so a combinational gate becomes a self-dependent one
+		// (kind C with a custom table); C gates keep their shape.
+		nf := len(g.Fanin)
+		oldTbl := append([]logic.V(nil), g.Tbl...)
+		wasSelf := g.Kind.SelfDependent()
+		g.Kind = netlist.C
+		size := 1 << uint(nf+1)
+		tbl := make([]logic.V, size)
+		for idx := 0; idx < size; idx++ {
+			var base logic.V
+			if wasSelf {
+				base = oldTbl[idx]
+			} else {
+				base = oldTbl[idx&(1<<uint(nf)-1)]
+			}
+			self := logic.FromBool(idx>>uint(nf)&1 == 1)
+			if f.Type == SlowRise {
+				tbl[idx] = logic.And(base, self)
+			} else {
+				tbl[idx] = logic.Or(base, self)
+			}
+		}
+		if err := fc.SetGateTable(f.Gate, tbl); err != nil {
+			panic("faults: " + err.Error())
+		}
+		return fc
+	}
+	size := 1 << uint(g.NLocal())
+	tbl := make([]logic.V, size)
+	switch f.Type {
+	case OutputSA:
+		for i := range tbl {
+			tbl[i] = f.Value
+		}
+	case InputSA:
+		for idx := 0; idx < size; idx++ {
+			forced := idx &^ (1 << uint(f.Pin))
+			if f.Value == logic.One {
+				forced |= 1 << uint(f.Pin)
+			}
+			tbl[idx] = g.Tbl[forced]
+		}
+	}
+	if err := fc.SetGateTable(f.Gate, tbl); err != nil {
+		panic("faults: " + err.Error()) // sizes match by construction
+	}
+	return fc
+}
+
+// OutputUniverse returns all single output stuck-at faults: two per gate
+// (including the implicit input buffers, whose output faults model stuck
+// primary-input wires).
+func OutputUniverse(c *netlist.Circuit) []Fault {
+	out := make([]Fault, 0, 2*c.NumGates())
+	for gi := 0; gi < c.NumGates(); gi++ {
+		out = append(out,
+			Fault{Type: OutputSA, Gate: gi, Pin: -1, Value: logic.Zero},
+			Fault{Type: OutputSA, Gate: gi, Pin: -1, Value: logic.One},
+		)
+	}
+	return out
+}
+
+// InputUniverse returns all single input stuck-at faults: two per gate
+// input pin.  Buffer pins model stuck primary inputs.  Per the paper,
+// this model includes all output stuck-at faults: an output fault on
+// signal s is equivalent to the simultaneous input fault on all of s's
+// fanout pins, and for single-fanout signals to the single pin fault.
+func InputUniverse(c *netlist.Circuit) []Fault {
+	var out []Fault
+	for gi := 0; gi < c.NumGates(); gi++ {
+		for pin := range c.Gates[gi].Fanin {
+			out = append(out,
+				Fault{Type: InputSA, Gate: gi, Pin: pin, Value: logic.Zero},
+				Fault{Type: InputSA, Gate: gi, Pin: pin, Value: logic.One},
+			)
+		}
+	}
+	return out
+}
+
+// TransitionUniverse returns all gross gate-delay faults: one
+// slow-to-rise and one slow-to-fall fault per gate.
+func TransitionUniverse(c *netlist.Circuit) []Fault {
+	out := make([]Fault, 0, 2*c.NumGates())
+	for gi := 0; gi < c.NumGates(); gi++ {
+		out = append(out,
+			Fault{Type: SlowRise, Gate: gi, Pin: -1},
+			Fault{Type: SlowFall, Gate: gi, Pin: -1},
+		)
+	}
+	return out
+}
+
+// Universe returns the fault list for the requested model: OutputSA,
+// InputSA, or Transition (= SlowRise ∪ SlowFall).
+func Universe(c *netlist.Circuit, t Type) []Fault {
+	switch t {
+	case OutputSA:
+		return OutputUniverse(c)
+	case InputSA:
+		return InputUniverse(c)
+	case Transition, SlowRise, SlowFall:
+		return TransitionUniverse(c)
+	}
+	return nil
+}
+
+// CollapseStats summarises cheap structural equivalences in a fault list:
+// an input-SA fault on the single fanout pin of a signal is equivalent to
+// the output-SA fault on that signal.  The ATPG does not exploit this (the
+// paper reports uncollapsed totals); the statistic is informational.
+type CollapseStats struct {
+	Total            int
+	EquivalentToOut  int // input faults equivalent to an output fault
+	SingleFanoutPins int
+}
+
+// Collapse computes CollapseStats for an input-SA universe.
+func Collapse(c *netlist.Circuit, list []Fault) CollapseStats {
+	st := CollapseStats{Total: len(list)}
+	for _, f := range list {
+		if f.Type != InputSA {
+			continue
+		}
+		sig := f.Site(c)
+		if len(c.Fanouts(sig)) == 1 {
+			st.EquivalentToOut++
+		}
+	}
+	for s := 0; s < c.NumSignals(); s++ {
+		if len(c.Fanouts(netlist.SigID(s))) == 1 {
+			st.SingleFanoutPins++
+		}
+	}
+	return st
+}

@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+const mixSrc = `
+circuit mix
+input a b
+output z q
+gate n NAND a b
+gate x XOR a n
+gate q C a x
+gate z OR n q
+init a=0 b=0 n=1 x=1 q=0 z=1
+`
+
+func parse(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(mixSrc, "mix.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestUniverseSizes(t *testing.T) {
+	c := parse(t)
+	out := OutputUniverse(c)
+	if len(out) != 2*c.NumGates() {
+		t.Errorf("output universe %d, want %d", len(out), 2*c.NumGates())
+	}
+	pins := 0
+	for gi := 0; gi < c.NumGates(); gi++ {
+		pins += len(c.Gates[gi].Fanin)
+	}
+	in := InputUniverse(c)
+	if len(in) != 2*pins {
+		t.Errorf("input universe %d, want %d", len(in), 2*pins)
+	}
+	if len(Universe(c, OutputSA)) != len(out) || len(Universe(c, InputSA)) != len(in) {
+		t.Error("Universe dispatch broken")
+	}
+	// No duplicates.
+	seen := map[Fault]bool{}
+	for _, f := range append(out, in...) {
+		if seen[f] {
+			t.Errorf("duplicate fault %+v", f)
+		}
+		seen[f] = true
+	}
+}
+
+// Apply must agree with pinned evaluation on every state: the
+// materialised table is the pinned function.
+func TestApplyMatchesPinnedEval(t *testing.T) {
+	c := parse(t)
+	rng := rand.New(rand.NewSource(1))
+	all := append(OutputUniverse(c), InputUniverse(c)...)
+	for _, f := range all {
+		fc := Apply(c, f)
+		if fc == c {
+			t.Fatal("Apply must copy")
+		}
+		for trial := 0; trial < 200; trial++ {
+			st := rng.Uint64() & (1<<uint(c.NumSignals()) - 1)
+			for gi := 0; gi < c.NumGates(); gi++ {
+				var want bool
+				if gi == f.Gate {
+					if f.Type == OutputSA {
+						want = f.Value == logic.One
+					} else {
+						want = c.EvalBinaryPinned(gi, st, f.Pin, f.Value == logic.One)
+					}
+				} else {
+					want = c.EvalBinary(gi, st)
+				}
+				if got := fc.EvalBinary(gi, st); got != want {
+					t.Fatalf("fault %s gate %d state %b: faulty=%v want=%v",
+						f.Describe(c), gi, st, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	c := parse(t)
+	before := c.String()
+	f := Fault{Type: OutputSA, Gate: 3, Pin: -1, Value: logic.One}
+	_ = Apply(c, f)
+	if c.String() != before {
+		t.Fatal("Apply mutated the original circuit")
+	}
+}
+
+func TestApplyPreservesSelfDependence(t *testing.T) {
+	c := parse(t)
+	qID, _ := c.SignalID("q")
+	gi := c.GateOf(qID)
+	if !c.Gates[gi].Kind.SelfDependent() {
+		t.Fatal("q must be a C element")
+	}
+	// Input fault on pin 0 of the C gate: the hold behaviour through
+	// the self input must survive materialisation.
+	f := Fault{Type: InputSA, Gate: gi, Pin: 0, Value: logic.Zero}
+	fc := Apply(c, f)
+	if got := fc.Gates[gi].NLocal(); got != 3 {
+		t.Fatalf("faulty C gate lost its self input: nlocal=%d", got)
+	}
+	// With pin0 forced to 0 the C can never see all-ones, so from
+	// output 0 it must stay 0 whatever the other input does.
+	xID, _ := c.SignalID("x")
+	st := uint64(1) << uint(xID) // x=1, q=0, a=*
+	if fc.EvalBinary(gi, st) {
+		t.Error("faulty C gate should hold 0")
+	}
+	// But from output 1 with the other input 1 it holds 1 (not all-zero).
+	st |= 1 << uint(qID)
+	if !fc.EvalBinary(gi, st) {
+		t.Error("faulty C gate should hold 1 via self input")
+	}
+}
+
+func TestSiteAndExcitation(t *testing.T) {
+	c := parse(t)
+	nID, _ := c.SignalID("n")
+	gi := c.GateOf(nID)
+	fo := Fault{Type: OutputSA, Gate: gi, Pin: -1, Value: logic.Zero}
+	if fo.Site(c) != nID {
+		t.Error("output fault site must be the gate output")
+	}
+	// n=1 at init, so n/SA0 is excited, n/SA1 is not.
+	if !fo.ExcitedIn(c, c.InitState()) {
+		t.Error("n/SA0 should be excited at init")
+	}
+	f1 := Fault{Type: OutputSA, Gate: gi, Pin: -1, Value: logic.One}
+	if f1.ExcitedIn(c, c.InitState()) {
+		t.Error("n/SA1 should not be excited at init")
+	}
+	// Input fault site is the driving signal.
+	xID, _ := c.SignalID("x")
+	zID, _ := c.SignalID("z")
+	zGate := c.GateOf(zID)
+	_ = xID
+	fi := Fault{Type: InputSA, Gate: zGate, Pin: 1, Value: logic.Zero}
+	qID, _ := c.SignalID("q")
+	if fi.Site(c) != qID {
+		t.Errorf("z.pin1 is driven by q, got %s", c.SignalName(fi.Site(c)))
+	}
+}
+
+func TestDescribeFormats(t *testing.T) {
+	c := parse(t)
+	zID, _ := c.SignalID("z")
+	gi := c.GateOf(zID)
+	cases := map[string]Fault{
+		"z/SA1":         {Type: OutputSA, Gate: gi, Pin: -1, Value: logic.One},
+		"z.pin0(n)/SA0": {Type: InputSA, Gate: gi, Pin: 0, Value: logic.Zero},
+	}
+	for want, f := range cases {
+		if got := f.Describe(c); got != want {
+			t.Errorf("Describe = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	c := parse(t)
+	st := Collapse(c, InputUniverse(c))
+	if st.Total != len(InputUniverse(c)) {
+		t.Error("total mismatch")
+	}
+	if st.EquivalentToOut == 0 || st.SingleFanoutPins == 0 {
+		t.Errorf("degenerate collapse stats: %+v", st)
+	}
+}

@@ -1,0 +1,193 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNot(t *testing.T) {
+	cases := []struct{ in, want V }{{Zero, One}, {One, Zero}, {X, X}}
+	for _, c := range cases {
+		if got := c.in.Not(); got != c.want {
+			t.Errorf("Not(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKleeneTables(t *testing.T) {
+	type tc struct{ a, b, and, or, xor V }
+	cases := []tc{
+		{Zero, Zero, Zero, Zero, Zero},
+		{Zero, One, Zero, One, One},
+		{One, One, One, One, Zero},
+		{Zero, X, Zero, X, X},
+		{One, X, X, One, X},
+		{X, X, X, X, X},
+	}
+	for _, c := range cases {
+		for _, sw := range []bool{false, true} {
+			a, b := c.a, c.b
+			if sw {
+				a, b = b, a
+			}
+			if got := And(a, b); got != c.and {
+				t.Errorf("And(%s,%s) = %s, want %s", a, b, got, c.and)
+			}
+			if got := Or(a, b); got != c.or {
+				t.Errorf("Or(%s,%s) = %s, want %s", a, b, got, c.or)
+			}
+			if got := Xor(a, b); got != c.xor {
+				t.Errorf("Xor(%s,%s) = %s, want %s", a, b, got, c.xor)
+			}
+		}
+	}
+}
+
+func TestLubLattice(t *testing.T) {
+	vals := []V{Zero, One, X}
+	for _, a := range vals {
+		if Lub(a, a) != a {
+			t.Errorf("Lub(%s,%s) not idempotent", a, a)
+		}
+		if Lub(a, X) != X || Lub(X, a) != X {
+			t.Errorf("X is not top for %s", a)
+		}
+		if !Leq(a, X) {
+			t.Errorf("Leq(%s, X) should hold", a)
+		}
+	}
+	if Lub(Zero, One) != X {
+		t.Error("Lub(0,1) should be X")
+	}
+	if Leq(Zero, One) || Leq(One, Zero) {
+		t.Error("0 and 1 must be incomparable")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	if !Compatible(Zero, X) || !Compatible(X, One) || !Compatible(One, One) {
+		t.Error("compatibility with X or self must hold")
+	}
+	if Compatible(Zero, One) {
+		t.Error("0 and 1 are incompatible")
+	}
+}
+
+// Ternary AND/OR must over-approximate every boolean completion: if both
+// ternary inputs allow a completion (a0,b0), the ternary output must allow
+// the boolean result of that completion.
+func TestKleeneSoundness(t *testing.T) {
+	allows := func(tv V, b bool) bool { return tv == X || tv.Bool() == b }
+	vals := []V{Zero, One, X}
+	bools := []bool{false, true}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, ab := range bools {
+				for _, bb := range bools {
+					if !allows(a, ab) || !allows(b, bb) {
+						continue
+					}
+					if !allows(And(a, b), ab && bb) {
+						t.Errorf("And(%s,%s) disallows completion %v&&%v", a, b, ab, bb)
+					}
+					if !allows(Or(a, b), ab || bb) {
+						t.Errorf("Or(%s,%s) disallows completion %v||%v", a, b, ab, bb)
+					}
+					if !allows(Xor(a, b), ab != bb) {
+						t.Errorf("Xor(%s,%s) disallows completion %v^%v", a, b, ab, bb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVecStringRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		v := make(Vec, len(raw))
+		for i, b := range raw {
+			v[i] = V(b % 3)
+		}
+		parsed, err := ParseVec(v.String())
+		return err == nil && parsed.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecBitsRoundTrip(t *testing.T) {
+	f := func(w uint64, nRaw uint8) bool {
+		n := int(nRaw % 65)
+		v := FromBits(w, n)
+		var mask uint64
+		if n > 0 {
+			mask = ^uint64(0) >> uint(64-n)
+		}
+		return v.Bits() == w&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecKeyInjective(t *testing.T) {
+	seen := map[string]string{}
+	var rec func(prefix Vec, depth int)
+	rec = func(prefix Vec, depth int) {
+		if depth == 0 {
+			k := prefix.Key()
+			if prev, ok := seen[k]; ok && prev != prefix.String() {
+				t.Fatalf("Key collision: %s and %s", prev, prefix.String())
+			}
+			seen[k] = prefix.String()
+			return
+		}
+		for _, v := range []V{Zero, One, X} {
+			rec(append(prefix, v), depth-1)
+		}
+	}
+	rec(Vec{}, 6) // all 3^6 = 729 vectors of length 6
+}
+
+func TestVecLub(t *testing.T) {
+	a, _ := ParseVec("01X0")
+	b, _ := ParseVec("0111")
+	want, _ := ParseVec("01XX")
+	changed := a.Lub(b)
+	if !changed || !a.Equal(want) {
+		t.Errorf("Lub gave %s (changed=%v), want %s", a, changed, want)
+	}
+	if a.Lub(b) {
+		t.Error("second Lub must be a no-op")
+	}
+}
+
+func TestCountXAndDefinite(t *testing.T) {
+	v, _ := ParseVec("0X1X")
+	if v.CountX() != 2 || v.AllDefinite() {
+		t.Errorf("CountX/AllDefinite wrong on %s", v)
+	}
+	d, _ := ParseVec("0110")
+	if d.CountX() != 0 || !d.AllDefinite() {
+		t.Errorf("CountX/AllDefinite wrong on %s", d)
+	}
+}
+
+func TestBoolPanicsOnX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bool() on X should panic")
+		}
+	}()
+	_ = X.Bool()
+}
+
+func TestParseVErrors(t *testing.T) {
+	if _, err := ParseV('2'); err == nil {
+		t.Error("ParseV('2') should fail")
+	}
+	if v, err := ParseV('Φ'); err != nil || v != X {
+		t.Error("ParseV('Φ') should give X")
+	}
+}

@@ -1,0 +1,192 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestCloneIsDeep(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	cp := c.Clone()
+	// Mutate the clone's first declared gate table.
+	gi := c.NumInputs()
+	tbl := make([]logic.V, len(cp.Gates[gi].Tbl))
+	for i := range tbl {
+		tbl[i] = logic.One
+	}
+	if err := cp.SetGateTable(gi, tbl); err != nil {
+		t.Fatal(err)
+	}
+	// The original must be untouched.
+	for st := uint64(0); st < 1<<uint(c.NumSignals()); st += 37 {
+		if c.EvalBinary(gi, st) != (c.Gates[gi].Tbl[evalIndex(c, gi, st)] == logic.One) {
+			t.Fatal("original evaluation changed")
+		}
+		if !cp.EvalBinary(gi, st) {
+			t.Fatal("clone should be constant-1 now")
+		}
+	}
+	// Structural independence of slices/maps.
+	cp.Gates[gi].Fanin[0] = 0
+	if c.Gates[gi].Fanin[0] == 0 && c.Gates[gi].Fanin[0] != cp.Gates[gi].Fanin[0] {
+		t.Log("fanin aliasing check inconclusive (same value)")
+	}
+	if &c.Gates[gi].Fanin[0] == &cp.Gates[gi].Fanin[0] {
+		t.Fatal("fanin slices are shared")
+	}
+}
+
+func evalIndex(c *Circuit, gi int, st uint64) int {
+	g := &c.Gates[gi]
+	idx := 0
+	for j, f := range g.Fanin {
+		if st>>uint(f)&1 == 1 {
+			idx |= 1 << uint(j)
+		}
+	}
+	if g.Kind.SelfDependent() {
+		if st>>uint(g.Out)&1 == 1 {
+			idx |= 1 << uint(len(g.Fanin))
+		}
+	}
+	return idx
+}
+
+func TestSetGateTableWrongSize(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	if err := c.SetGateTable(c.NumInputs(), []logic.V{logic.Zero}); err == nil {
+		t.Fatal("wrong-size table accepted")
+	}
+}
+
+func TestBuildAnyAcceptsUnstableInit(t *testing.T) {
+	b := NewBuilder("unstable")
+	b.Input("a")
+	b.Gate("g", Not, "a")
+	b.Output("g")
+	b.Init("a", logic.Zero)
+	b.Init("g", logic.Zero) // NOT(0)=1 ≠ 0: unstable
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build must reject unstable init")
+	}
+	// Need a fresh builder: Build consumed nothing but keep it clean.
+	b2 := NewBuilder("unstable")
+	b2.Input("a")
+	b2.Gate("g", Not, "a")
+	b2.Output("g")
+	b2.Init("a", logic.Zero)
+	b2.Init("g", logic.Zero)
+	c, err := b2.BuildAny()
+	if err != nil {
+		t.Fatalf("BuildAny should accept: %v", err)
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate must still flag instability")
+	}
+	// Fixing the init restores validity.
+	gID, _ := c.SignalID("g")
+	c.Init[gID] = logic.One
+	if err := c.Validate(); err != nil {
+		t.Fatalf("fixed init should validate: %v", err)
+	}
+}
+
+func TestObservationOnly(t *testing.T) {
+	src := `
+circuit obs
+input a b
+output t z
+gate t AND a b
+gate z C a b
+init a=0 b=0 t=0 z=0
+`
+	c := parseMust(t, src, "obs.ckt")
+	tID, _ := c.SignalID("t")
+	zID, _ := c.SignalID("z")
+	if !c.ObservationOnly(c.GateOf(tID)) {
+		t.Error("dangling AND tap must be observation-only")
+	}
+	if c.ObservationOnly(c.GateOf(zID)) {
+		t.Error("a C element reads itself: never observation-only")
+	}
+	// Input buffers feed gates: not observation-only.
+	if c.ObservationOnly(0) {
+		t.Error("buffer with fanout is not observation-only")
+	}
+}
+
+func TestMaxLocalInputsEnforced(t *testing.T) {
+	b := NewBuilder("wide")
+	names := make([]string, 13)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		b.Input(names[i])
+		b.Init(names[i], logic.Zero)
+	}
+	b.Gate("w", And, names...)
+	b.Init("w", logic.Zero)
+	b.Output("w")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "local inputs") {
+		t.Fatalf("want local-input cap error, got %v", err)
+	}
+}
+
+// EvalTernaryPinned on definite states must agree with EvalBinaryPinned.
+func TestPinnedEvalConsistency(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		st := rng.Uint64() & (1<<uint(c.NumSignals()) - 1)
+		vec := logic.FromBits(st, c.NumSignals())
+		gi := c.NumInputs() + rng.Intn(c.NumGates()-c.NumInputs())
+		pin := rng.Intn(len(c.Gates[gi].Fanin))
+		val := rng.Intn(2) == 1
+		want := c.EvalBinaryPinned(gi, st, pin, val)
+		got := c.EvalTernaryPinned(gi, vec, pin, logic.FromBool(val))
+		if !got.IsDefinite() || got.Bool() != want {
+			t.Fatalf("pinned eval mismatch: gate %d pin %d val %v: ternary %s binary %v",
+				gi, pin, val, got, want)
+		}
+	}
+}
+
+func TestWriteTableGateRoundTrip(t *testing.T) {
+	src := `
+circuit tbl
+input a b
+output f
+gate f TABLE 0110 a b
+init a=0 b=0 f=0
+`
+	c := parseMust(t, src, "tbl.ckt")
+	text := c.String()
+	if !strings.Contains(text, "TABLE 0110") {
+		t.Fatalf("writer lost the table: %s", text)
+	}
+	c2, err := ParseString(text, "tbl2.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.String() != text {
+		t.Fatal("table round trip not canonical")
+	}
+}
+
+func TestFormatStateMatchesSignalOrder(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a.ckt")
+	// Set only the last signal (y).
+	st := uint64(1) << uint(c.NumSignals()-1)
+	s := c.FormatState(st)
+	if s[len(s)-1] != '1' || strings.Count(s, "1") != 1 {
+		t.Fatalf("FormatState order wrong: %s", s)
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}

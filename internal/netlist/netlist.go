@@ -1,0 +1,767 @@
+// Package netlist models asynchronous circuits as arbitrary
+// interconnections of gates under the unbounded inertial gate-delay model
+// of Muller (the model used by Roig et al., DAC'97).
+//
+// Every primary input is modelled as the input of a gate implementing the
+// identity function (a buffer), as in §3 of the paper; the circuit state
+// is therefore the vector of all primary-input rail values followed by all
+// gate output values.  Feedback loops are allowed (and expected): a gate
+// may name any signal, including its own output, as a fanin.
+//
+// Signal numbering. For a circuit with m primary inputs and g declared
+// gates there are m + m + g signals:
+//
+//	0 .. m-1        primary-input rails (the value driven by the tester)
+//	m .. 2m-1       outputs of the implicit input buffer gates
+//	2m .. 2m+g-1    outputs of the declared gates, in declaration order
+//
+// Referring to an input name inside a gate fanin list resolves to the
+// buffer output (the paper's lower-case a for input A); the rail itself is
+// only writable by the environment.
+package netlist
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// SigID identifies a signal (a primary-input rail or a gate output).
+type SigID int
+
+// Kind enumerates the built-in gate functions.
+type Kind int
+
+// Supported gate kinds.
+const (
+	Buf Kind = iota
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	C     // Muller C-element: output follows inputs when they agree, else holds
+	Maj   // majority (odd fanin)
+	Table // arbitrary truth table over the fanins
+)
+
+var kindNames = map[Kind]string{
+	Buf: "BUF", Not: "NOT", And: "AND", Or: "OR", Nand: "NAND",
+	Nor: "NOR", Xor: "XOR", Xnor: "XNOR", C: "C", Maj: "MAJ", Table: "TABLE",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// String returns the textual keyword for the kind ("AND", "C", ...).
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindByName resolves a keyword like "NAND" to its Kind.
+func KindByName(s string) (Kind, bool) {
+	k, ok := kindByName[strings.ToUpper(s)]
+	return k, ok
+}
+
+// SelfDependent reports whether the kind's output function reads the
+// gate's own current output (state-holding complex gates).
+func (k Kind) SelfDependent() bool { return k == C }
+
+// MaxLocalInputs bounds the number of local inputs (fanins plus the
+// implicit self input of state-holding gates) per gate; truth tables are
+// enumerated exhaustively at load time.
+const MaxLocalInputs = 12
+
+// Gate is a logic gate with an associated unbounded inertial delay.
+type Gate struct {
+	Name  string
+	Kind  Kind
+	Fanin []SigID // fanin signals, in declaration order
+	Out   SigID   // the signal this gate drives
+	// Tbl is the truth table over the local inputs. Index i encodes the
+	// assignment where local input j contributes bit j (fanin 0 is the
+	// least-significant bit; for self-dependent kinds the current output
+	// is the most-significant local input). Length is 1<<nLocal.
+	Tbl []logic.V
+	// OnSet / OffSet are the minterm indices where Tbl is One / Zero.
+	// They drive the exact ternary evaluators in package sim.
+	OnSet  []uint16
+	OffSet []uint16
+}
+
+// NLocal returns the number of local inputs (fanins + self for C gates).
+func (g *Gate) NLocal() int {
+	n := len(g.Fanin)
+	if g.Kind.SelfDependent() {
+		n++
+	}
+	return n
+}
+
+// Circuit is an asynchronous gate-level circuit.
+type Circuit struct {
+	Name    string
+	Inputs  []string // primary input names; rail i is signal i
+	Gates   []Gate   // gates 0..m-1 are the implicit input buffers
+	Outputs []SigID  // primary (observable) outputs
+	Init    logic.Vec
+
+	names   []string // signal names by SigID (rails use "name@in")
+	byName  map[string]SigID
+	fanouts [][]int // per signal: indices of gates reading it
+}
+
+// NumInputs returns the number of primary inputs m.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumGates returns the number of gates (including the m input buffers).
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumSignals returns the total number of signals (rails + gate outputs).
+func (c *Circuit) NumSignals() int { return len(c.Inputs) + len(c.Gates) }
+
+// SignalName returns the display name of a signal.
+func (c *Circuit) SignalName(s SigID) string { return c.names[s] }
+
+// SignalID resolves a name to a signal; input names resolve to the buffer
+// output per the paper's model.
+func (c *Circuit) SignalID(name string) (SigID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// GateOf returns the index of the gate driving signal s, or -1 if s is a
+// primary-input rail.
+func (c *Circuit) GateOf(s SigID) int {
+	m := len(c.Inputs)
+	if int(s) < m {
+		return -1
+	}
+	return int(s) - m
+}
+
+// GateOutput returns the signal driven by gate gi.
+func (c *Circuit) GateOutput(gi int) SigID { return SigID(len(c.Inputs) + gi) }
+
+// Fanouts returns the indices of gates that read signal s (excluding the
+// implicit self-dependency of C gates).
+func (c *Circuit) Fanouts(s SigID) []int { return c.fanouts[s] }
+
+// ObservationOnly reports whether gate gi's output is read by no gate at
+// all (not even itself).  Firing such a gate commutes with every other
+// firing — it cannot enable, disable or re-excite anything — and its
+// final value is a pure function of the rest of the settled state.  The
+// state-space explorer uses this for a sound partial-order reduction.
+func (c *Circuit) ObservationOnly(gi int) bool {
+	g := &c.Gates[gi]
+	return len(c.fanouts[g.Out]) == 0 && !g.Kind.SelfDependent()
+}
+
+// localInputs gathers the local input values of gate gi from a full
+// ternary state vector.
+func (c *Circuit) localInputs(gi int, st logic.Vec, buf []logic.V) []logic.V {
+	g := &c.Gates[gi]
+	buf = buf[:0]
+	for _, f := range g.Fanin {
+		buf = append(buf, st[f])
+	}
+	if g.Kind.SelfDependent() {
+		buf = append(buf, st[g.Out])
+	}
+	return buf
+}
+
+// EvalTernary computes the exact ternary output of gate gi in ternary
+// state st: One if every compatible completion yields 1, Zero if every
+// completion yields 0, X otherwise.
+func (c *Circuit) EvalTernary(gi int, st logic.Vec) logic.V {
+	g := &c.Gates[gi]
+	var tmp [MaxLocalInputs]logic.V
+	in := c.localInputs(gi, st, tmp[:])
+	can1 := mintermCompatible(g.OnSet, in)
+	can0 := mintermCompatible(g.OffSet, in)
+	switch {
+	case can1 && can0:
+		return logic.X
+	case can1:
+		return logic.One
+	case can0:
+		return logic.Zero
+	}
+	// Unreachable for well-formed tables (every definite assignment is in
+	// exactly one set; with X inputs at least one completion exists).
+	return logic.X
+}
+
+// EvalTernaryPinned is EvalTernary with local input pin forced to v
+// (used for input stuck-at fault injection). pin < 0 means no override.
+func (c *Circuit) EvalTernaryPinned(gi int, st logic.Vec, pin int, v logic.V) logic.V {
+	g := &c.Gates[gi]
+	var tmp [MaxLocalInputs]logic.V
+	in := c.localInputs(gi, st, tmp[:])
+	if pin >= 0 {
+		in[pin] = v
+	}
+	can1 := mintermCompatible(g.OnSet, in)
+	can0 := mintermCompatible(g.OffSet, in)
+	switch {
+	case can1 && can0:
+		return logic.X
+	case can1:
+		return logic.One
+	default:
+		return logic.Zero
+	}
+}
+
+// EvalBinaryPinned is EvalBinary with local input pin forced to v.
+func (c *Circuit) EvalBinaryPinned(gi int, state uint64, pin int, v bool) bool {
+	g := &c.Gates[gi]
+	idx := 0
+	for j, f := range g.Fanin {
+		if state>>uint(f)&1 == 1 {
+			idx |= 1 << uint(j)
+		}
+	}
+	if g.Kind.SelfDependent() {
+		if state>>uint(g.Out)&1 == 1 {
+			idx |= 1 << uint(len(g.Fanin))
+		}
+	}
+	if pin >= 0 {
+		if v {
+			idx |= 1 << uint(pin)
+		} else {
+			idx &^= 1 << uint(pin)
+		}
+	}
+	return g.Tbl[idx] == logic.One
+}
+
+func mintermCompatible(set []uint16, in []logic.V) bool {
+	for _, m := range set {
+		ok := true
+		for j, v := range in {
+			bit := logic.FromBool(m>>uint(j)&1 == 1)
+			if v.IsDefinite() && v != bit {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalBinary computes the output of gate gi in the packed binary state
+// (bit s of state = value of signal s).
+func (c *Circuit) EvalBinary(gi int, state uint64) bool {
+	g := &c.Gates[gi]
+	idx := 0
+	for j, f := range g.Fanin {
+		if state>>uint(f)&1 == 1 {
+			idx |= 1 << uint(j)
+		}
+	}
+	if g.Kind.SelfDependent() {
+		if state>>uint(g.Out)&1 == 1 {
+			idx |= 1 << uint(len(g.Fanin))
+		}
+	}
+	return g.Tbl[idx] == logic.One
+}
+
+// Excited reports whether gate gi is excited (output differs from its
+// function) in the packed binary state.
+func (c *Circuit) Excited(gi int, state uint64) bool {
+	cur := state>>uint(c.Gates[gi].Out)&1 == 1
+	return c.EvalBinary(gi, state) != cur
+}
+
+// ExcitedGates appends the indices of all excited gates in state to dst.
+func (c *Circuit) ExcitedGates(state uint64, dst []int) []int {
+	for gi := range c.Gates {
+		if c.Excited(gi, state) {
+			dst = append(dst, gi)
+		}
+	}
+	return dst
+}
+
+// Stable reports whether no gate is excited in the packed binary state.
+func (c *Circuit) Stable(state uint64) bool {
+	for gi := range c.Gates {
+		if c.Excited(gi, state) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire returns the state obtained by switching the output of gate gi.
+func (c *Circuit) Fire(gi int, state uint64) uint64 {
+	return state ^ (1 << uint(c.Gates[gi].Out))
+}
+
+// InputBits extracts the rail values (λ_P) from a packed state.
+func (c *Circuit) InputBits(state uint64) uint64 {
+	return state & (1<<uint(len(c.Inputs)) - 1)
+}
+
+// WithInputBits returns state with the rails replaced by pattern (the
+// low m bits of pattern).
+func (c *Circuit) WithInputBits(state, pattern uint64) uint64 {
+	m := uint(len(c.Inputs))
+	return state&^(1<<m-1) | pattern&(1<<m-1)
+}
+
+// OutputBits extracts the primary-output values from a packed state,
+// output j at bit j.
+func (c *Circuit) OutputBits(state uint64) uint64 {
+	var w uint64
+	for j, s := range c.Outputs {
+		if state>>uint(s)&1 == 1 {
+			w |= 1 << uint(j)
+		}
+	}
+	return w
+}
+
+// OutputVec extracts the primary-output values from a ternary state.
+func (c *Circuit) OutputVec(st logic.Vec) logic.Vec {
+	out := make(logic.Vec, len(c.Outputs))
+	for j, s := range c.Outputs {
+		out[j] = st[s]
+	}
+	return out
+}
+
+// InitState returns the packed initial state. It panics if Init contains
+// X values; Validate rejects such circuits.
+func (c *Circuit) InitState() uint64 { return c.Init.Bits() }
+
+// FormatState renders a packed state as a digit string in signal order,
+// matching the paper's "ABabcdey"-style notation.
+func (c *Circuit) FormatState(state uint64) string {
+	return logic.FromBits(state, c.NumSignals()).String()
+}
+
+// SignalNames returns the display names of all signals in state order.
+func (c *Circuit) SignalNames() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Validate checks structural well-formedness: named signals resolve, gate
+// tables have the right size, the initial state is complete, definite and
+// stable, and the circuit fits the packed-state engines.
+func (c *Circuit) Validate() error {
+	if err := c.validateStructure(); err != nil {
+		return err
+	}
+	init := c.Init.Bits()
+	for gi := range c.Gates {
+		if c.Excited(gi, init) {
+			return fmt.Errorf("netlist: initial state is not stable: gate %s is excited (state %s)",
+				c.Gates[gi].Name, c.FormatState(init))
+		}
+	}
+	return nil
+}
+
+// validateStructure is Validate without the reset-stability requirement.
+func (c *Circuit) validateStructure() error {
+	if c.NumSignals() > 64 {
+		return fmt.Errorf("netlist: circuit %s has %d signals; the packed-state engines support at most 64", c.Name, c.NumSignals())
+	}
+	if len(c.Inputs) == 0 {
+		return fmt.Errorf("netlist: circuit %s has no primary inputs", c.Name)
+	}
+	m := len(c.Inputs)
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		if g.NLocal() > MaxLocalInputs {
+			return fmt.Errorf("netlist: gate %s has %d local inputs (max %d)", g.Name, g.NLocal(), MaxLocalInputs)
+		}
+		if len(g.Tbl) != 1<<uint(g.NLocal()) {
+			return fmt.Errorf("netlist: gate %s truth table has %d entries, want %d", g.Name, len(g.Tbl), 1<<uint(g.NLocal()))
+		}
+		if gi < m && (g.Kind != Buf || len(g.Fanin) != 1 || g.Fanin[0] != SigID(gi)) {
+			return fmt.Errorf("netlist: gate %d (%s) must be the buffer of input %s", gi, g.Name, c.Inputs[gi])
+		}
+		for _, f := range g.Fanin {
+			if int(f) < 0 || int(f) >= c.NumSignals() {
+				return fmt.Errorf("netlist: gate %s has out-of-range fanin %d", g.Name, f)
+			}
+		}
+	}
+	if len(c.Outputs) == 0 {
+		return fmt.Errorf("netlist: circuit %s has no primary outputs", c.Name)
+	}
+	for _, o := range c.Outputs {
+		if int(o) < m {
+			return fmt.Errorf("netlist: primary output %s is an input rail", c.names[o])
+		}
+	}
+	if len(c.Init) != c.NumSignals() {
+		return fmt.Errorf("netlist: initial state has %d values, want %d", len(c.Init), c.NumSignals())
+	}
+	if !c.Init.AllDefinite() {
+		return fmt.Errorf("netlist: initial state contains X values")
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the circuit (gates, tables, init state).
+func (c *Circuit) Clone() *Circuit {
+	cp := &Circuit{
+		Name:    c.Name,
+		Inputs:  append([]string(nil), c.Inputs...),
+		Outputs: append([]SigID(nil), c.Outputs...),
+		Init:    c.Init.Clone(),
+	}
+	cp.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		cp.Gates[i] = Gate{
+			Name:   g.Name,
+			Kind:   g.Kind,
+			Fanin:  append([]SigID(nil), g.Fanin...),
+			Out:    g.Out,
+			Tbl:    append([]logic.V(nil), g.Tbl...),
+			OnSet:  append([]uint16(nil), g.OnSet...),
+			OffSet: append([]uint16(nil), g.OffSet...),
+		}
+	}
+	cp.names = append([]string(nil), c.names...)
+	cp.byName = make(map[string]SigID, len(c.byName))
+	for k, v := range c.byName {
+		cp.byName[k] = v
+	}
+	cp.fanouts = make([][]int, len(c.fanouts))
+	for i, fo := range c.fanouts {
+		cp.fanouts[i] = append([]int(nil), fo...)
+	}
+	return cp
+}
+
+// SetGateTable replaces gate gi's truth table (same local input count)
+// and rebuilds its minterm covers.  Used to materialise stuck-at faults.
+func (c *Circuit) SetGateTable(gi int, tbl []logic.V) error {
+	g := &c.Gates[gi]
+	if len(tbl) != 1<<uint(g.NLocal()) {
+		return fmt.Errorf("netlist: gate %s: table size %d, want %d", g.Name, len(tbl), 1<<uint(g.NLocal()))
+	}
+	// The kind is kept (it determines self-dependency); only the function
+	// changes.
+	g.Tbl = append(g.Tbl[:0], tbl...)
+	return g.buildTable()
+}
+
+// finish computes derived structures (names, lookup, fanouts, tables).
+// It must be called after the structural fields are filled in.
+func (c *Circuit) finish() error {
+	c.names = make([]string, c.NumSignals())
+	c.byName = make(map[string]SigID, c.NumSignals())
+	for i, n := range c.Inputs {
+		c.names[i] = n + "@in"
+	}
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		out := c.GateOutput(gi)
+		g.Out = out
+		c.names[out] = g.Name
+		if _, dup := c.byName[g.Name]; dup {
+			return fmt.Errorf("netlist: duplicate signal name %q", g.Name)
+		}
+		c.byName[g.Name] = out
+	}
+	for gi := range c.Gates {
+		if err := c.Gates[gi].buildTable(); err != nil {
+			return fmt.Errorf("netlist: gate %s: %w", c.Gates[gi].Name, err)
+		}
+	}
+	c.fanouts = make([][]int, c.NumSignals())
+	for gi := range c.Gates {
+		for _, f := range c.Gates[gi].Fanin {
+			c.fanouts[f] = append(c.fanouts[f], gi)
+		}
+	}
+	return nil
+}
+
+// buildTable fills Tbl (for built-in kinds), then OnSet/OffSet.
+func (g *Gate) buildTable() error {
+	n := g.NLocal()
+	if n > MaxLocalInputs {
+		return fmt.Errorf("%d local inputs exceeds max %d", n, MaxLocalInputs)
+	}
+	size := 1 << uint(n)
+	if len(g.Tbl) != 0 || g.Kind == Table {
+		// An explicit table (user TABLE kind, or a materialised fault on
+		// any kind) must have the right size.
+		if len(g.Tbl) != size {
+			return fmt.Errorf("truth table needs %d entries, got %d", size, len(g.Tbl))
+		}
+	} else {
+		g.Tbl = make([]logic.V, size)
+		for idx := 0; idx < size; idx++ {
+			g.Tbl[idx] = logic.FromBool(evalKind(g.Kind, idx, len(g.Fanin)))
+		}
+	}
+	g.OnSet = g.OnSet[:0]
+	g.OffSet = g.OffSet[:0]
+	for idx := 0; idx < size; idx++ {
+		switch g.Tbl[idx] {
+		case logic.One:
+			g.OnSet = append(g.OnSet, uint16(idx))
+		case logic.Zero:
+			g.OffSet = append(g.OffSet, uint16(idx))
+		default:
+			return fmt.Errorf("truth table entry %d is X", idx)
+		}
+	}
+	return nil
+}
+
+// evalKind evaluates a built-in kind on the assignment encoded in idx.
+// nf is the number of declared fanins; for self-dependent kinds the self
+// value is bit nf of idx.
+func evalKind(k Kind, idx, nf int) bool {
+	ones := bits.OnesCount32(uint32(idx) & (1<<uint(nf) - 1))
+	all := ones == nf
+	none := ones == 0
+	switch k {
+	case Buf:
+		return idx&1 == 1
+	case Not:
+		return idx&1 == 0
+	case And:
+		return all
+	case Nand:
+		return !all
+	case Or:
+		return !none
+	case Nor:
+		return none
+	case Xor:
+		return ones%2 == 1
+	case Xnor:
+		return ones%2 == 0
+	case C:
+		self := idx>>uint(nf)&1 == 1
+		if all {
+			return true
+		}
+		if none {
+			return false
+		}
+		return self
+	case Maj:
+		return 2*ones > nf
+	}
+	panic("netlist: evalKind on TABLE kind")
+}
+
+// Builder incrementally constructs a Circuit. Fanins may reference gates
+// declared later (feedback); resolution happens in Build.
+type Builder struct {
+	name    string
+	inputs  []string
+	gates   []builderGate
+	outputs []string
+	init    map[string]logic.V
+	errs    []error
+}
+
+type builderGate struct {
+	name  string
+	kind  Kind
+	tbl   string // for Table kind: "0"/"1" digits
+	fanin []string
+}
+
+// NewBuilder returns a builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, init: make(map[string]logic.V)}
+}
+
+// Input declares primary inputs.
+func (b *Builder) Input(names ...string) *Builder {
+	b.inputs = append(b.inputs, names...)
+	return b
+}
+
+// Output declares primary outputs (must name gate outputs).
+func (b *Builder) Output(names ...string) *Builder {
+	b.outputs = append(b.outputs, names...)
+	return b
+}
+
+// Gate declares a gate with a built-in kind.
+func (b *Builder) Gate(name string, kind Kind, fanin ...string) *Builder {
+	b.gates = append(b.gates, builderGate{name: name, kind: kind, fanin: fanin})
+	return b
+}
+
+// TableGate declares a gate with an explicit truth table; tbl is a string
+// of 2^len(fanin) '0'/'1' digits, index encoded with fanin 0 as LSB.
+func (b *Builder) TableGate(name, tbl string, fanin ...string) *Builder {
+	b.gates = append(b.gates, builderGate{name: name, kind: Table, tbl: tbl, fanin: fanin})
+	return b
+}
+
+// Init sets the initial value of a named input or gate output.
+func (b *Builder) Init(name string, v logic.V) *Builder {
+	b.init[name] = v
+	return b
+}
+
+// InitAll sets initial values from a map (convenience for generators).
+func (b *Builder) InitAll(vals map[string]logic.V) *Builder {
+	for n, v := range vals {
+		b.init[n] = v
+	}
+	return b
+}
+
+// Build resolves names, computes tables and validates the circuit,
+// including the requirement that the declared reset state is stable.
+func (b *Builder) Build() (*Circuit, error) { return b.build(true) }
+
+// BuildAny is Build without the reset-stability requirement.  Circuit
+// generators use it to construct a circuit first and settle its state
+// afterwards; such circuits must be re-Validated before the abstraction
+// engines accept them.
+func (b *Builder) BuildAny() (*Circuit, error) { return b.build(false) }
+
+func (b *Builder) build(requireStable bool) (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	c := &Circuit{Name: b.name, Inputs: append([]string(nil), b.inputs...)}
+	m := len(c.Inputs)
+	seen := make(map[string]bool, m+len(b.gates))
+	for _, n := range c.Inputs {
+		if seen[n] {
+			return nil, fmt.Errorf("netlist: duplicate input %q", n)
+		}
+		seen[n] = true
+	}
+	// Implicit buffers first, then declared gates.
+	for i, n := range c.Inputs {
+		c.Gates = append(c.Gates, Gate{Name: n, Kind: Buf, Fanin: []SigID{SigID(i)}})
+	}
+	for _, bg := range b.gates {
+		if bg.name == "" {
+			return nil, fmt.Errorf("netlist: empty gate name")
+		}
+		if seen[bg.name] {
+			return nil, fmt.Errorf("netlist: duplicate signal name %q", bg.name)
+		}
+		seen[bg.name] = true
+		c.Gates = append(c.Gates, Gate{Name: bg.name, Kind: bg.kind})
+	}
+	// Name table for resolution: gate output IDs.
+	ids := make(map[string]SigID, len(c.Gates))
+	for gi := range c.Gates {
+		ids[c.Gates[gi].Name] = SigID(m + gi)
+	}
+	for i, bg := range b.gates {
+		g := &c.Gates[m+i]
+		for _, fn := range bg.fanin {
+			id, ok := ids[fn]
+			if !ok {
+				return nil, fmt.Errorf("netlist: gate %q references unknown signal %q", bg.name, fn)
+			}
+			g.Fanin = append(g.Fanin, id)
+		}
+		if bg.kind == Table {
+			tbl, err := parseTableBits(bg.tbl, len(bg.fanin))
+			if err != nil {
+				return nil, fmt.Errorf("netlist: gate %q: %w", bg.name, err)
+			}
+			g.Tbl = tbl
+		}
+	}
+	for _, on := range b.outputs {
+		id, ok := ids[on]
+		if !ok {
+			return nil, fmt.Errorf("netlist: output %q is not a gate output", on)
+		}
+		c.Outputs = append(c.Outputs, id)
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	// Initial state: rails copy their buffer's declared value.
+	c.Init = make(logic.Vec, c.NumSignals())
+	for i := range c.Init {
+		c.Init[i] = logic.X
+	}
+	assigned := make(map[string]bool, len(b.init))
+	for name, v := range b.init {
+		id, ok := ids[name]
+		if !ok {
+			return nil, fmt.Errorf("netlist: init references unknown signal %q", name)
+		}
+		c.Init[id] = v
+		assigned[name] = true
+		if gi := c.GateOf(id); gi >= 0 && gi < m {
+			c.Init[gi] = v // rail mirrors buffer for a stable start
+		}
+	}
+	var missing []string
+	for gi := range c.Gates {
+		if !assigned[c.Gates[gi].Name] {
+			missing = append(missing, c.Gates[gi].Name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("netlist: initial state missing for: %s", strings.Join(missing, ", "))
+	}
+	check := c.Validate
+	if !requireStable {
+		check = c.validateStructure
+	}
+	if err := check(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseTableBits(s string, nin int) ([]logic.V, error) {
+	want := 1 << uint(nin)
+	if len(s) != want {
+		return nil, fmt.Errorf("TABLE spec %q has %d digits, want %d", s, len(s), want)
+	}
+	tbl := make([]logic.V, want)
+	for i, r := range s {
+		switch r {
+		case '0':
+			tbl[i] = logic.Zero
+		case '1':
+			tbl[i] = logic.One
+		default:
+			return nil, fmt.Errorf("TABLE spec %q: invalid digit %q", s, r)
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,187 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// The .ckt text format (one directive per line, '#' starts a comment):
+//
+//	circuit <name>
+//	input   <name> ...
+//	output  <name> ...
+//	gate    <name> <KIND> <fanin> ...
+//	gate    <name> TABLE <bits> <fanin> ...
+//	init    <name>=<0|1> ...
+//
+// Directives may appear in any order except that `circuit` must come
+// first. Fanins may reference gates declared later (feedback loops).
+// Referencing an input name denotes the output of its implicit buffer.
+
+// ParseError is a parse failure with position information.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Parse reads a circuit in .ckt format. The file name is used only for
+// error messages.
+func Parse(r io.Reader, file string) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var b *Builder
+	line := 0
+	fail := func(format string, args ...any) error {
+		return &ParseError{File: file, Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		dir, args := strings.ToLower(fields[0]), fields[1:]
+		if b == nil && dir != "circuit" {
+			return nil, fail("expected 'circuit <name>' before %q", dir)
+		}
+		switch dir {
+		case "circuit":
+			if b != nil {
+				return nil, fail("duplicate 'circuit' directive")
+			}
+			if len(args) != 1 {
+				return nil, fail("'circuit' takes exactly one name")
+			}
+			b = NewBuilder(args[0])
+		case "input":
+			if len(args) == 0 {
+				return nil, fail("'input' needs at least one name")
+			}
+			b.Input(args...)
+		case "output":
+			if len(args) == 0 {
+				return nil, fail("'output' needs at least one name")
+			}
+			b.Output(args...)
+		case "gate":
+			if len(args) < 2 {
+				return nil, fail("'gate' needs a name and a kind")
+			}
+			name := args[0]
+			kind, ok := KindByName(args[1])
+			if !ok {
+				return nil, fail("unknown gate kind %q", args[1])
+			}
+			if kind == Table {
+				if len(args) < 3 {
+					return nil, fail("'gate %s TABLE' needs a bit string", name)
+				}
+				b.TableGate(name, args[2], args[3:]...)
+			} else {
+				if len(args) < 3 {
+					return nil, fail("gate %s (%s) needs at least one fanin", name, kind)
+				}
+				b.Gate(name, kind, args[2:]...)
+			}
+		case "init":
+			if len(args) == 0 {
+				return nil, fail("'init' needs at least one assignment")
+			}
+			for _, a := range args {
+				eq := strings.IndexByte(a, '=')
+				if eq <= 0 || eq != len(a)-2 {
+					return nil, fail("malformed init assignment %q (want name=0 or name=1)", a)
+				}
+				v, err := logic.ParseV(rune(a[eq+1]))
+				if err != nil || v == logic.X {
+					return nil, fail("init %q: value must be 0 or 1", a)
+				}
+				b.Init(a[:eq], v)
+			}
+		default:
+			return nil, fail("unknown directive %q", dir)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: reading %s: %w", file, err)
+	}
+	if b == nil {
+		return nil, &ParseError{File: file, Line: line, Msg: "empty circuit description"}
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	return c, nil
+}
+
+// ParseString parses a circuit from an in-memory .ckt description.
+func ParseString(src, file string) (*Circuit, error) {
+	return Parse(strings.NewReader(src), file)
+}
+
+// Write emits the circuit in canonical .ckt form, suitable for re-parsing.
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	if len(c.Inputs) > 0 {
+		fmt.Fprintf(bw, "input %s\n", strings.Join(c.Inputs, " "))
+	}
+	if len(c.Outputs) > 0 {
+		names := make([]string, len(c.Outputs))
+		for i, s := range c.Outputs {
+			names[i] = c.SignalName(s)
+		}
+		fmt.Fprintf(bw, "output %s\n", strings.Join(names, " "))
+	}
+	m := len(c.Inputs)
+	for gi := m; gi < len(c.Gates); gi++ {
+		g := &c.Gates[gi]
+		fanins := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanins[i] = c.SignalName(f)
+		}
+		if g.Kind == Table {
+			bits := make([]byte, len(g.Tbl))
+			for i, v := range g.Tbl {
+				bits[i] = byte('0' + v)
+			}
+			fmt.Fprintf(bw, "gate %s TABLE %s %s\n", g.Name, bits, strings.Join(fanins, " "))
+		} else {
+			fmt.Fprintf(bw, "gate %s %s %s\n", g.Name, g.Kind, strings.Join(fanins, " "))
+		}
+	}
+	// One init line, sorted by name for determinism.
+	assigns := make([]string, 0, len(c.Gates))
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		assigns = append(assigns, fmt.Sprintf("%s=%s", g.Name, c.Init[g.Out]))
+	}
+	sort.Strings(assigns)
+	fmt.Fprintf(bw, "init %s\n", strings.Join(assigns, " "))
+	return bw.Flush()
+}
+
+// String renders the circuit in canonical .ckt form.
+func (c *Circuit) String() string {
+	var sb strings.Builder
+	_ = Write(&sb, c)
+	return sb.String()
+}

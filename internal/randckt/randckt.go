@@ -1,0 +1,119 @@
+// Package randckt generates random asynchronous circuits with stable
+// reset states, for property-based cross-validation of the simulation
+// and abstraction engines.  Unlike simple random DAGs, these circuits
+// may contain arbitrary feedback (cyclic gate graphs), which is where
+// the asynchronous machinery earns its keep.
+package randckt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Config bounds the generated circuits.
+type Config struct {
+	MinInputs, MaxInputs int // default 2..3
+	MinGates, MaxGates   int // default 4..12
+	// FeedbackProb is the probability that a fanin is drawn from the
+	// whole signal set (allowing cycles) instead of earlier signals
+	// only.  Default 0.3.
+	FeedbackProb float64
+	// MaxTries bounds the search for a topology with a stable state.
+	MaxTries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInputs == 0 {
+		c.MinInputs, c.MaxInputs = 2, 3
+	}
+	if c.MaxGates == 0 {
+		c.MinGates, c.MaxGates = 4, 12
+	}
+	if c.FeedbackProb == 0 {
+		c.FeedbackProb = 0.3
+	}
+	if c.MaxTries == 0 {
+		c.MaxTries = 64
+	}
+	return c
+}
+
+var kinds = []netlist.Kind{
+	netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+	netlist.Xor, netlist.Xnor, netlist.Not, netlist.Buf,
+	netlist.Maj, netlist.C,
+}
+
+// New generates a random (usually cyclic) circuit whose declared reset
+// state is stable, or reports failure if no sampled topology stabilises
+// within the configured tries.  Generation is deterministic in rng.
+func New(rng *rand.Rand, cfg Config) (*netlist.Circuit, bool) {
+	cfg = cfg.withDefaults()
+	for try := 0; try < cfg.MaxTries; try++ {
+		if c, ok := attempt(rng, cfg); ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func attempt(rng *rand.Rand, cfg Config) (*netlist.Circuit, bool) {
+	m := cfg.MinInputs + rng.Intn(cfg.MaxInputs-cfg.MinInputs+1)
+	ng := cfg.MinGates + rng.Intn(cfg.MaxGates-cfg.MinGates+1)
+	allNames := make([]string, m+ng)
+	for i := 0; i < m; i++ {
+		allNames[i] = fmt.Sprintf("i%d", i)
+	}
+	for gi := 0; gi < ng; gi++ {
+		allNames[m+gi] = fmt.Sprintf("g%d", gi)
+	}
+
+	b := netlist.NewBuilder(fmt.Sprintf("rand%08x", rng.Uint32()))
+	for i := 0; i < m; i++ {
+		b.Input(allNames[i])
+		b.Init(allNames[i], logic.FromBool(rng.Intn(2) == 1))
+	}
+	for gi := 0; gi < ng; gi++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		var nf int
+		switch kind {
+		case netlist.Not, netlist.Buf:
+			nf = 1
+		case netlist.Maj:
+			nf = 3
+		default:
+			nf = 2 + rng.Intn(2)
+		}
+		fanin := make([]string, nf)
+		for j := range fanin {
+			if rng.Float64() < cfg.FeedbackProb {
+				fanin[j] = allNames[rng.Intn(len(allNames))] // anywhere: feedback allowed
+			} else {
+				fanin[j] = allNames[rng.Intn(m+gi+1)] // earlier signals only
+			}
+		}
+		b.Gate(allNames[m+gi], kind, fanin...)
+		b.Init(allNames[m+gi], logic.FromBool(rng.Intn(2) == 1))
+	}
+	b.Output(allNames[m+ng-1], allNames[m+rng.Intn(ng)])
+
+	c, err := b.BuildAny()
+	if err != nil {
+		return nil, false
+	}
+	// Settle the random state under a random schedule; if the circuit
+	// oscillates from here, reject the topology.
+	st, ok := sim.SettleRandom(c, c.InitState(), 4096, rng)
+	if !ok {
+		return nil, false
+	}
+	c.Init = logic.FromBits(st, c.NumSignals())
+	if err := c.Validate(); err != nil {
+		return nil, false
+	}
+	return c, true
+}

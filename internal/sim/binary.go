@@ -1,0 +1,52 @@
+// Package sim provides the three simulation engines of the paper:
+//
+//   - binary simulation under the unbounded gate-delay model (gates fire
+//     one at a time; used by the TCSG/CSSG builder and for Monte-Carlo
+//     delay experiments),
+//   - Eichelberger ternary simulation (algorithms A and B, §5.4), the
+//     conservative race/oscillation detector, and
+//   - 64-way parallel ternary fault simulation with stuck-at injection,
+//     the work-horse of random TPG and fault dropping.
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Settle repeatedly fires the lowest-indexed excited gate until the state
+// is stable, for at most maxSteps firings.  It returns the final state
+// and whether stability was reached.  This realises one particular delay
+// assignment; use Explore-style search (package core) or SettleTernary
+// for all assignments.
+func Settle(c *netlist.Circuit, state uint64, maxSteps int) (uint64, bool) {
+	for step := 0; step < maxSteps; step++ {
+		fired := false
+		for gi := 0; gi < c.NumGates(); gi++ {
+			if c.Excited(gi, state) {
+				state = c.Fire(gi, state)
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			return state, true
+		}
+	}
+	return state, c.Stable(state)
+}
+
+// SettleRandom is Settle with a uniformly random choice among the excited
+// gates at every step, realising a random interleaving.
+func SettleRandom(c *netlist.Circuit, state uint64, maxSteps int, rng *rand.Rand) (uint64, bool) {
+	var excited []int
+	for step := 0; step < maxSteps; step++ {
+		excited = c.ExcitedGates(state, excited[:0])
+		if len(excited) == 0 {
+			return state, true
+		}
+		state = c.Fire(excited[rng.Intn(len(excited))], state)
+	}
+	return state, c.Stable(state)
+}

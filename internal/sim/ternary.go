@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TernaryResult is the outcome of a ternary settling analysis.
+type TernaryResult struct {
+	State   logic.Vec // final ternary state
+	SweepsA int       // Jacobi sweeps used by algorithm A
+	SweepsB int       // Jacobi sweeps used by algorithm B
+}
+
+// Definite reports whether every signal settled to 0 or 1.  Per §5.4, a
+// fully definite result means the applied vector has a unique successor
+// state under every delay assignment; any Φ means a potential critical
+// race, oscillation, or over-long settling.
+func (r TernaryResult) Definite() bool { return r.State.AllDefinite() }
+
+// evalFaulty evaluates gate gi in ternary state st with an optional
+// stuck-at fault injected.
+func evalFaulty(c *netlist.Circuit, gi int, st logic.Vec, f *faults.Fault) logic.V {
+	if f != nil && f.Gate == gi {
+		if f.Type == faults.OutputSA {
+			return f.Value
+		}
+		return c.EvalTernaryPinned(gi, st, f.Pin, f.Value)
+	}
+	return c.EvalTernary(gi, st)
+}
+
+// SettleTernary runs Eichelberger's ternary simulation from the given
+// ternary state (primary-input rails must be definite and are held
+// constant).  Algorithm A raises each gate output to the least upper
+// bound of its current value and its excitation function, propagating Φ
+// through every potentially-unstable signal; algorithm B then lowers each
+// output to its function value, restoring signals whose final value is
+// certain.  Jacobi (synchronous) sweeps are used, so the result is
+// deterministic and order-independent.  An optional single stuck-at
+// fault is injected during evaluation.
+//
+// The input slice is not modified.
+func SettleTernary(c *netlist.Circuit, st logic.Vec, f *faults.Fault) TernaryResult {
+	n := c.NumSignals()
+	cur := st.Clone()
+	next := make(logic.Vec, n)
+	maxSweeps := 2*n + 4
+
+	var res TernaryResult
+	// Algorithm A: monotonically increasing in the information order.
+	for sweep := 0; ; sweep++ {
+		if sweep > maxSweeps {
+			panic(fmt.Sprintf("sim: algorithm A did not converge on %s (internal monotonicity bug)", c.Name))
+		}
+		copy(next, cur)
+		changed := false
+		for gi := 0; gi < c.NumGates(); gi++ {
+			out := c.Gates[gi].Out
+			v := logic.Lub(cur[out], evalFaulty(c, gi, cur, f))
+			if v != next[out] {
+				next[out] = v
+				changed = true
+			}
+		}
+		cur, next = next, cur
+		res.SweepsA = sweep + 1
+		if !changed {
+			break
+		}
+	}
+	// Algorithm B: monotonically decreasing from the A fixpoint.
+	for sweep := 0; ; sweep++ {
+		if sweep > maxSweeps {
+			panic(fmt.Sprintf("sim: algorithm B did not converge on %s (internal monotonicity bug)", c.Name))
+		}
+		copy(next, cur)
+		changed := false
+		for gi := 0; gi < c.NumGates(); gi++ {
+			out := c.Gates[gi].Out
+			v := evalFaulty(c, gi, cur, f)
+			if v != next[out] {
+				next[out] = v
+				changed = true
+			}
+		}
+		cur, next = next, cur
+		res.SweepsB = sweep + 1
+		if !changed {
+			break
+		}
+	}
+	res.State = cur
+	return res
+}
+
+// TernaryFromPacked expands a packed binary state into a definite ternary
+// vector.
+func TernaryFromPacked(c *netlist.Circuit, state uint64) logic.Vec {
+	return logic.FromBits(state, c.NumSignals())
+}
+
+// ApplyVector sets the primary-input rails of a ternary state to the
+// given pattern (bit i = input i) and settles.  This is one synchronous
+// test cycle of the paper's abstraction.
+func ApplyVector(c *netlist.Circuit, st logic.Vec, pattern uint64, f *faults.Fault) TernaryResult {
+	next := st.Clone()
+	for i := 0; i < c.NumInputs(); i++ {
+		next[i] = logic.FromBool(pattern>>uint(i)&1 == 1)
+	}
+	return SettleTernary(c, next, f)
+}
+
+// Machine is a scalar ternary machine for one (possibly faulty) circuit,
+// used by the state-differentiation search of the ATPG.  States are
+// immutable ternary vectors, so machines can be branched freely.
+type Machine struct {
+	C     *netlist.Circuit
+	Fault *faults.Fault // nil for the good circuit
+}
+
+// InitState settles the circuit's initial state under the machine's
+// fault (a fault can make the declared reset state unstable).
+func (m Machine) InitState() logic.Vec {
+	st := logic.FromBits(m.C.InitState(), m.C.NumSignals())
+	return SettleTernary(m.C, st, m.Fault).State
+}
+
+// Step applies one synchronous test vector and returns the settled state.
+func (m Machine) Step(st logic.Vec, pattern uint64) logic.Vec {
+	return ApplyVector(m.C, st, pattern, m.Fault).State
+}
+
+// Outputs extracts the primary outputs of a state.
+func (m Machine) Outputs(st logic.Vec) logic.Vec {
+	return m.C.OutputVec(st)
+}

@@ -1,0 +1,185 @@
+package stg
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// ConformanceResult reports the closed-loop verification of a circuit
+// against an STG specification.
+type ConformanceResult struct {
+	OK         bool
+	Violations []string // unexpected outputs, liveness failures
+	States     int      // composite states explored
+	Truncated  bool     // state cap hit (result then inconclusive)
+}
+
+// Conform closes the circuit with the STG acting as its environment and
+// explores every interleaving of gate firings and specified input
+// transitions:
+//
+//   - the environment fires an enabled STG *input* transition whenever
+//     the circuit's rail carries the transition's pre-value;
+//   - internal circuit gates fire freely (unbounded delays);
+//   - when a gate driving a primary *output* fires, a matching enabled
+//     STG output transition must exist and the marking advances with it
+//     (a missing transition is a safety violation: the circuit produced
+//     an edge the specification does not allow);
+//   - if the composite becomes quiescent (circuit stable, no input
+//     transition applicable) while the specification still expects an
+//     output edge, the circuit can never produce it — a liveness
+//     violation.
+//
+// Circuit inputs must match the STG's input signals by name, and STG
+// output signals must name primary outputs of the circuit.
+func Conform(c *netlist.Circuit, n *Net, maxStates int) (ConformanceResult, error) {
+	if maxStates == 0 {
+		maxStates = 1 << 20
+	}
+	res := ConformanceResult{}
+
+	// Resolve the signal mapping.
+	inputIdx := map[string]int{} // STG input signal -> rail index
+	for i, name := range c.Inputs {
+		inputIdx[name] = i
+	}
+	outputSig := map[string]netlist.SigID{} // STG output signal -> circuit signal
+	outputOfSig := map[netlist.SigID]string{}
+	for _, o := range c.Outputs {
+		outputOfSig[o] = c.SignalName(o)
+	}
+	for sig, class := range n.Signals {
+		switch class {
+		case Input:
+			if _, ok := inputIdx[sig]; !ok {
+				return res, fmt.Errorf("stg: specification input %q is not a circuit input", sig)
+			}
+		case Output:
+			id, ok := c.SignalID(sig)
+			if !ok || outputOfSig[id] == "" {
+				return res, fmt.Errorf("stg: specification output %q is not a circuit primary output", sig)
+			}
+			outputSig[sig] = id
+		case Internal:
+			return res, fmt.Errorf("stg: internal specification signals (%q) are not supported in conformance", sig)
+		}
+	}
+
+	// Check reset compatibility using the consistent labelling.
+	sgSpec, err := n.Reach(0, 0)
+	if err != nil {
+		return res, err
+	}
+	init := c.InitState()
+	for sig := range n.Signals {
+		want, _ := sgSpec.InitialValue(sig)
+		var got int8
+		if ri, ok := inputIdx[sig]; ok {
+			got = int8(init >> uint(ri) & 1)
+		} else {
+			got = int8(init >> uint(outputSig[sig]) & 1)
+		}
+		if got != want {
+			return res, fmt.Errorf("stg: reset mismatch on %q: circuit %d, specification %d", sig, got, want)
+		}
+	}
+
+	type composite struct {
+		circuit uint64
+		marking string
+	}
+	initialMarking := Marking(n.Initial).Clone()
+	start := composite{circuit: init, marking: initialMarking.Key()}
+	markings := map[string]Marking{initialMarking.Key(): initialMarking}
+	seen := map[composite]bool{start: true}
+	queue := []composite{start}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	for len(queue) > 0 && len(res.Violations) == 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		m := markings[cur.marking]
+		push := func(st uint64, nm Marking) {
+			key := nm.Key()
+			if _, ok := markings[key]; !ok {
+				markings[key] = nm
+			}
+			nxt := composite{circuit: st, marking: key}
+			if !seen[nxt] {
+				if len(seen) >= maxStates {
+					res.Truncated = true
+					return
+				}
+				seen[nxt] = true
+				queue = append(queue, nxt)
+			}
+		}
+
+		// Environment moves: enabled input transitions whose pre-value
+		// matches the rail.
+		envMoves := 0
+		for _, ti := range n.EnabledSet(m) {
+			t := n.Trans[ti]
+			ri, isInput := inputIdx[t.Signal]
+			if !isInput || n.Signals[t.Signal] != Input {
+				continue
+			}
+			pre := uint64(0)
+			if t.Pol == Fall {
+				pre = 1
+			}
+			if cur.circuit>>uint(ri)&1 != pre {
+				continue
+			}
+			envMoves++
+			st := cur.circuit ^ 1<<uint(ri)
+			push(st, n.Fire(m, ti))
+		}
+
+		// Circuit moves: every excited gate.
+		excited := c.ExcitedGates(cur.circuit, nil)
+		for _, gi := range excited {
+			out := c.Gates[gi].Out
+			st := c.Fire(gi, cur.circuit)
+			sigName, observable := outputOfSig[out]
+			if !observable || n.Signals[sigName] != Output {
+				push(st, m) // internal firing: specification unchanged
+				continue
+			}
+			// Output edge: must synchronise with an enabled spec
+			// transition of the right polarity.
+			var pol Polarity = Rise
+			if st>>uint(out)&1 == 0 {
+				pol = Fall
+			}
+			matched := false
+			for _, ti := range n.EnabledSet(m) {
+				t := n.Trans[ti]
+				if t.Signal == sigName && t.Pol == pol {
+					matched = true
+					push(st, n.Fire(m, ti))
+				}
+			}
+			if !matched {
+				violate("unexpected output edge %s%s in composite state (circuit %s, marking %v)",
+					sigName, pol, c.FormatState(cur.circuit), m)
+			}
+		}
+
+		// Liveness: quiescent composite with a pending output edge.
+		if len(excited) == 0 && envMoves == 0 {
+			for _, ti := range n.EnabledSet(m) {
+				t := n.Trans[ti]
+				if n.Signals[t.Signal] == Output {
+					violate("circuit is quiescent but the specification expects %s (circuit %s)",
+						t, c.FormatState(cur.circuit))
+				}
+			}
+		}
+	}
+	res.States = len(seen)
+	res.OK = len(res.Violations) == 0 && !res.Truncated
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package stg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransitionIndices(t *testing.T) {
+	src := `
+.model idx
+.inputs a
+.outputs z
+.graph
+a+ z+
+z+ a-
+a- z-
+z- a+/1
+a+/1 z+/1
+z+/1 a-/1
+a-/1 z-/1
+z-/1 a+
+.marking { <z-/1,a+> }
+.end
+`
+	n, err := ParseString(src, "idx.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Trans) != 8 {
+		t.Fatalf("indexed transitions collapsed: %d", len(n.Trans))
+	}
+	if _, ok := n.TransitionIndex(Transition{Signal: "a", Pol: Rise, Index: 1}); !ok {
+		t.Fatal("a+/1 missing")
+	}
+	sg, err := n.Reach(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unrolled cycle visits 8 markings.
+	if sg.NumStates() != 8 {
+		t.Fatalf("states %d, want 8", sg.NumStates())
+	}
+	// Consistency across the two unrolled periods must hold.
+	if v, _ := sg.InitialValue("a"); v != 0 {
+		t.Fatalf("initial a = %d", v)
+	}
+}
+
+func TestIgnoredDirectives(t *testing.T) {
+	src := `
+.model ign
+.inputs a
+.outputs z
+.capacity p1 2
+.slowenv
+.graph
+a+ z+
+z+ a-
+a- z-
+z- a+
+.marking { <z-,a+> }
+.end
+`
+	if _, err := ParseString(src, "ign.g"); err != nil {
+		t.Fatalf("unknown dot-directives must be ignored: %v", err)
+	}
+}
+
+func TestConformTruncated(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := parseCircuit(t, celemCircuit)
+	res, err := Conform(c, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.OK {
+		t.Fatalf("tiny cap should truncate: %+v", res)
+	}
+}
+
+func TestTransitionString(t *testing.T) {
+	tr := Transition{Signal: "req", Pol: Rise}
+	if tr.String() != "req+" {
+		t.Errorf("got %q", tr.String())
+	}
+	tr = Transition{Signal: "ack", Pol: Fall, Index: 2}
+	if tr.String() != "ack-/2" {
+		t.Errorf("got %q", tr.String())
+	}
+}
+
+func TestMarkingKeyAndClone(t *testing.T) {
+	m := Marking{0, 1, 2}
+	c := m.Clone()
+	c[0] = 9
+	if m[0] != 0 {
+		t.Fatal("clone aliases")
+	}
+	if m.Key() == c.Key() {
+		t.Fatal("keys must differ")
+	}
+}
+
+func TestSelfCheckInputMappingError(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := parseCircuit(t, `
+circuit partial
+input a
+output z
+gate z BUF a
+init a=0 z=0
+`)
+	if _, err := SelfCheckAll(c, n, 0); err == nil || !strings.Contains(err.Error(), "not a circuit input") {
+		t.Fatalf("want mapping error, got %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package stg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SGEdge is one arc of the STG's reachability graph.
+type SGEdge struct {
+	Trans int // transition index fired
+	To    int // destination state
+}
+
+// StateGraph is the reachable marking graph of an STG with a consistent
+// binary signal labelling.
+type StateGraph struct {
+	Net      *Net
+	Markings []Marking
+	Edges    [][]SGEdge
+	// Values[state][sig] is the value (0/1) of signal sigNames[sig].
+	Values    [][]int8
+	SigNames  []string // sorted signal names (column order of Values)
+	Deadlocks []int    // states with no enabled transition
+}
+
+// NumStates returns the number of reachable markings.
+func (sg *StateGraph) NumStates() int { return len(sg.Markings) }
+
+// SignalValue returns the value of a named signal in a state.
+func (sg *StateGraph) SignalValue(state int, sig string) (int8, bool) {
+	for i, s := range sg.SigNames {
+		if s == sig {
+			return sg.Values[state][i], true
+		}
+	}
+	return 0, false
+}
+
+// InitialValue returns the deduced reset value of a signal.
+func (sg *StateGraph) InitialValue(sig string) (int8, bool) {
+	return sg.SignalValue(0, sig)
+}
+
+// Reach plays the token game from the initial marking.  maxStates caps
+// the exploration; maxTokens bounds any single place (exceeding it
+// reports an unbounded net).  The returned graph carries a consistent
+// 0/1 labelling of every signal in every state; inconsistent STGs
+// (where some reachable cycle implies a+ twice without a-) are
+// rejected.
+func (n *Net) Reach(maxStates, maxTokens int) (*StateGraph, error) {
+	if maxStates == 0 {
+		maxStates = 65536
+	}
+	if maxTokens == 0 {
+		maxTokens = 8
+	}
+	sg := &StateGraph{Net: n}
+	for s := range n.Signals {
+		sg.SigNames = append(sg.SigNames, s)
+	}
+	sort.Strings(sg.SigNames)
+	sigIdx := map[string]int{}
+	for i, s := range sg.SigNames {
+		sigIdx[s] = i
+	}
+
+	index := map[string]int{}
+	add := func(m Marking) (int, error) {
+		for pi, v := range m {
+			if v > maxTokens {
+				return 0, fmt.Errorf("stg: net is unbounded (place %s exceeds %d tokens)", n.Places[pi].Name, maxTokens)
+			}
+		}
+		key := m.Key()
+		if id, ok := index[key]; ok {
+			return id, nil
+		}
+		if len(sg.Markings) >= maxStates {
+			return 0, fmt.Errorf("stg: state cap %d exceeded", maxStates)
+		}
+		id := len(sg.Markings)
+		index[key] = id
+		sg.Markings = append(sg.Markings, m)
+		sg.Edges = append(sg.Edges, nil)
+		return id, nil
+	}
+	if _, err := add(Marking(n.Initial).Clone()); err != nil {
+		return nil, err
+	}
+	for head := 0; head < len(sg.Markings); head++ {
+		m := sg.Markings[head]
+		enabled := n.EnabledSet(m)
+		if len(enabled) == 0 {
+			sg.Deadlocks = append(sg.Deadlocks, head)
+		}
+		for _, ti := range enabled {
+			dst, err := add(n.Fire(m, ti))
+			if err != nil {
+				return nil, err
+			}
+			sg.Edges[head] = append(sg.Edges[head], SGEdge{Trans: ti, To: dst})
+		}
+	}
+
+	// Consistent labelling by constraint propagation to a fixpoint.
+	sg.Values = make([][]int8, len(sg.Markings))
+	for i := range sg.Values {
+		sg.Values[i] = make([]int8, len(sg.SigNames))
+		for j := range sg.Values[i] {
+			sg.Values[i][j] = -1
+		}
+	}
+	set := func(state, sig int, v int8) (bool, error) {
+		cur := sg.Values[state][sig]
+		if cur == -1 {
+			sg.Values[state][sig] = v
+			return true, nil
+		}
+		if cur != v {
+			return false, fmt.Errorf("stg: inconsistent signal %s (state %d wants both %d and %d)",
+				sg.SigNames[sig], state, cur, v)
+		}
+		return false, nil
+	}
+	for {
+		changed := false
+		for src := range sg.Edges {
+			for _, e := range sg.Edges[src] {
+				t := n.Trans[e.Trans]
+				ts := sigIdx[t.Signal]
+				pre, post := int8(0), int8(1)
+				if t.Pol == Fall {
+					pre, post = 1, 0
+				}
+				if ch, err := set(src, ts, pre); err != nil {
+					return nil, err
+				} else if ch {
+					changed = true
+				}
+				if ch, err := set(e.To, ts, post); err != nil {
+					return nil, err
+				} else if ch {
+					changed = true
+				}
+				// All other signals are unchanged across the edge.
+				for sig := range sg.SigNames {
+					if sig == ts {
+						continue
+					}
+					a, b := sg.Values[src][sig], sg.Values[e.To][sig]
+					switch {
+					case a == -1 && b != -1:
+						sg.Values[src][sig] = b
+						changed = true
+					case b == -1 && a != -1:
+						sg.Values[e.To][sig] = a
+						changed = true
+					case a != -1 && b != -1 && a != b:
+						return nil, fmt.Errorf("stg: inconsistent signal %s across %s", sg.SigNames[sig], t)
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Signals that never switch default to 0.
+	for i := range sg.Values {
+		for j := range sg.Values[i] {
+			if sg.Values[i][j] == -1 {
+				sg.Values[i][j] = 0
+			}
+		}
+	}
+	return sg, nil
+}

@@ -1,0 +1,232 @@
+package stg
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// SelfCheckVerdict is the outcome of the self-checking analysis for one
+// fault.
+type SelfCheckVerdict uint8
+
+// Verdicts.
+const (
+	// Halts: every maximal run of the faulty closed loop eventually
+	// deadlocks (the handshake hangs) or produces an edge the
+	// specification forbids — the fault is caught during normal
+	// operation.
+	Halts SelfCheckVerdict = iota
+	// Escapes: the faulty closed loop has an infinite run that stays
+	// conforming — the fault can hide forever in operation mode.
+	Escapes
+	// Inconclusive: exploration was truncated.
+	Inconclusive
+)
+
+// String names the verdict.
+func (v SelfCheckVerdict) String() string {
+	switch v {
+	case Halts:
+		return "halts"
+	case Escapes:
+		return "escapes"
+	case Inconclusive:
+		return "inconclusive"
+	}
+	return fmt.Sprintf("SelfCheckVerdict(%d)", uint8(v))
+}
+
+// SelfCheckReport aggregates the §1 self-checking experiment: for
+// speed-independent circuits, every output stuck-at fault should make
+// the closed loop halt (Beerel & Meng / David-Ginosar-Yoeli, the
+// paper's references [3] and [11]).
+type SelfCheckReport struct {
+	Total    int
+	Halting  int
+	Escaping []faults.Fault
+	Aborted  int
+}
+
+// SelfChecking reports whether the fault is caught by normal operation:
+// the circuit is closed with its STG environment, the fault is
+// materialised, and the composite graph is explored.  The fault halts
+// the circuit iff no cycle of conforming composite states exists and no
+// conforming quiescent state with a satisfied specification remains —
+// i.e. every execution runs into a deadlock (missing acknowledge) or an
+// unspecified output edge, both of which the environment notices.
+//
+// Exploration semantics mirror Conform, but violations and deadlocks
+// are *successes* here (terminal detections) and the question is
+// whether any infinite conforming behaviour survives.
+func SelfChecking(c *netlist.Circuit, n *Net, f faults.Fault, maxStates int) (SelfCheckVerdict, error) {
+	if maxStates == 0 {
+		maxStates = 1 << 20
+	}
+	fc := faults.Apply(c, f)
+
+	inputIdx := map[string]int{}
+	for i, name := range fc.Inputs {
+		inputIdx[name] = i
+	}
+	outputOfSig := map[netlist.SigID]string{}
+	for _, o := range fc.Outputs {
+		outputOfSig[o] = fc.SignalName(o)
+	}
+	for sig, class := range n.Signals {
+		switch class {
+		case Input:
+			if _, ok := inputIdx[sig]; !ok {
+				return Inconclusive, fmt.Errorf("stg: specification input %q is not a circuit input", sig)
+			}
+		case Output:
+			id, ok := fc.SignalID(sig)
+			if !ok || outputOfSig[id] == "" {
+				return Inconclusive, fmt.Errorf("stg: specification output %q is not a circuit primary output", sig)
+			}
+		case Internal:
+			return Inconclusive, fmt.Errorf("stg: internal signals unsupported")
+		}
+	}
+
+	type composite struct {
+		circuit uint64
+		marking string
+	}
+	// Note: the faulty circuit's reset state may be unstable; that is
+	// fine — its internal firings are explored like any others.
+	im := Marking(n.Initial).Clone()
+	start := composite{circuit: fc.InitState(), marking: im.Key()}
+	markings := map[string]Marking{im.Key(): im}
+	// ids for Tarjan-free cycle detection: conforming states and the
+	// conforming edges between them.
+	idOf := map[composite]int{start: 0}
+	states := []composite{start}
+	edges := [][]int32{}
+
+	for head := 0; head < len(states); head++ {
+		cur := states[head]
+		m := markings[cur.marking]
+		var succ []int32
+		addSucc := func(st uint64, nm Marking) bool {
+			key := nm.Key()
+			if _, ok := markings[key]; !ok {
+				markings[key] = nm
+			}
+			nxt := composite{circuit: st, marking: key}
+			id, ok := idOf[nxt]
+			if !ok {
+				if len(states) >= maxStates {
+					return false
+				}
+				id = len(states)
+				idOf[nxt] = id
+				states = append(states, nxt)
+			}
+			succ = append(succ, int32(id))
+			return true
+		}
+
+		// Environment input transitions.
+		for _, ti := range n.EnabledSet(m) {
+			t := n.Trans[ti]
+			ri, isInput := inputIdx[t.Signal]
+			if !isInput || n.Signals[t.Signal] != Input {
+				continue
+			}
+			pre := uint64(0)
+			if t.Pol == Fall {
+				pre = 1
+			}
+			if cur.circuit>>uint(ri)&1 != pre {
+				continue
+			}
+			if !addSucc(cur.circuit^1<<uint(ri), n.Fire(m, ti)) {
+				return Inconclusive, nil
+			}
+		}
+		// Circuit firings.
+		for _, gi := range fc.ExcitedGates(cur.circuit, nil) {
+			out := fc.Gates[gi].Out
+			st := fc.Fire(gi, cur.circuit)
+			sigName, observable := outputOfSig[out]
+			if !observable || n.Signals[sigName] != Output {
+				if !addSucc(st, m) {
+					return Inconclusive, nil
+				}
+				continue
+			}
+			var pol Polarity = Rise
+			if st>>uint(out)&1 == 0 {
+				pol = Fall
+			}
+			matched := false
+			for _, ti := range n.EnabledSet(m) {
+				t := n.Trans[ti]
+				if t.Signal == sigName && t.Pol == pol {
+					matched = true
+					if !addSucc(st, n.Fire(m, ti)) {
+						return Inconclusive, nil
+					}
+				}
+			}
+			// An unmatched edge is an unspecified output: terminal
+			// detection — that branch is simply not expanded.
+			_ = matched
+		}
+		edges = append(edges, succ)
+	}
+
+	// The fault escapes iff the conforming composite graph has a cycle
+	// (an infinite undetected run).  Deadlocks (no successors) are
+	// detections: the environment waits forever and flags the chip.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, len(states))
+	var hasCycle func(v int32) bool
+	hasCycle = func(v int32) bool {
+		color[v] = grey
+		for _, w := range edges[v] {
+			switch color[w] {
+			case grey:
+				return true
+			case white:
+				if hasCycle(w) {
+					return true
+				}
+			}
+		}
+		color[v] = black
+		return false
+	}
+	if hasCycle(0) {
+		return Escapes, nil
+	}
+	return Halts, nil
+}
+
+// SelfCheckAll runs SelfChecking for every output stuck-at fault: the
+// §1 experiment for one circuit/specification pair.
+func SelfCheckAll(c *netlist.Circuit, n *Net, maxStates int) (SelfCheckReport, error) {
+	universe := faults.OutputUniverse(c)
+	rep := SelfCheckReport{Total: len(universe)}
+	for _, f := range universe {
+		v, err := SelfChecking(c, n, f, maxStates)
+		if err != nil {
+			return rep, err
+		}
+		switch v {
+		case Halts:
+			rep.Halting++
+		case Escapes:
+			rep.Escaping = append(rep.Escaping, f)
+		case Inconclusive:
+			rep.Aborted++
+		}
+	}
+	return rep, nil
+}

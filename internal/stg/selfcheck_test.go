@@ -1,0 +1,114 @@
+package stg
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+)
+
+// §1 of the paper: "Speed-independent ... circuits are self-checking
+// under the output stuck-at ... fault models" (Beerel & Meng).  Every
+// output stuck-at fault in the C element and in the two-stage pipeline
+// must halt the closed loop (deadlock or unspecified edge).
+func TestSelfCheckingCElement(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := parseCircuit(t, celemCircuit)
+	rep, err := SelfCheckAll(c, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Halting != rep.Total {
+		for _, f := range rep.Escaping {
+			t.Errorf("fault %s escapes operation-mode detection", f.Describe(c))
+		}
+		t.Fatalf("self-checking: %d/%d halt (aborted %d)", rep.Halting, rep.Total, rep.Aborted)
+	}
+}
+
+func TestSelfCheckingPipeline(t *testing.T) {
+	spec := `
+.model pipe2
+.inputs Li Ra
+.outputs c1 c2
+.graph
+Li+ c1+
+c2- c1+
+c1+ Li-
+c1+ c2+
+Ra- c2+
+c2+ Ra+
+c2+ c1-
+Li- c1-
+c1- Li+
+c1- c2-
+Ra+ c2-
+c2- Ra-
+.marking { <c1-,Li+> <c2-,c1+> <Ra-,c2+> }
+.end
+`
+	n, err := ParseString(spec, "pipe2.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := parseCircuit(t, `
+circuit pipe2
+input Li Ra
+output c1 c2
+gate n1 NOT c2
+gate c1 C Li n1
+gate n2 NOT Ra
+gate c2 C c1 n2
+init Li=0 Ra=0 n1=1 c1=0 n2=1 c2=0
+`)
+	rep, err := SelfCheckAll(c, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Halting != rep.Total {
+		for _, f := range rep.Escaping {
+			t.Errorf("fault %s escapes operation-mode detection", f.Describe(c))
+		}
+		t.Fatalf("pipeline self-checking: %d/%d halt", rep.Halting, rep.Total)
+	}
+	t.Logf("pipe2: all %d output-SA faults halt the handshake", rep.Total)
+}
+
+// A circuit with a redundant gate is NOT self-checking: faults on logic
+// the protocol never exercises leave the closed loop running forever.
+func TestRedundantGateEscapes(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z = C(a,b) as specified, plus a dangling observation gate the
+	// environment never looks at.
+	c := parseCircuit(t, `
+circuit celemx
+input a b
+output z
+gate z C a b
+gate dead AND a b
+init a=0 b=0 z=0 dead=0
+`)
+	deadID, _ := c.SignalID("dead")
+	f := faults.Fault{Type: faults.OutputSA, Gate: c.GateOf(deadID), Pin: -1, Value: logic.One}
+	v, err := SelfChecking(c, n, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Escapes {
+		t.Fatalf("a fault on unobserved logic must escape, got %s", v)
+	}
+}
+
+func TestSelfCheckVerdictString(t *testing.T) {
+	for _, v := range []SelfCheckVerdict{Halts, Escapes, Inconclusive} {
+		if v.String() == "" {
+			t.Error("empty verdict")
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package stg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// celemSpec is the classic C-element STG: the output rises only after
+// both inputs rise, and the inputs reset only after the output follows.
+const celemSpec = `
+# C element
+.model celem
+.inputs a b
+.outputs z
+.graph
+a+ z+
+b+ z+
+z+ a- b-
+a- z-
+b- z-
+z- a+ b+
+.marking { <z-,a+> <z-,b+> }
+.end
+`
+
+const celemCircuit = `
+circuit celem
+input a b
+output z
+gate z C a b
+init a=0 b=0 z=0
+`
+
+const orCircuit = `
+circuit orz
+input a b
+output z
+gate z OR a b
+init a=0 b=0 z=0
+`
+
+func TestParseCelem(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "celem" {
+		t.Errorf("name %q", n.Name)
+	}
+	if len(n.Trans) != 6 {
+		t.Errorf("transitions %d, want 6", len(n.Trans))
+	}
+	if n.Signals["a"] != Input || n.Signals["z"] != Output {
+		t.Error("signal classes wrong")
+	}
+	// Initial marking: exactly the two declared tokens.
+	total := 0
+	for _, v := range n.Initial {
+		total += v
+	}
+	if total != 2 {
+		t.Errorf("initial tokens %d, want 2", total)
+	}
+}
+
+func TestTokenGame(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Marking(n.Initial).Clone()
+	enabled := n.EnabledSet(m)
+	// Only a+ and b+ are enabled initially.
+	if len(enabled) != 2 {
+		t.Fatalf("initially enabled: %d", len(enabled))
+	}
+	for _, ti := range enabled {
+		if n.Trans[ti].Pol != Rise || n.Trans[ti].Signal == "z" {
+			t.Errorf("unexpected enabled transition %s", n.Trans[ti])
+		}
+	}
+	// After a+ and b+, z+ must be enabled.
+	for _, ti := range enabled {
+		m = n.Fire(m, ti)
+	}
+	// Note: firing both from the captured set is only legal because
+	// they are concurrent (disjoint places).
+	foundZ := false
+	for _, ti := range n.EnabledSet(m) {
+		if n.Trans[ti].String() == "z+" {
+			foundZ = true
+		}
+	}
+	if !foundZ {
+		t.Error("z+ should be enabled after a+ b+")
+	}
+}
+
+func TestReachCelem(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := n.Reach(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The C-element STG has 2×2×... state count: a,b each ±, z follows:
+	// reachable markings: 8 phases of the cycle... just sanity checks.
+	if sg.NumStates() < 6 {
+		t.Errorf("too few states: %d", sg.NumStates())
+	}
+	if len(sg.Deadlocks) != 0 {
+		t.Errorf("cyclic protocol cannot deadlock: %v", sg.Deadlocks)
+	}
+	for _, sig := range []string{"a", "b", "z"} {
+		if v, ok := sg.InitialValue(sig); !ok || v != 0 {
+			t.Errorf("initial %s = %d, want 0", sig, v)
+		}
+	}
+}
+
+func TestReachInconsistent(t *testing.T) {
+	src := `
+.model bad
+.inputs a
+.outputs z
+.graph
+a+ z+
+z+ a+
+.marking { <z+,a+> }
+.end
+`
+	n, err := ParseString(src, "bad.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Reach(0, 0); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("want inconsistency error, got %v", err)
+	}
+}
+
+func TestReachUnbounded(t *testing.T) {
+	src := `
+.model unb
+.inputs a
+.outputs z
+.graph
+a+ p a-
+a- a+
+p z+
+z+ z-
+z- p2
+.marking { <a-,a+> }
+.end
+`
+	n, err := ParseString(src, "unb.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Reach(2000, 4); err == nil {
+		t.Fatal("token accumulation should be detected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"undeclared", ".model x\n.inputs a\n.graph\nb+ a+\n.marking { <b+,a+> }\n.end\n", "undeclared signal"},
+		{"no-marking", ".model x\n.inputs a\n.outputs z\n.graph\na+ z+\n.end\n", "marking"},
+		{"no-graph", ".model x\n.inputs a\n.outputs z\na+ z+\n.marking { }\n.end\n", "outside .graph"},
+		{"empty", "", "marking"},
+		{"bad-token", ".model x\n.inputs a\n.outputs z\n.graph\na+ z+\n.marking { <a+> }\n.end\n", "malformed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src, tc.name+".g")
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestExplicitPlaces(t *testing.T) {
+	src := `
+.model places
+.inputs a
+.outputs z
+.graph
+a+ p1
+p1 z+
+z+ a-
+a- z-
+z- a+
+.marking { <z-,a+> }
+.end
+`
+	n, err := ParseString(src, "places.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := n.Reach(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.NumStates() < 4 {
+		t.Errorf("states %d", sg.NumStates())
+	}
+}
+
+func parseCircuit(t testing.TB, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(src, "c.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConformanceCElement(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := parseCircuit(t, celemCircuit)
+	res, err := Conform(c, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("C element must conform to its STG: %+v", res)
+	}
+	if res.States < 4 {
+		t.Errorf("suspiciously small composite: %d states", res.States)
+	}
+}
+
+func TestConformanceViolation(t *testing.T) {
+	// An OR gate raises z after a single input rises — the C-element
+	// specification forbids that edge at that point.
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := parseCircuit(t, orCircuit)
+	res, err := Conform(c, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || len(res.Violations) == 0 {
+		t.Fatalf("OR gate must violate the C-element specification: %+v", res)
+	}
+	if !strings.Contains(res.Violations[0], "unexpected output edge z+") {
+		t.Errorf("violation message: %q", res.Violations[0])
+	}
+}
+
+func TestConformanceLiveness(t *testing.T) {
+	// A gate that never rises and never glitches: the self-AND holds 0
+	// forever, but the specification expects z+ after a+ b+.
+	src := `
+circuit dead
+input a b
+output z
+gate z AND a b z
+init a=0 b=0 z=0
+`
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := parseCircuit(t, src)
+	res, err := Conform(c, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("constant-0 output cannot conform")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "quiescent") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a liveness violation, got %v", res.Violations)
+	}
+}
+
+func TestConformanceResetMismatch(t *testing.T) {
+	src := `
+circuit high
+input a b
+output z
+gate z NAND a b
+init a=0 b=0 z=1
+`
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := parseCircuit(t, src)
+	if _, err := Conform(c, n, 0); err == nil || !strings.Contains(err.Error(), "reset mismatch") {
+		t.Fatalf("want reset mismatch, got %v", err)
+	}
+}
+
+func TestConformanceSignalMapping(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Circuit missing input b entirely.
+	src := `
+circuit wrong
+input a
+output z
+gate z BUF a
+init a=0 z=0
+`
+	c := parseCircuit(t, src)
+	if _, err := Conform(c, n, 0); err == nil {
+		t.Fatal("missing input must be rejected")
+	}
+}
+
+// The bundled pipe2 controller conforms to the standard two-stage
+// Muller-pipeline handshake specification.
+func TestConformancePipeline(t *testing.T) {
+	spec := `
+.model pipe2
+.inputs Li Ra
+.outputs c1 c2
+.graph
+Li+ c1+
+c2- c1+
+c1+ Li-
+c1+ c2+
+Ra- c2+
+c2+ Ra+
+c2+ c1-
+Li- c1-
+c1- Li+
+c1- c2-
+Ra+ c2-
+c2- Ra-
+.marking { <c1-,Li+> <c2-,c1+> <Ra-,c2+> }
+.end
+`
+	n, err := ParseString(spec, "pipe2.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := n.Reach(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg.Deadlocks) != 0 {
+		t.Fatalf("pipeline spec deadlocks: %v", sg.Deadlocks)
+	}
+	c := parseCircuit(t, `
+circuit pipe2
+input Li Ra
+output c1 c2
+gate n1 NOT c2
+gate c1 C Li n1
+gate n2 NOT Ra
+gate c2 C c1 n2
+init Li=0 Ra=0 n1=1 c1=0 n2=1 c2=0
+`)
+	res, err := Conform(c, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("pipe2 must conform to the handshake STG: %+v", res)
+	}
+	t.Logf("pipe2 composite: %d states", res.States)
+}
+
+func TestNetString(t *testing.T) {
+	n, err := ParseString(celemSpec, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "celem") {
+		t.Error("summary missing name")
+	}
+}

@@ -1,0 +1,111 @@
+package symb
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// This file implements the symbolic (BDD-based) realisation of the
+// paper's ATPG phases 1 and 2 (§5.1–5.2): fault activation as a
+// characteristic function over the reachable stable states, and state
+// justification as a breadth-first fixpoint over the CSSG relation —
+// "similar techniques to those used for synchronous finite state
+// machines [10]".  Phase 3 (differentiation) needs the faulty machine
+// and stays in package atpg; the cross-checks in the tests show the
+// symbolic justification finds sequences of exactly the explicit
+// engine's length.
+
+// presentVars returns the Present-copy variable list in signal order.
+func (e *Encoder) presentVars() []int {
+	vars := make([]int, e.C.NumSignals())
+	for s := range vars {
+		vars[s] = e.VarOf(netlist.SigID(s), Present)
+	}
+	return vars
+}
+
+// FaultActivation returns the BDD (over Present vars) of the reachable
+// stable states that excite the fault: the site signal carries the
+// complement of the stuck value (§5.1).  For transition faults the
+// site carries the value the slow edge should have reached.
+func (e *Encoder) FaultActivation(f faults.Fault) bdd.Ref {
+	site := f.Site(e.C)
+	var lit bdd.Ref
+	switch f.Type {
+	case faults.SlowRise:
+		lit = e.lit(site, Present, true)
+	case faults.SlowFall:
+		lit = e.lit(site, Present, false)
+	default:
+		// Stuck-at: excited when the signal differs from the stuck value.
+		lit = e.lit(site, Present, f.Value.IsDefinite() && !f.Value.Bool())
+	}
+	return e.M.And(e.ReachableStable(), lit)
+}
+
+// Preimage computes the predecessor set of S (over Present vars) under
+// relation R: the states from which one R-step can reach S.
+func (e *Encoder) Preimage(S, R bdd.Ref) bdd.Ref {
+	sNext := e.renameCopy(S, Present, Next)
+	return e.M.AndExists(R, sNext, e.copyCube(Next))
+}
+
+// Justify finds a shortest valid-vector sequence from the reset state
+// to any state satisfying target (a BDD over Present vars), using
+// forward symbolic breadth-first layers over the CSSG_k relation and a
+// concrete backward walk.  It returns the input patterns to apply, or
+// ok=false if the target is unreachable through valid vectors.
+func (e *Encoder) Justify(k int, target bdd.Ref) (patterns []uint64, ok bool) {
+	m := e.M
+	rel := e.CSSGRelation(k)
+	vars := e.presentVars()
+
+	initBDD := e.StateBDD(e.C.InitState(), Present)
+	if m.And(initBDD, target) != bdd.False {
+		return nil, true // reset state itself qualifies
+	}
+	// Forward layers: L[0] = {reset}, L[j+1] = Img(L[j]) \ seen.
+	layers := []bdd.Ref{initBDD}
+	seen := initBDD
+	for {
+		img := e.Image(layers[len(layers)-1], rel)
+		fresh := m.Diff(img, seen)
+		if fresh == bdd.False {
+			return nil, false // fixpoint without touching the target
+		}
+		layers = append(layers, fresh)
+		seen = m.Or(seen, fresh)
+		if m.And(fresh, target) != bdd.False {
+			break
+		}
+	}
+	// Concrete backward walk: pick a state in the last layer ∩ target,
+	// then repeatedly a predecessor in the previous layer.
+	last := len(layers) - 1
+	bits, sat := m.AnySat(m.And(layers[last], target), vars)
+	if !sat {
+		return nil, false
+	}
+	statePath := make([]uint64, last+1)
+	statePath[last] = bits
+	for j := last - 1; j >= 0; j-- {
+		pre := m.And(e.Preimage(e.StateBDD(statePath[j+1], Present), rel), layers[j])
+		bits, sat := m.AnySat(pre, vars)
+		if !sat {
+			return nil, false // cannot happen for correct layers
+		}
+		statePath[j] = bits
+	}
+	// The applied pattern of each step is the destination's rail values.
+	for j := 1; j <= last; j++ {
+		patterns = append(patterns, e.C.InputBits(statePath[j]))
+	}
+	return patterns, true
+}
+
+// JustifyFault composes phases 1 and 2: a shortest sequence driving the
+// good machine from reset into some state that excites the fault.
+func (e *Encoder) JustifyFault(k int, f faults.Fault) ([]uint64, bool) {
+	return e.Justify(k, e.FaultActivation(f))
+}

@@ -1,0 +1,345 @@
+// Package symb is the symbolic (BDD-based) mirror of package core: it
+// encodes the circuit's test-mode transition relations R_δ and R_I as
+// BDDs, computes the reachable TCSG states by symbolic traversal (the
+// Coudert/Berthet/Madre fixpoint cited by the paper), builds the k-step
+// test-cycle relation TCR_k by relation composition with iterative
+// squaring, and extracts the CSSG_k relation by pruning non-confluent
+// and unstable pairs — the exact symbolic counterpart of §4.2.
+//
+// The explicit engine in package core drives the ATPG (the bundled
+// circuits are small); this package reproduces the paper's actual method
+// and is cross-checked for equality against the explicit engine.
+package symb
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/netlist"
+)
+
+// Copies of the state variables: present state, next state, and an
+// auxiliary copy used for relation composition and the confluence check.
+const (
+	Present = 0
+	Next    = 1
+	Aux     = 2
+	copies  = 3
+)
+
+// Encoder owns the BDD encoding of one circuit.
+type Encoder struct {
+	M *bdd.Manager
+	C *netlist.Circuit
+
+	gateFn [copies][]bdd.Ref // per copy, per gate: output function BDD
+	stable [copies]bdd.Ref   // per copy: conjunction of gate stability
+	rDelta bdd.Ref
+	rInput bdd.Ref
+	reach  bdd.Ref
+	built  struct{ gateFn, stable, rDelta, rInput, reach bool }
+}
+
+// NewEncoder creates the encoder; variables are interleaved so that the
+// three copies of a signal occupy adjacent BDD levels.
+func NewEncoder(c *netlist.Circuit) *Encoder {
+	return &Encoder{M: bdd.New(copies * c.NumSignals()), C: c}
+}
+
+// VarOf returns the BDD variable of signal s in the given copy.
+func (e *Encoder) VarOf(s netlist.SigID, copy int) int {
+	return copies*int(s) + copy
+}
+
+// lit returns the literal of signal s in copy with the given polarity.
+func (e *Encoder) lit(s netlist.SigID, copy int, pos bool) bdd.Ref {
+	return e.M.Lit(e.VarOf(s, copy), pos)
+}
+
+// StateBDD returns the minterm of a packed state in the given copy.
+func (e *Encoder) StateBDD(state uint64, copy int) bdd.Ref {
+	r := bdd.True
+	for s := e.C.NumSignals() - 1; s >= 0; s-- {
+		r = e.M.And(e.lit(netlist.SigID(s), copy, state>>uint(s)&1 == 1), r)
+	}
+	return r
+}
+
+// copyCube returns the cube of all variables of one copy.
+func (e *Encoder) copyCube(copy int) bdd.Ref {
+	vars := make([]int, e.C.NumSignals())
+	for s := range vars {
+		vars[s] = e.VarOf(netlist.SigID(s), copy)
+	}
+	return e.M.Cube(vars)
+}
+
+// renameCopy maps every variable of copy a to copy b.
+func (e *Encoder) renameCopy(f bdd.Ref, a, b int) bdd.Ref {
+	perm := make(map[int]int, e.C.NumSignals())
+	for s := 0; s < e.C.NumSignals(); s++ {
+		perm[e.VarOf(netlist.SigID(s), a)] = e.VarOf(netlist.SigID(s), b)
+	}
+	return e.M.Rename(f, perm)
+}
+
+// GateFn returns the BDD of gate gi's output function over the given
+// copy's variables (built from the gate's ON-set minterm cover).
+func (e *Encoder) GateFn(gi, copy int) bdd.Ref {
+	if !e.built.gateFn {
+		for cp := 0; cp < copies; cp++ {
+			e.gateFn[cp] = make([]bdd.Ref, e.C.NumGates())
+			for i := range e.gateFn[cp] {
+				e.gateFn[cp][i] = e.buildGateFn(i, cp)
+			}
+		}
+		e.built.gateFn = true
+	}
+	return e.gateFn[copy][gi]
+}
+
+func (e *Encoder) buildGateFn(gi, copy int) bdd.Ref {
+	g := &e.C.Gates[gi]
+	nf := len(g.Fanin)
+	f := bdd.False
+	for _, m := range g.OnSet {
+		term := bdd.True
+		for j := 0; j < g.NLocal(); j++ {
+			var sig netlist.SigID
+			if j < nf {
+				sig = g.Fanin[j]
+			} else {
+				sig = g.Out
+			}
+			term = e.M.And(term, e.lit(sig, copy, m>>uint(j)&1 == 1))
+		}
+		f = e.M.Or(f, term)
+	}
+	return f
+}
+
+// StableSet returns the predicate "every gate is stable" over one copy.
+func (e *Encoder) StableSet(copy int) bdd.Ref {
+	if !e.built.stable {
+		for cp := 0; cp < copies; cp++ {
+			s := bdd.True
+			for gi := 0; gi < e.C.NumGates(); gi++ {
+				out := e.lit(e.C.Gates[gi].Out, cp, true)
+				s = e.M.And(s, e.M.Xnor(out, e.GateFn(gi, cp)))
+			}
+			e.stable[cp] = s
+		}
+		e.built.stable = true
+	}
+	return e.stable[copy]
+}
+
+// sameSignals returns the predicate that the listed signals agree
+// between copies a and b.
+func (e *Encoder) sameSignals(sigs []netlist.SigID, a, b int) bdd.Ref {
+	r := bdd.True
+	for i := len(sigs) - 1; i >= 0; i-- {
+		s := sigs[i]
+		r = e.M.And(r, e.M.Xnor(e.lit(s, a, true), e.lit(s, b, true)))
+	}
+	return r
+}
+
+func (e *Encoder) allSignals() []netlist.SigID {
+	out := make([]netlist.SigID, e.C.NumSignals())
+	for i := range out {
+		out[i] = netlist.SigID(i)
+	}
+	return out
+}
+
+func (e *Encoder) railSignals() []netlist.SigID {
+	out := make([]netlist.SigID, e.C.NumInputs())
+	for i := range out {
+		out[i] = netlist.SigID(i)
+	}
+	return out
+}
+
+func (e *Encoder) gateSignals() []netlist.SigID {
+	out := make([]netlist.SigID, 0, e.C.NumGates())
+	for gi := 0; gi < e.C.NumGates(); gi++ {
+		out = append(out, e.C.Gates[gi].Out)
+	}
+	return out
+}
+
+// RDelta returns the gate transition relation R_δ over (Present, Next):
+// stable states self-loop; otherwise exactly one excited gate switches.
+func (e *Encoder) RDelta() bdd.Ref {
+	if e.built.rDelta {
+		return e.rDelta
+	}
+	m := e.M
+	all := e.allSignals()
+	same := e.sameSignals(all, Present, Next)
+	r := m.And(e.StableSet(Present), same)
+	for gi := 0; gi < e.C.NumGates(); gi++ {
+		out := e.C.Gates[gi].Out
+		excited := m.Xor(e.lit(out, Present, true), e.GateFn(gi, Present))
+		flip := m.Xor(e.lit(out, Present, true), e.lit(out, Next, true)) // out1 = ¬out0
+		others := make([]netlist.SigID, 0, len(all)-1)
+		for _, s := range all {
+			if s != out {
+				others = append(others, s)
+			}
+		}
+		fire := m.AndN(excited, flip, e.sameSignals(others, Present, Next))
+		r = m.Or(r, fire)
+	}
+	e.rDelta = r
+	e.built.rDelta = true
+	return r
+}
+
+// RInput returns the input transition relation R_I over (Present, Next):
+// from a stable state the rails change (at least one) while every gate
+// output is held.
+func (e *Encoder) RInput() bdd.Ref {
+	if e.built.rInput {
+		return e.rInput
+	}
+	m := e.M
+	sameGates := e.sameSignals(e.gateSignals(), Present, Next)
+	sameRails := e.sameSignals(e.railSignals(), Present, Next)
+	e.rInput = m.AndN(e.StableSet(Present), sameGates, m.Not(sameRails))
+	e.built.rInput = true
+	return e.rInput
+}
+
+// Image computes the successor set of S (over Present vars) under
+// relation R, returned over Present vars.
+func (e *Encoder) Image(S, R bdd.Ref) bdd.Ref {
+	nx := e.M.AndExists(S, R, e.copyCube(Present))
+	return e.renameCopy(nx, Next, Present)
+}
+
+// Reachable computes the TCSG reachable set from the circuit's reset
+// state under R_I ∪ R_δ (symbolic breadth-first fixpoint).
+func (e *Encoder) Reachable() bdd.Ref {
+	if e.built.reach {
+		return e.reach
+	}
+	R := e.M.Or(e.RInput(), e.RDelta())
+	reach := e.StateBDD(e.C.InitState(), Present)
+	frontier := reach
+	for frontier != bdd.False {
+		img := e.Image(frontier, R)
+		nw := e.M.Diff(img, reach)
+		reach = e.M.Or(reach, nw)
+		frontier = nw
+	}
+	e.reach = reach
+	e.built.reach = true
+	return reach
+}
+
+// ReachableStable returns the reachable stable states (the CSSG node
+// candidates) over Present vars.
+func (e *Encoder) ReachableStable() bdd.Ref {
+	return e.M.And(e.Reachable(), e.StableSet(Present))
+}
+
+// Compose returns the relational composition a∘b over (Present, Next):
+// (a∘b)(x,z) = ∃y. a(x,y) ∧ b(y,z).
+func (e *Encoder) Compose(a, b bdd.Ref) bdd.Ref {
+	a2 := e.renameCopy(a, Next, Aux)    // a(x, y@Aux)
+	b2 := e.renameCopy(b, Present, Aux) // b(y@Aux, z@Next)
+	return e.M.AndExists(a2, b2, e.copyCube(Aux))
+}
+
+// DeltaPower returns R_δ^k by iterative squaring.
+func (e *Encoder) DeltaPower(k int) bdd.Ref {
+	if k < 0 {
+		panic("symb: negative power")
+	}
+	// Identity relation (k = 0).
+	result := e.sameSignals(e.allSignals(), Present, Next)
+	base := e.RDelta()
+	for k > 0 {
+		if k&1 == 1 {
+			result = e.Compose(result, base)
+		}
+		k >>= 1
+		if k > 0 {
+			base = e.Compose(base, base)
+		}
+	}
+	return result
+}
+
+// TCR returns the k-step test-cycle relation TCR_k = R_I ∘ R_δ^k over
+// (Present, Next), restricted to reachable stable sources.
+func (e *Encoder) TCR(k int) bdd.Ref {
+	rel := e.Compose(e.RInput(), e.DeltaPower(k))
+	return e.M.And(rel, e.ReachableStable())
+}
+
+// CSSGRelation prunes TCR_k per §4.2: the destination must be stable and
+// must be the only state reachable under the same input pattern.
+func (e *Encoder) CSSGRelation(k int) bdd.Ref {
+	m := e.M
+	tcr := e.TCR(k)
+	// Conflict(x,y): ∃z. TCR(x,z) ∧ λ_P(z)=λ_P(y) ∧ z≠y.
+	tcrXZ := e.renameCopy(tcr, Next, Aux)
+	sameIn := e.sameSignals(e.railSignals(), Next, Aux)
+	sameAll := e.sameSignals(e.allSignals(), Next, Aux)
+	conflict := m.AndExists(tcrXZ, m.And(sameIn, m.Not(sameAll)), e.copyCube(Aux))
+	return m.AndN(tcr, e.StableSet(Next), m.Not(conflict))
+}
+
+// SymEdge is an explicit CSSG edge extracted from the symbolic relation.
+type SymEdge struct {
+	From, To uint64 // packed stable states
+	Pattern  uint64 // destination rail values
+}
+
+// ExtractEdges enumerates the symbolic CSSG relation into explicit
+// edges (usable only when the circuit has ≤64 signals, which Validate
+// already guarantees).
+func (e *Encoder) ExtractEdges(k int) ([]SymEdge, error) {
+	rel := e.CSSGRelation(k)
+	srcVars := make([]int, e.C.NumSignals())
+	dstVars := make([]int, e.C.NumSignals())
+	for s := 0; s < e.C.NumSignals(); s++ {
+		srcVars[s] = e.VarOf(netlist.SigID(s), Present)
+		dstVars[s] = e.VarOf(netlist.SigID(s), Next)
+	}
+	var edges []SymEdge
+	var srcStates []uint64
+	stable := e.ReachableStable()
+	e.M.AllSat(stable, srcVars, func(bits uint64) bool {
+		srcStates = append(srcStates, bits)
+		return true
+	})
+	for _, src := range srcStates {
+		vals := make(map[int]bool, len(srcVars))
+		for s := 0; s < e.C.NumSignals(); s++ {
+			vals[srcVars[s]] = src>>uint(s)&1 == 1
+		}
+		sub := e.M.Restrict(rel, vals)
+		e.M.AllSat(sub, dstVars, func(bits uint64) bool {
+			edges = append(edges, SymEdge{From: src, To: bits, Pattern: e.C.InputBits(bits)})
+			return true
+		})
+	}
+	if len(edges) > 1<<22 {
+		return nil, fmt.Errorf("symb: edge enumeration too large (%d)", len(edges))
+	}
+	return edges, nil
+}
+
+// CountReachable returns the number of reachable TCSG states and the
+// number of reachable stable states.
+func (e *Encoder) CountReachable() (total, stable float64) {
+	vars := make([]int, e.C.NumSignals())
+	for s := range vars {
+		vars[s] = e.VarOf(netlist.SigID(s), Present)
+	}
+	return e.M.SatCount(e.Reachable(), vars), e.M.SatCount(e.ReachableStable(), vars)
+}

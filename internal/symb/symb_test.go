@@ -1,0 +1,337 @@
+package symb
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+const fig1aSrc = `
+circuit fig1a
+input A B
+output y
+gate c NAND A B
+gate d AND  A c
+gate e OR   B d
+gate y C    d e
+init A=0 B=1 c=1 d=0 e=1 y=0
+`
+
+const fig1bSrc = `
+circuit fig1b
+input A
+output d
+gate c NAND A d
+gate d BUF  c
+init A=0 c=1 d=1
+`
+
+const pipe2Src = `
+circuit pipe2
+input Li Ra
+output c1 c2
+gate n1 NOT c2
+gate c1 C Li n1
+gate n2 NOT Ra
+gate c2 C c1 n2
+init Li=0 Ra=0 n1=1 c1=0 n2=1 c2=0
+`
+
+const srSrc = `
+circuit sr
+input s r
+output q
+gate q  NOR r qb
+gate qb NOR s q
+init s=0 r=0 q=0 qb=1
+`
+
+func parseMust(t testing.TB, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(src, name)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return c
+}
+
+func TestStateBDDMembership(t *testing.T) {
+	c := parseMust(t, fig1aSrc, "fig1a")
+	e := NewEncoder(c)
+	init := c.InitState()
+	s := e.StateBDD(init, Present)
+	got := e.M.Eval(s, func(v int) bool {
+		sig := v / 3
+		return init>>uint(sig)&1 == 1
+	})
+	if !got {
+		t.Error("init state must satisfy its own minterm")
+	}
+}
+
+func TestStableSetMatchesExplicit(t *testing.T) {
+	for _, tc := range []struct{ src, name string }{
+		{fig1aSrc, "fig1a"}, {fig1bSrc, "fig1b"}, {srSrc, "sr"},
+	} {
+		c := parseMust(t, tc.src, tc.name)
+		e := NewEncoder(c)
+		stable := e.StableSet(Present)
+		n := c.NumSignals()
+		for st := uint64(0); st < 1<<uint(n); st++ {
+			want := c.Stable(st)
+			got := e.M.Eval(stable, func(v int) bool {
+				return st>>uint(v/3)&1 == 1
+			})
+			if got != want {
+				t.Fatalf("%s: stable(%s) symbolic=%v explicit=%v", tc.name, c.FormatState(st), got, want)
+			}
+		}
+	}
+}
+
+func TestRDeltaMatchesExplicit(t *testing.T) {
+	c := parseMust(t, fig1bSrc, "fig1b")
+	e := NewEncoder(c)
+	rd := e.RDelta()
+	n := c.NumSignals()
+	evalPair := func(x, y uint64) bool {
+		return e.M.Eval(rd, func(v int) bool {
+			sig, cp := v/3, v%3
+			switch cp {
+			case Present:
+				return x>>uint(sig)&1 == 1
+			case Next:
+				return y>>uint(sig)&1 == 1
+			}
+			return false
+		})
+	}
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		// Explicit successors under R_δ.
+		succ := map[uint64]bool{}
+		if c.Stable(x) {
+			succ[x] = true
+		} else {
+			for gi := 0; gi < c.NumGates(); gi++ {
+				if c.Excited(gi, x) {
+					succ[c.Fire(gi, x)] = true
+				}
+			}
+		}
+		for y := uint64(0); y < 1<<uint(n); y++ {
+			if got, want := evalPair(x, y), succ[y]; got != want {
+				t.Fatalf("R_δ(%s,%s) symbolic=%v explicit=%v",
+					c.FormatState(x), c.FormatState(y), got, want)
+			}
+		}
+	}
+}
+
+func TestRInputMatchesExplicit(t *testing.T) {
+	c := parseMust(t, fig1bSrc, "fig1b")
+	e := NewEncoder(c)
+	ri := e.RInput()
+	n := c.NumSignals()
+	m := c.NumInputs()
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		for y := uint64(0); y < 1<<uint(n); y++ {
+			want := c.Stable(x) &&
+				c.InputBits(x) != c.InputBits(y) &&
+				x>>uint(m) == y>>uint(m)
+			got := e.M.Eval(ri, func(v int) bool {
+				sig, cp := v/3, v%3
+				if cp == Present {
+					return x>>uint(sig)&1 == 1
+				}
+				return y>>uint(sig)&1 == 1
+			})
+			if got != want {
+				t.Fatalf("R_I(%s,%s) symbolic=%v explicit=%v",
+					c.FormatState(x), c.FormatState(y), got, want)
+			}
+		}
+	}
+}
+
+func TestCountReachable(t *testing.T) {
+	c := parseMust(t, pipe2Src, "pipe2")
+	e := NewEncoder(c)
+	total, stable := e.CountReachable()
+	if total < stable || stable < 1 {
+		t.Fatalf("reachable counts: total=%v stable=%v", total, stable)
+	}
+}
+
+// The symbolic TCSG reachable set must equal an explicit BFS over
+// R = R_I ∪ R_δ on a small circuit.
+func TestCountReachableMatchesExplicitBFS(t *testing.T) {
+	for _, tc := range []struct{ src, name string }{
+		{fig1bSrc, "fig1b"}, {srSrc, "sr"}, {fig1aSrc, "fig1a"},
+	} {
+		c := parseMust(t, tc.src, tc.name)
+
+		seen := map[uint64]bool{c.InitState(): true}
+		queue := []uint64{c.InitState()}
+		stableCount := 0
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			var succs []uint64
+			if c.Stable(s) {
+				stableCount++
+				// R_I: any different input pattern, gates held.
+				for p := uint64(0); p < 1<<uint(c.NumInputs()); p++ {
+					if p != c.InputBits(s) {
+						succs = append(succs, c.WithInputBits(s, p))
+					}
+				}
+				succs = append(succs, s) // R_δ self-loop
+			} else {
+				for gi := 0; gi < c.NumGates(); gi++ {
+					if c.Excited(gi, s) {
+						succs = append(succs, c.Fire(gi, s))
+					}
+				}
+			}
+			for _, t2 := range succs {
+				if !seen[t2] {
+					seen[t2] = true
+					queue = append(queue, t2)
+				}
+			}
+		}
+		e := NewEncoder(c)
+		total, stable := e.CountReachable()
+		if int(total) != len(seen) || int(stable) != stableCount {
+			t.Fatalf("%s: symbolic (%v, %v) != explicit (%d, %d)",
+				tc.name, total, stable, len(seen), stableCount)
+		}
+
+	}
+}
+
+type edgeKey struct {
+	from, to uint64
+}
+
+// TestSymbolicCSSGEqualsExplicit is the central cross-check: the
+// symbolic CSSG relation restricted to the explicit engine's reachable
+// node set must equal the explicit engine's edge set exactly.
+func TestSymbolicCSSGEqualsExplicit(t *testing.T) {
+	for _, tc := range []struct{ src, name string }{
+		{fig1aSrc, "fig1a"}, {fig1bSrc, "fig1b"}, {pipe2Src, "pipe2"}, {srSrc, "sr"},
+	} {
+		c := parseMust(t, tc.src, tc.name)
+		k := 2 * c.NumSignals()
+		g, err := core.Build(c, core.Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEncoder(c)
+		symEdges, err := e.ExtractEdges(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		symSet := map[edgeKey]bool{}
+		for _, se := range symEdges {
+			symSet[edgeKey{se.From, se.To}] = true
+		}
+		// 1. Every explicit edge is in the symbolic relation.
+		expCount := 0
+		for id, edges := range g.Edges {
+			for _, ed := range edges {
+				expCount++
+				k := edgeKey{g.Nodes[id], g.Nodes[ed.To]}
+				if !symSet[k] {
+					t.Fatalf("%s: explicit edge %s -> %s missing symbolically",
+						tc.name, c.FormatState(k.from), c.FormatState(k.to))
+				}
+			}
+		}
+		// 2. Every symbolic edge whose source is an explicit node is an
+		// explicit edge (the symbolic reachable set may be larger: it
+		// includes stable states only reachable through invalid vectors).
+		nodeSet := map[uint64]int{}
+		for id, s := range g.Nodes {
+			nodeSet[s] = id
+		}
+		for _, se := range symEdges {
+			id, ok := nodeSet[se.From]
+			if !ok {
+				continue
+			}
+			found := false
+			for _, ed := range g.Edges[id] {
+				if g.Nodes[ed.To] == se.To && ed.Pattern == se.Pattern {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: symbolic edge %s --%b--> %s not in explicit CSSG",
+					tc.name, c.FormatState(se.From), se.Pattern, c.FormatState(se.To))
+			}
+		}
+		t.Logf("%s: %d explicit edges, %d symbolic edges", tc.name, expCount, len(symEdges))
+	}
+}
+
+func TestDeltaPowerZeroIsIdentityOnRelations(t *testing.T) {
+	c := parseMust(t, fig1bSrc, "fig1b")
+	e := NewEncoder(c)
+	id := e.DeltaPower(0)
+	// Composing R_I with the identity must not change it.
+	if got := e.Compose(e.RInput(), id); got != e.RInput() {
+		t.Error("R_I ∘ id != R_I")
+	}
+	if got := e.Compose(id, e.RDelta()); got != e.RDelta() {
+		t.Error("id ∘ R_δ != R_δ")
+	}
+}
+
+func TestDeltaPowerSquaringConsistent(t *testing.T) {
+	c := parseMust(t, fig1bSrc, "fig1b")
+	e := NewEncoder(c)
+	// R^3 computed by squaring must equal R∘R∘R computed linearly.
+	lin := e.RDelta()
+	lin = e.Compose(lin, e.RDelta())
+	lin = e.Compose(lin, e.RDelta())
+	if got := e.DeltaPower(3); got != lin {
+		t.Error("DeltaPower(3) != R∘R∘R")
+	}
+}
+
+func TestImageMatchesExplicitStep(t *testing.T) {
+	c := parseMust(t, fig1bSrc, "fig1b")
+	e := NewEncoder(c)
+	// Image of the unstable state after raising A must be the set of
+	// single-firing successors.
+	st := c.WithInputBits(c.InitState(), 1)
+	img := e.Image(e.StateBDD(st, Present), e.RDelta())
+	want := map[uint64]bool{}
+	for gi := 0; gi < c.NumGates(); gi++ {
+		if c.Excited(gi, st) {
+			want[c.Fire(gi, st)] = true
+		}
+	}
+	vars := make([]int, c.NumSignals())
+	for s := range vars {
+		vars[s] = e.VarOf(netlist.SigID(s), Present)
+	}
+	var got []uint64
+	e.M.AllSat(img, vars, func(bits uint64) bool {
+		got = append(got, bits)
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != len(want) {
+		t.Fatalf("image size %d, want %d", len(got), len(want))
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("unexpected image state %s", c.FormatState(s))
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package tester
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimulateMismatchIndex(t *testing.T) {
+	c, g := buildAll(t, pipe2Src)
+	// Wrong expectation at cycle 0: mismatch must point there.
+	prog := Program{
+		Patterns:      []uint64{0b01},
+		Expected:      []uint64{0b11}, // actually c1=1, c2=1 → 0b11 IS right; use wrong value
+		ResetExpected: g.OutputsOf(g.Init),
+	}
+	prog.Expected[0] = 0b00 // deliberately wrong
+	res := Simulate(c, prog, RandomDelays(c, rand.New(rand.NewSource(3)), 0.5, 1.5), CycleFor(g.Stats.MaxSettleDepth, 1.5))
+	if res.Mismatch != 0 {
+		t.Fatalf("mismatch index %d, want 0", res.Mismatch)
+	}
+	if res.Matches() {
+		t.Fatal("Matches must be false")
+	}
+}
+
+func TestSimulateDelayCountPanic(t *testing.T) {
+	c, _ := buildAll(t, pipe2Src)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong delay count must panic")
+		}
+	}()
+	Simulate(c, Program{}, []float64{1}, 10)
+}
+
+func TestCycleForMonotone(t *testing.T) {
+	if CycleFor(10, 1.5) <= CycleFor(5, 1.5) {
+		t.Error("cycle must grow with depth")
+	}
+	if CycleFor(10, 2.0) <= CycleFor(10, 1.0) {
+		t.Error("cycle must grow with max delay")
+	}
+}
+
+func TestRandomDelaysRange(t *testing.T) {
+	c, _ := buildAll(t, pipe2Src)
+	d := RandomDelays(c, rand.New(rand.NewSource(1)), 0.5, 1.5)
+	if len(d) != c.NumGates() {
+		t.Fatalf("delay count %d", len(d))
+	}
+	for _, v := range d {
+		if v < 0.5 || v >= 1.5 {
+			t.Fatalf("delay %v out of range", v)
+		}
+	}
+}
+
+// The timed simulator must agree with the CSSG on every valid edge: one
+// cycle from a stable state ends in the predicted successor, for any
+// random delay assignment.
+func TestTimedSimulatorAgreesWithCSSG(t *testing.T) {
+	c, g := buildAll(t, pipe2Src)
+	rng := rand.New(rand.NewSource(11))
+	cycle := CycleFor(g.Stats.MaxSettleDepth, 1.5)
+	for id := 0; id < g.NumNodes(); id++ {
+		for _, e := range g.Edges[id] {
+			// Reconstruct a fresh program whose reset state is node id:
+			// walk there first (shortest path), then apply the edge.
+			seq, ok := g.ShortestPath(g.Init, func(n int) bool { return n == id })
+			if !ok {
+				continue
+			}
+			patterns := append(append([]uint64{}, seq...), e.Pattern)
+			expected := make([]uint64, 0, len(patterns))
+			nodes, ok := g.Walk(g.Init, patterns)
+			if !ok {
+				t.Fatal("walk broke")
+			}
+			for _, n := range nodes {
+				expected = append(expected, g.OutputsOf(n))
+			}
+			prog := Program{Patterns: patterns, Expected: expected, ResetExpected: g.OutputsOf(g.Init)}
+			res := Simulate(c, prog, RandomDelays(c, rng, 0.5, 1.5), cycle)
+			if !res.Matches() || !res.Quiescent {
+				t.Fatalf("edge %d--%b->%d: timed model diverged (%+v)", id, e.Pattern, e.To, res)
+			}
+		}
+	}
+}

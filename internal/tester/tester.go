@@ -1,0 +1,200 @@
+// Package tester models the real-life synchronous tester of the paper's
+// motivation: a machine that applies an input vector every test cycle
+// and samples the primary outputs just before the next vector, with no
+// knowledge of the circuit's internal timing.
+//
+// It also provides the piece the paper could not ship: a discrete-event
+// timed simulator of the fabricated chip, with an arbitrary bounded
+// inertial delay per gate.  Because the ATPG derives its vectors under
+// the unbounded delay model, every generated test must behave
+// identically for every delay assignment — the Monte-Carlo harness here
+// validates exactly that claim.
+package tester
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Program is one synchronous test program: vectors applied from reset
+// and the responses the good circuit must produce.
+type Program struct {
+	Patterns []uint64 // input rail vectors, one per test cycle
+	Expected []uint64 // expected primary outputs sampled at each cycle end
+	// ResetExpected is the expected output vector before the first
+	// pattern (the tester may compare right after reset).
+	ResetExpected uint64
+}
+
+// Result is the outcome of one timed simulation of a program.
+type Result struct {
+	Outputs   []uint64 // sampled outputs per cycle
+	AtReset   uint64   // outputs sampled after reset settling
+	Quiescent bool     // no pending events at any sampling instant
+	Mismatch  int      // first cycle whose outputs differ from Expected (-1 none; -2 reset)
+}
+
+// Matches reports whether the run reproduced the expected responses.
+func (r Result) Matches() bool { return r.Mismatch == -1 }
+
+// event is a pending inertial output change.
+type event struct {
+	time float64
+	gate int
+	val  bool
+}
+
+// Simulate runs the program on the circuit with the given per-gate
+// inertial delays (delays[gi] > 0), a fixed test-cycle length, and the
+// circuit's declared initial state.  Semantics: when a gate becomes
+// excited at time t it schedules an output flip at t+delay; if the
+// excitation disappears (or its target value changes) before the flip
+// commits, the pending change is cancelled or rescheduled — an inertial
+// delay filters short pulses.  Primary-input rails switch exactly at
+// cycle boundaries; outputs are sampled immediately before the next
+// boundary.
+func Simulate(c *netlist.Circuit, prog Program, delays []float64, cycle float64) Result {
+	if len(delays) != c.NumGates() {
+		panic(fmt.Sprintf("tester: %d delays for %d gates", len(delays), c.NumGates()))
+	}
+	state := c.InitState()
+	pending := make(map[int]event, c.NumGates())
+
+	// schedule reconciles gate gi's pending event with its excitation
+	// in the current state at time now.
+	schedule := func(gi int, now float64) {
+		want := c.EvalBinary(gi, state)
+		cur := state>>uint(c.Gates[gi].Out)&1 == 1
+		ev, has := pending[gi]
+		switch {
+		case want == cur:
+			if has {
+				delete(pending, gi) // pulse filtered
+			}
+		case !has:
+			pending[gi] = event{time: now + delays[gi], gate: gi, val: want}
+		case ev.val != want:
+			pending[gi] = event{time: now + delays[gi], gate: gi, val: want}
+		}
+	}
+	// run advances the simulation to absolute time `until`.
+	run := func(until float64) {
+		for {
+			// Find the earliest pending event (small sets: linear scan).
+			best := -1
+			for gi, ev := range pending {
+				if ev.time >= until {
+					continue
+				}
+				if best < 0 || ev.time < pending[best].time ||
+					(ev.time == pending[best].time && gi < best) {
+					best = gi
+				}
+			}
+			if best < 0 {
+				return
+			}
+			ev := pending[best]
+			delete(pending, best)
+			// Commit the flip, then reconcile the gate and its fanout.
+			out := c.Gates[best].Out
+			if ev.val {
+				state |= 1 << uint(out)
+			} else {
+				state &^= 1 << uint(out)
+			}
+			schedule(best, ev.time)
+			for _, fg := range c.Fanouts(out) {
+				schedule(fg, ev.time)
+			}
+		}
+	}
+
+	now := 0.0
+	// Reset settling: reconcile everything once (a fault may make the
+	// declared init unstable) and give it one full cycle.
+	for gi := 0; gi < c.NumGates(); gi++ {
+		schedule(gi, now)
+	}
+	run(now + cycle)
+	now += cycle
+	res := Result{AtReset: c.OutputBits(state), Quiescent: true, Mismatch: -1}
+	if len(pending) > 0 {
+		res.Quiescent = false
+	}
+	if res.AtReset != prog.ResetExpected {
+		res.Mismatch = -2
+	}
+	for cyc, p := range prog.Patterns {
+		// Rails switch at the boundary.
+		state = c.WithInputBits(state, p)
+		for i := 0; i < c.NumInputs(); i++ {
+			schedule(i, now) // input buffers see the new rails
+		}
+		run(now + cycle)
+		now += cycle
+		out := c.OutputBits(state)
+		res.Outputs = append(res.Outputs, out)
+		if len(pending) > 0 {
+			res.Quiescent = false
+		}
+		if res.Mismatch == -1 && cyc < len(prog.Expected) && out != prog.Expected[cyc] {
+			res.Mismatch = cyc
+		}
+	}
+	return res
+}
+
+// RandomDelays draws per-gate delays uniformly from [min, max).
+func RandomDelays(c *netlist.Circuit, rng *rand.Rand, min, max float64) []float64 {
+	d := make([]float64, c.NumGates())
+	for i := range d {
+		d[i] = min + rng.Float64()*(max-min)
+	}
+	return d
+}
+
+// CycleFor returns a test-cycle length sufficient for any valid vector
+// to settle: the worst-case transition count times the slowest gate,
+// plus margin.  maxDepth is the CSSG's MaxSettleDepth (|σ|max, §4.1).
+func CycleFor(maxDepth int, maxDelay float64) float64 {
+	return float64(maxDepth+2) * maxDelay * 1.25
+}
+
+// MonteCarlo runs the program under `trials` random delay assignments
+// on the given circuit and reports how many runs matched the expected
+// responses and how many mismatched somewhere (for a faulty circuit, a
+// mismatch means the tester caught the fault in that trial).
+func MonteCarlo(c *netlist.Circuit, prog Program, trials int, seed int64, cycle float64) (matched, mismatched int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		delays := RandomDelays(c, rng, 0.5, 1.5)
+		res := Simulate(c, prog, delays, cycle)
+		if res.Matches() {
+			matched++
+		} else {
+			mismatched++
+		}
+	}
+	return matched, mismatched
+}
+
+// Format renders the program as tester stimulus text: one line per
+// cycle with input and expected output vectors (LSB-first signal order,
+// matching the circuit's input and output declarations).
+func Format(c *netlist.Circuit, prog Program) string {
+	var sb []byte
+	sb = append(sb, fmt.Sprintf("# circuit %s: %d cycles\n", c.Name, len(prog.Patterns))...)
+	names := make([]string, len(c.Outputs))
+	for i, o := range c.Outputs {
+		names[i] = c.SignalName(o)
+	}
+	sb = append(sb, fmt.Sprintf("# inputs: %v outputs: %v\n", c.Inputs, names)...)
+	sb = append(sb, fmt.Sprintf("reset -> %0*b\n", len(c.Outputs), prog.ResetExpected)...)
+	for i, p := range prog.Patterns {
+		sb = append(sb, fmt.Sprintf("%0*b -> %0*b\n", c.NumInputs(), p, len(c.Outputs), prog.Expected[i])...)
+	}
+	return string(sb)
+}

@@ -1,0 +1,280 @@
+// Package satpg generates synchronous test patterns for asynchronous
+// circuits, reproducing Roig, Cortadella, Peña & Pastor, "Automatic
+// Generation of Synchronous Test Patterns for Asynchronous Circuits"
+// (DAC 1997).
+//
+// The flow has three steps:
+//
+//  1. Load a gate-level circuit (.ckt text format or a bundled
+//     benchmark).  The circuit follows the unbounded inertial
+//     gate-delay model; feedback loops are allowed and every primary
+//     input is buffered, as in the paper.
+//  2. Abstract the circuit into its Confluent Stable State Graph: the
+//     deterministic synchronous FSM of all (stable state, input vector)
+//     pairs that neither race nor oscillate within the k-transition
+//     test cycle.
+//  3. Generate stuck-at tests on the CSSG with random TPG, three-phase
+//     ATPG and parallel ternary fault simulation, then (optionally)
+//     validate the vectors on a timed model of the chip under random
+//     bounded delay assignments.
+//
+// Quickstart:
+//
+//	c, _ := satpg.LoadBenchmark("si/chu150")
+//	g, _ := satpg.Abstract(c, satpg.Options{})
+//	res := satpg.Generate(g, satpg.InputStuckAt, satpg.Options{Seed: 1})
+//	fmt.Println(res.Summary())
+package satpg
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/baseline"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/dft"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/stg"
+	"repro/internal/tester"
+)
+
+// Re-exported building blocks.  The concrete types live in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Circuit is a gate-level asynchronous circuit.
+	Circuit = netlist.Circuit
+	// CSSG is the synchronous abstraction (confluent stable state graph).
+	CSSG = core.CSSG
+	// Fault is a single stuck-at fault site.
+	Fault = faults.Fault
+	// FaultModel selects input or output stuck-at faults.
+	FaultModel = faults.Type
+	// Result is a full ATPG outcome.
+	Result = atpg.Result
+	// Test is one synchronous test sequence with expected responses.
+	Test = atpg.Test
+	// Program is a tester-ready stimulus/response program.
+	Program = tester.Program
+	// Benchmark is a named suite circuit.
+	Benchmark = circuits.Benchmark
+	// VectorAnalysis classifies one (state, vector) pair.
+	VectorAnalysis = core.VectorAnalysis
+	// EdgeClass is the classification of a (state, vector) pair.
+	EdgeClass = core.EdgeClass
+	// BaselineComparison is the §6.1 virtual-flip-flop comparison.
+	BaselineComparison = baseline.Comparison
+	// STG is a signal transition graph specification (Petrify .g format).
+	STG = stg.Net
+	// Conformance is the closed-loop circuit-vs-STG verification result.
+	Conformance = stg.ConformanceResult
+	// TestPoint is a DFT observation or control point.
+	TestPoint = dft.Point
+	// Hazard is a semi-modularity violation along a valid vector.
+	Hazard = core.Hazard
+	// SelfCheckReport is the §1 self-checking experiment result.
+	SelfCheckReport = stg.SelfCheckReport
+)
+
+// Test-point kinds.
+const (
+	ObservePoint = dft.Observe
+	ControlPoint = dft.Control
+)
+
+// Fault models.  TransitionFaults selects the gross gate-delay model
+// (slow-to-rise / slow-to-fall), the paper's §7 extension direction.
+const (
+	OutputStuckAt    = faults.OutputSA
+	InputStuckAt     = faults.InputSA
+	TransitionFaults = faults.Transition
+)
+
+// Vector classifications (see Analyze).
+const (
+	VectorValid        = core.Valid
+	VectorNonConfluent = core.NonConfluent
+	VectorUnsettled    = core.Unsettled
+	VectorTruncated    = core.Truncated
+)
+
+// Options tunes the whole flow; zero values select documented defaults.
+type Options struct {
+	// K is the test-cycle length in gate transitions (0: 4·NumSignals).
+	K int
+	// Seed drives the random-TPG walks (0: 1).
+	Seed int64
+	// RandomSequences and RandomLength size the random phase
+	// (0: 256 walks of 24 vectors); SkipRandom disables it.
+	RandomSequences int
+	RandomLength    int
+	SkipRandom      bool
+	// SkipFaultSim disables collateral fault dropping.
+	SkipFaultSim bool
+}
+
+func (o Options) coreOpts() core.Options { return core.Options{K: o.K} }
+
+func (o Options) atpgOpts() atpg.Options {
+	return atpg.Options{
+		Seed:            o.Seed,
+		RandomSequences: o.RandomSequences,
+		RandomLength:    o.RandomLength,
+		SkipRandom:      o.SkipRandom,
+		SkipFaultSim:    o.SkipFaultSim,
+	}
+}
+
+// ParseCircuit reads a circuit in .ckt format; name is used in errors.
+func ParseCircuit(r io.Reader, name string) (*Circuit, error) {
+	return netlist.Parse(r, name)
+}
+
+// ParseCircuitString parses an in-memory .ckt description.
+func ParseCircuitString(src, name string) (*Circuit, error) {
+	return netlist.ParseString(src, name)
+}
+
+// LoadBenchmark resolves a bundled benchmark: "si/<name>" (Table 1
+// suite), "hf/<name>" (Table 2 suite), "fig1a" or "fig1b".
+func LoadBenchmark(ref string) (*Circuit, error) { return circuits.Lookup(ref) }
+
+// SpeedIndependentSuite returns the Table-1 benchmark set in row order.
+func SpeedIndependentSuite() []Benchmark { return circuits.SpeedIndependent() }
+
+// HazardFreeSuite returns the Table-2 benchmark set in row order.
+func HazardFreeSuite() []Benchmark { return circuits.HazardFree() }
+
+// Abstract builds the CSSG_k of the circuit (§4): the synchronous FSM
+// of valid test vectors.
+func Abstract(c *Circuit, opts Options) (*CSSG, error) {
+	return core.Build(c, opts.coreOpts())
+}
+
+// Analyze classifies a single (stable state, input pattern) pair
+// exactly: valid, non-confluent, unsettled or truncated.
+func Analyze(c *Circuit, stable, pattern uint64, opts Options) VectorAnalysis {
+	return core.AnalyzeVector(c, stable, pattern, opts.coreOpts())
+}
+
+// Universe returns the fault list of the model for the circuit.
+func Universe(c *Circuit, model FaultModel) []Fault {
+	return faults.Universe(c, model)
+}
+
+// Generate runs the full ATPG flow (§5) on a prebuilt CSSG.
+func Generate(g *CSSG, model FaultModel, opts Options) *Result {
+	return atpg.Run(g, model, opts.atpgOpts())
+}
+
+// GenerateForCircuit is the one-shot convenience: Abstract then
+// Generate.
+func GenerateForCircuit(c *Circuit, model FaultModel, opts Options) (*CSSG, *Result, error) {
+	g, err := Abstract(c, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, Generate(g, model, opts), nil
+}
+
+// VerifyTest replays a test against one fault with the exact
+// set-semantics machine; true means detection is guaranteed for every
+// delay assignment.
+func VerifyTest(g *CSSG, f Fault, t Test) bool {
+	return atpg.Verify(g, f, t, atpg.Options{})
+}
+
+// Programs converts the result's tests into tester programs (stimulus
+// plus expected responses, including the reset observation).
+func Programs(g *CSSG, r *Result) []Program {
+	out := make([]Program, len(r.Tests))
+	for i, t := range r.Tests {
+		out[i] = Program{
+			Patterns:      t.Patterns,
+			Expected:      t.Expected,
+			ResetExpected: g.OutputsOf(g.Init),
+		}
+	}
+	return out
+}
+
+// FormatProgram renders a program as tester stimulus text.
+func FormatProgram(c *Circuit, p Program) string { return tester.Format(c, p) }
+
+// ValidateOnTester Monte-Carlo-validates the result on the timed chip
+// model: the good circuit must match every program under `trials`
+// random delay assignments, and every detected fault's program must
+// mismatch on the corresponding faulty chip in every trial.  It returns
+// an error describing the first violation, or nil.
+func ValidateOnTester(g *CSSG, r *Result, trials int, seed int64) error {
+	cycle := tester.CycleFor(g.Stats.MaxSettleDepth, 1.5)
+	progs := Programs(g, r)
+	for i, p := range progs {
+		if _, mism := tester.MonteCarlo(g.C, p, trials, seed+int64(i), cycle); mism != 0 {
+			return fmt.Errorf("satpg: good circuit mismatched program %d under %d delay assignments", i, mism)
+		}
+	}
+	for _, fr := range r.PerFault {
+		if !fr.Detected {
+			continue
+		}
+		fc := faults.Apply(g.C, fr.Fault)
+		_, mism := tester.MonteCarlo(fc, progs[fr.TestIndex], trials, seed, cycle)
+		if mism != trials {
+			return fmt.Errorf("satpg: fault %s evaded detection in %d/%d delay assignments",
+				fr.Fault.Describe(g.C), trials-mism, trials)
+		}
+	}
+	return nil
+}
+
+// CompareBaseline runs the §6.1 comparison: Banerjee-style virtual-FF
+// synchronous ATPG followed by validation on the asynchronous circuit.
+func CompareBaseline(g *CSSG, model FaultModel) BaselineComparison {
+	return baseline.Compare(g, model, 200000)
+}
+
+// ParseSTG reads a specification in Petrify/SIS .g format.
+func ParseSTG(r io.Reader, name string) (*STG, error) { return stg.Parse(r, name) }
+
+// ParseSTGString parses an in-memory .g description.
+func ParseSTGString(src, name string) (*STG, error) { return stg.ParseString(src, name) }
+
+// Conform closes the circuit with the STG as its environment and checks
+// that every output edge the circuit can produce is allowed by the
+// specification and that expected outputs are eventually produced.
+func Conform(c *Circuit, spec *STG) (Conformance, error) {
+	return stg.Conform(c, spec, 0)
+}
+
+// InsertTestPoints returns a copy of the circuit instrumented with the
+// given observation/control points (§6's testability aids).
+func InsertTestPoints(c *Circuit, points []TestPoint) (*Circuit, error) {
+	return dft.Insert(c, points)
+}
+
+// SelfCheck runs the §1 self-checking experiment: for every output
+// stuck-at fault, does normal operation under the STG environment halt
+// the circuit (deadlock or unspecified edge)?
+func SelfCheck(c *Circuit, spec *STG) (SelfCheckReport, error) {
+	return stg.SelfCheckAll(c, spec, 0)
+}
+
+// TableRow formats one benchmark row in the layout of the paper's
+// Tables 1 and 2: output-SA totals/covered, input-SA totals/covered,
+// and the rnd/3-ph/sim split of the input-SA run.
+func TableRow(name string, out, in *Result) string {
+	return fmt.Sprintf("%-16s %5d %5d   %5d %5d   %4d %5d %4d %5d %9s",
+		name, out.Total, out.Covered, in.Total, in.Covered,
+		in.ByPhase[atpg.PhaseRandom], in.ByPhase[atpg.PhaseThree], in.ByPhase[atpg.PhaseSim],
+		in.Untestable, in.CPU.Round(time.Millisecond).String())
+}
+
+// TableHeader returns the column header matching TableRow.
+func TableHeader() string {
+	return fmt.Sprintf("%-16s %5s %5s   %5s %5s   %4s %5s %4s %5s %9s",
+		"example", "o-tot", "o-cov", "i-tot", "i-cov", "rnd", "3-ph", "sim", "unt", "cpu")
+}

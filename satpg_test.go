@@ -1,0 +1,188 @@
+package satpg
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinySrc = `
+circuit tiny
+input a
+output z
+gate z NOT a
+init a=0 z=1
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	c, err := ParseCircuitString(tinySrc, "tiny.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, res, err := GenerateForCircuit(c, OutputStuckAt, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1 {
+		t.Fatalf("inverter must be fully testable: %s", res.Summary())
+	}
+	for _, fr := range res.PerFault {
+		if fr.Detected && fr.TestIndex >= 0 {
+			if !VerifyTest(g, fr.Fault, res.Tests[fr.TestIndex]) {
+				t.Fatalf("VerifyTest rejected the covering test of %s", fr.Fault.Describe(c))
+			}
+		}
+	}
+	if err := ValidateOnTester(g, res, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeParse(t *testing.T) {
+	if _, err := ParseCircuit(strings.NewReader(tinySrc), "tiny.ckt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseCircuitString("garbage", "g.ckt"); err == nil {
+		t.Fatal("garbage must not parse")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if len(SpeedIndependentSuite()) != 24 {
+		t.Error("Table-1 suite must have 24 rows")
+	}
+	if len(HazardFreeSuite()) != 11 {
+		t.Error("Table-2 suite must have 11 rows")
+	}
+	if _, err := LoadBenchmark("si/chu150"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LoadBenchmark("nope"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}
+
+func TestFacadeAnalyze(t *testing.T) {
+	c, err := LoadBenchmark("fig1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(c, c.InitState(), 0b11, Options{})
+	if an.Class != VectorNonConfluent {
+		t.Fatalf("fig1a AB=11 should be non-confluent, got %s", an.Class)
+	}
+	an = Analyze(c, c.InitState(), 0b00, Options{})
+	if an.Class != VectorValid {
+		t.Fatalf("fig1a AB=00 should be valid, got %s", an.Class)
+	}
+}
+
+func TestFacadeUniverse(t *testing.T) {
+	c, err := ParseCircuitString(tinySrc, "tiny.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Universe(c, OutputStuckAt)) != 4 { // 2 gates (buffer + NOT) × 2
+		t.Errorf("output universe: %d", len(Universe(c, OutputStuckAt)))
+	}
+	if len(Universe(c, InputStuckAt)) != 4 { // 2 pins × 2
+		t.Errorf("input universe: %d", len(Universe(c, InputStuckAt)))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	c, err := ParseCircuitString(tinySrc, "tiny.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Abstract(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Generate(g, OutputStuckAt, Options{Seed: 1})
+	in := Generate(g, InputStuckAt, Options{Seed: 1})
+	header := TableHeader()
+	row := TableRow("tiny", out, in)
+	if len(header) == 0 || len(row) == 0 {
+		t.Fatal("empty table strings")
+	}
+	if !strings.Contains(row, "tiny") {
+		t.Errorf("row missing name: %q", row)
+	}
+}
+
+func TestFacadeProgramsAndFormat(t *testing.T) {
+	c, err := LoadBenchmark("si/vbe5b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, res, err := GenerateForCircuit(c, InputStuckAt, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := Programs(g, res)
+	if len(progs) != len(res.Tests) {
+		t.Fatal("program count mismatch")
+	}
+	if len(progs) > 0 {
+		text := FormatProgram(c, progs[0])
+		if !strings.Contains(text, "circuit vbe5b") {
+			t.Errorf("program text: %q", text)
+		}
+	}
+}
+
+func TestFacadeSelfCheck(t *testing.T) {
+	spec, err := ParseSTGString(`
+.model celem
+.inputs a b
+.outputs z
+.graph
+a+ z+
+b+ z+
+z+ a- b-
+a- z-
+b- z-
+z- a+ b+
+.marking { <z-,a+> <z-,b+> }
+.end
+`, "celem.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseCircuitString(`
+circuit celem
+input a b
+output z
+gate z C a b
+init a=0 b=0 z=0
+`, "celem.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := Conform(c, spec)
+	if err != nil || !conf.OK {
+		t.Fatalf("conformance: %v %v", err, conf)
+	}
+	rep, err := SelfCheck(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Halting != rep.Total || len(rep.Escaping) != 0 {
+		t.Fatalf("C element must be self-checking: %+v", rep)
+	}
+}
+
+func TestFacadeBaseline(t *testing.T) {
+	c, err := LoadBenchmark("fig1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Abstract(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := CompareBaseline(g, OutputStuckAt)
+	if cmp.SyncCovered == 0 || cmp.Optimism() <= 0 {
+		t.Fatalf("baseline comparison degenerate: %+v", cmp)
+	}
+}
