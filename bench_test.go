@@ -8,12 +8,17 @@ package satpg
 
 import (
 	"math/rand"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dft"
 	"repro/internal/faults"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/randckt"
 	"repro/internal/sim"
 	"repro/internal/symb"
 )
@@ -137,6 +142,138 @@ func BenchmarkParallelVsSerialFaultSim(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFaultSimEngines compares the three fault-simulation shapes on
+// one seeded randckt circuit and a 64-sequence pattern batch:
+//
+//   - serial-per-pattern: the scalar ternary machine, one fault × one
+//     sequence at a time (the pre-fsim baseline);
+//   - bitparallel-1: the fsim engine, 64 pattern lanes per word, single
+//     worker;
+//   - sharded-N: the same engine with the fault list partitioned across
+//     GOMAXPROCS workers.
+//
+// All three drop a fault at its first detection, and all three must
+// report the same detected count — asserted against the scalar
+// reference, not merely reported.
+func BenchmarkFaultSimEngines(b *testing.B) {
+	c := benchRandCircuit(b)
+	universe := faults.InputUniverse(c)
+	const lanes, cycles = 64, 16
+	rng := rand.New(rand.NewSource(7))
+	seqs := make([][]uint64, lanes)
+	m := c.NumInputs()
+	for l := range seqs {
+		seq := make([]uint64, cycles)
+		for t := range seq {
+			seq[t] = rng.Uint64() & (1<<uint(m) - 1)
+		}
+		seqs[l] = seq
+	}
+	b.Logf("circuit %s: %d gates, %d faults, %d lanes × %d cycles",
+		c.Name, c.NumGates(), len(universe), lanes, cycles)
+	want := serialFaultSim(c, universe, seqs)
+
+	b.Run("serial-per-pattern", func(b *testing.B) {
+		var detected int
+		for i := 0; i < b.N; i++ {
+			detected = serialFaultSim(c, universe, seqs)
+		}
+		if detected != want {
+			b.Fatalf("serial baseline nondeterministic: %d vs %d detected", detected, want)
+		}
+		b.ReportMetric(float64(detected), "detected")
+	})
+	// The sharded variant always runs with 4 workers so the worker-pool
+	// path is measured even on small hosts; on machines with more cores
+	// a GOMAXPROCS-wide variant is added too.
+	workers := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		name := "bitparallel-1"
+		if w != 1 {
+			name = "sharded-" + strconv.Itoa(w)
+		}
+		w := w
+		b.Run(name, func(b *testing.B) {
+			var detected int
+			for i := 0; i < b.N; i++ {
+				s, err := fsim.New(c, universe, fsim.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.SimulateBatch(fsim.Batch{Seqs: seqs}); err != nil {
+					b.Fatal(err)
+				}
+				detected = 0
+				for fi := range universe {
+					if s.Detected(fi) {
+						detected++
+					}
+				}
+			}
+			if detected != want {
+				b.Fatalf("bit-parallel (%d workers) found %d faults, scalar reference %d", w, detected, want)
+			}
+			b.ReportMetric(float64(detected), "detected")
+		})
+	}
+}
+
+// benchRandCircuit generates the deterministic workload circuit: the
+// first seed whose topology stabilises, sized near the 64-signal cap.
+func benchRandCircuit(b *testing.B) *Circuit {
+	b.Helper()
+	for seed := int64(1); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, ok := randckt.New(rng, randckt.Config{
+			MinInputs: 4, MaxInputs: 4, MinGates: 24, MaxGates: 28,
+		})
+		if ok {
+			return c
+		}
+	}
+	b.Fatal("no stable random circuit found")
+	return nil
+}
+
+// serialFaultSim is the one-fault × one-sequence scalar baseline with
+// fault dropping: the cost model fsim is measured against.
+func serialFaultSim(c *Circuit, universe []faults.Fault, seqs [][]uint64) int {
+	// Good trace per lane.
+	good := sim.Machine{C: c}
+	goodStates := make([][]logic.Vec, len(seqs))
+	for l, seq := range seqs {
+		st := good.InitState()
+		goodStates[l] = make([]logic.Vec, len(seq))
+		for t, p := range seq {
+			st = good.Step(st, p)
+			goodStates[l][t] = st
+		}
+	}
+	detected := 0
+	for fi := range universe {
+		fm := sim.Machine{C: c, Fault: &universe[fi]}
+	faultLoop:
+		for l, seq := range seqs {
+			st := fm.InitState()
+			for t, p := range seq {
+				st = fm.Step(st, p)
+				gv := c.OutputVec(goodStates[l][t])
+				fv := c.OutputVec(st)
+				for j := range gv {
+					if gv[j].IsDefinite() && fv[j].IsDefinite() && gv[j] != fv[j] {
+						detected++
+						break faultLoop // fault dropped
+					}
+				}
+			}
+		}
+	}
+	return detected
 }
 
 // BenchmarkKSweep explores the §4.1 trade-off: shorter test cycles

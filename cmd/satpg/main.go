@@ -26,6 +26,8 @@ func main() {
 		seqs        = flag.Int("random-seqs", 0, "random walks (0: default 256)")
 		seqLen      = flag.Int("random-len", 0, "vectors per walk (0: default 24)")
 		skipRandom  = flag.Bool("skip-random", false, "disable the random TPG phase")
+		fsimFlag    = flag.Bool("fsim", false, "re-measure coverage of the generated tests with the bit-parallel fault simulator")
+		fsimWorkers = flag.Int("fsim-workers", 0, "goroutines sharding the fault list (0: GOMAXPROCS)")
 		testsOut    = flag.String("tests", "", "write tester programs to this file")
 		validate    = flag.Int("validate", 0, "Monte-Carlo trials on the timed chip model (0: skip)")
 		perFault    = flag.Bool("per-fault", false, "print the verdict for every fault")
@@ -48,6 +50,7 @@ func main() {
 	opts := satpg.Options{
 		K: *k, Seed: *seed,
 		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
+		FaultSimWorkers: *fsimWorkers,
 	}
 	g, err := satpg.Abstract(c, opts)
 	if err != nil {
@@ -56,6 +59,14 @@ func main() {
 	fmt.Println(g.Summary())
 	res := satpg.Generate(g, fm, opts)
 	fmt.Println(res.Summary())
+
+	if *fsimFlag {
+		rep, err := satpg.FaultSimBatch(c, fm, res.Tests, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep.Summary())
+	}
 
 	if *perFault {
 		for _, fr := range res.PerFault {

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fsim"
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
@@ -89,6 +90,9 @@ type Options struct {
 	// MaxFaultySet caps the exact state set tracked for the faulty
 	// circuit (default 1024); exceeding it marks the fault Aborted.
 	MaxFaultySet int
+	// FaultSimWorkers shards the bit-parallel fault simulation of the
+	// random phase across this many goroutines (0: GOMAXPROCS).
+	FaultSimWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -200,21 +204,66 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 		return confirm(test, simulateTest(g, test, universe, remaining))
 	}
 
-	// Phase 1: random TPG.
+	// Phase 1: random TPG.  The walks are drawn exactly as before, but
+	// fault simulation is batched: 64 walks ride the lanes of one
+	// fsim.Batch and every remaining fault is evaluated against all of
+	// them in one pass, sharded across workers.  NoDrop keeps the full
+	// fault × walk matrix so the sequential test-selection replay below
+	// is observably identical to per-walk simulation (a ternary detection
+	// that the exact confirmation rejects stays live for later walks);
+	// confirmed faults are dropped manually.
 	if !opts.SkipRandom && g.Stats.NumEdges > 0 {
 		rng := rand.New(rand.NewSource(opts.Seed))
-		for seq := 0; seq < opts.RandomSequences && len(remaining) > 0; seq++ {
-			test := randomWalk(g, rng, opts.RandomLength)
-			if len(test.Patterns) == 0 {
-				continue
+		// max guards a negative RandomSequences, which the pre-batching
+		// loop treated as "no walks".
+		walks := make([]Test, max(opts.RandomSequences, 0))
+		for seq := range walks {
+			walks[seq] = randomWalk(g, rng, opts.RandomLength)
+		}
+		fs, err := fsim.New(g.C, universe, fsim.Options{
+			Workers: opts.FaultSimWorkers, NoDrop: true,
+		})
+		if err != nil {
+			// Unreachable: non-stuck-at models force SkipRandom above.
+			panic("atpg: " + err.Error())
+		}
+		for base := 0; base < len(walks) && len(remaining) > 0; base += fsim.MaxLanes {
+			end := min(base+fsim.MaxLanes, len(walks))
+			chunk := walks[base:end]
+			batch := fsim.Batch{
+				Seqs:     make([][]uint64, len(chunk)),
+				Expected: make([][]uint64, len(chunk)),
 			}
-			detected := confirm(test, simulateTest(g, test, universe, remaining))
-			if len(detected) == 0 {
-				continue
+			for l, w := range chunk {
+				batch.Seqs[l] = w.Patterns
+				batch.Expected[l] = w.Expected
 			}
-			res.Tests = append(res.Tests, test)
-			ti := len(res.Tests) - 1
-			remaining = mark(res, remaining, detected, PhaseRandom, ti)
+			br, err := fs.SimulateBatch(batch)
+			if err != nil {
+				panic("atpg: " + err.Error())
+			}
+			for l, test := range chunk {
+				if len(test.Patterns) == 0 || len(remaining) == 0 {
+					continue
+				}
+				bit := uint64(1) << uint(l)
+				var cand []int
+				for _, fi := range remaining {
+					if br.Lanes[fi]&bit != 0 {
+						cand = append(cand, fi)
+					}
+				}
+				detected := confirm(test, cand)
+				if len(detected) == 0 {
+					continue
+				}
+				res.Tests = append(res.Tests, test)
+				ti := len(res.Tests) - 1
+				remaining = mark(res, remaining, detected, PhaseRandom, ti)
+				for _, fi := range detected {
+					fs.Drop(fi)
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,101 @@
+package atpg
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+)
+
+// FaultCoverage is the measured verdict for one fault.
+type FaultCoverage struct {
+	Fault    faults.Fault
+	Detected bool
+	// TestIndex is a test (index into the measured set) whose replay
+	// guarantees detection; -1 when undetected or when the fault is
+	// already observable at reset.  Tests are measured 64 at a time, so
+	// within a batch the earliest-*cycle* detection wins the
+	// attribution, not the lowest test index.
+	TestIndex int
+	// Cycle is the cycle of first detection within that test; -1 means
+	// the reset response alone exposes the fault.
+	Cycle int
+}
+
+// CoverageReport is the outcome of a batched coverage measurement.
+type CoverageReport struct {
+	Total    int
+	Detected int
+	PerFault []FaultCoverage
+	Workers  int
+	Elapsed  time.Duration
+}
+
+// Coverage returns detected/total (1 for an empty universe).
+func (r *CoverageReport) Coverage() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// Summary renders a one-line report.
+func (r *CoverageReport) Summary() string {
+	return fmt.Sprintf("fsim cov=%d/%d (%.2f%%) workers=%d elapsed=%v",
+		r.Detected, r.Total, 100*r.Coverage(), r.Workers, r.Elapsed.Round(time.Microsecond))
+}
+
+// CoverageOf measures the guaranteed fault coverage of a test set with
+// the bit-parallel pattern-parallel engine: tests ride the 64 lanes of
+// each fsim batch, the fault list is sharded across workers, and a fault
+// is dropped from later batches the moment one test detects it.  The
+// verdict is the conservative ternary one — a fault counts only when
+// some primary output settles definitely opposite the expected response
+// (or the reset response) under every delay assignment.  Tests must
+// carry their Expected outputs (every Test built by this package does).
+func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, workers int) (*CoverageReport, error) {
+	start := time.Now()
+	s, err := fsim.New(c, universe, fsim.Options{Workers: workers, CheckReset: true})
+	if err != nil {
+		return nil, err
+	}
+	rep := &CoverageReport{
+		Total:    len(universe),
+		PerFault: make([]FaultCoverage, len(universe)),
+		Workers:  workers,
+	}
+	if rep.Workers <= 0 {
+		rep.Workers = runtime.GOMAXPROCS(0)
+	}
+	for i := range rep.PerFault {
+		rep.PerFault[i] = FaultCoverage{Fault: universe[i], TestIndex: -1, Cycle: -1}
+	}
+	seqs := make([][]uint64, len(tests))
+	expected := make([][]uint64, len(tests))
+	for i, t := range tests {
+		seqs[i] = t.Patterns
+		expected[i] = t.Expected
+	}
+	err = s.SimulateSequences(seqs, expected, nil, func(base int, br *fsim.BatchResult) {
+		for _, d := range br.Detections {
+			fc := &rep.PerFault[d.Fault]
+			if fc.Detected {
+				continue
+			}
+			fc.Detected = true
+			fc.Cycle = d.Cycle
+			if d.Cycle >= 0 {
+				fc.TestIndex = base + d.Lane
+			}
+			rep.Detected++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

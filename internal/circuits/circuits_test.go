@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/atpg"
@@ -17,6 +18,7 @@ func TestAllBenchmarksWellFormed(t *testing.T) {
 	for _, bm := range suites {
 		bm := bm
 		t.Run(bm.Class+"/"+bm.Name, func(t *testing.T) {
+			t.Parallel()
 			c := bm.Circuit
 			if err := c.Validate(); err != nil {
 				t.Fatalf("validate: %v", err)
@@ -42,6 +44,7 @@ func TestAllBenchmarksHaveUsableCSSG(t *testing.T) {
 	for _, bm := range suites {
 		bm := bm
 		t.Run(bm.Class+"/"+bm.Name, func(t *testing.T) {
+			t.Parallel()
 			g, err := core.Build(bm.Circuit, core.Options{})
 			if err != nil {
 				t.Fatalf("cssg: %v", err)
@@ -74,22 +77,26 @@ func TestSpeedIndependentCoverage(t *testing.T) {
 	// (the Beerel/Meng theoretical result the paper confirms) and high
 	// input-SA coverage.
 	for _, name := range []string{"vbe5b", "rcv-setup", "converta"} {
-		c, err := Lookup("si/" + name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		g, err := core.Build(c, core.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		out := atpg.Run(g, faults.OutputSA, atpg.Options{Seed: 1})
-		if out.Coverage() != 1 {
-			t.Errorf("%s output-SA: %s", name, out.Summary())
-		}
-		in := atpg.Run(g, faults.InputSA, atpg.Options{Seed: 1})
-		if in.Coverage() < 0.9 {
-			t.Errorf("%s input-SA coverage too low: %s", name, in.Summary())
-		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := Lookup("si/" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := core.Build(c, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := atpg.Run(g, faults.OutputSA, atpg.Options{Seed: 1})
+			if out.Coverage() != 1 {
+				t.Errorf("%s output-SA: %s", name, out.Summary())
+			}
+			in := atpg.Run(g, faults.InputSA, atpg.Options{Seed: 1})
+			if in.Coverage() < 0.9 {
+				t.Errorf("%s input-SA coverage too low: %s", name, in.Summary())
+			}
+		})
 	}
 }
 
@@ -169,39 +176,56 @@ func TestSuitesAreDeterministic(t *testing.T) {
 // bit-for-bit (exercising the writer and parser on the whole corpus).
 func TestBenchmarksRoundTripThroughCktFormat(t *testing.T) {
 	for _, bm := range append(SpeedIndependent(), HazardFree()...) {
-		text := bm.Circuit.String()
-		c2, err := netlist.ParseString(text, bm.Name+".ckt")
-		if err != nil {
-			t.Fatalf("%s: reparse: %v", bm.Name, err)
-		}
-		if c2.String() != text {
-			t.Fatalf("%s: round trip not canonical", bm.Name)
-		}
-		if c2.InitState() != bm.Circuit.InitState() {
-			t.Fatalf("%s: round trip changed the reset state", bm.Name)
-		}
+		bm := bm
+		t.Run(bm.Class+"/"+bm.Name, func(t *testing.T) {
+			t.Parallel()
+			text := bm.Circuit.String()
+			c2, err := netlist.ParseString(text, bm.Name+".ckt")
+			if err != nil {
+				t.Fatalf("%s: reparse: %v", bm.Name, err)
+			}
+			if c2.String() != text {
+				t.Fatalf("%s: round trip not canonical", bm.Name)
+			}
+			if c2.InitState() != bm.Circuit.InitState() {
+				t.Fatalf("%s: round trip changed the reset state", bm.Name)
+			}
+		})
 	}
 }
 
 // Golden regression: the headline Table-1 totals are deterministic for
-// seed 1 and must not drift silently (see EXPERIMENTS.md).
+// seed 1 and must not drift silently (see EXPERIMENTS.md).  The exact
+// exhaustive run (CSSG + two full ATPG models per circuit) is gated out
+// of -short; the per-circuit runs are parallel subtests whose totals are
+// checked once the inner group has finished.
 func TestTable1Golden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite ATPG is not short")
 	}
+	var mu sync.Mutex
 	var outTot, outCov, inTot, inCov int
-	for _, bm := range SpeedIndependent() {
-		g, err := core.Build(bm.Circuit, core.Options{})
-		if err != nil {
-			t.Fatal(err)
+	// t.Run does not return until every parallel subtest below is done.
+	t.Run("suite", func(t *testing.T) {
+		for _, bm := range SpeedIndependent() {
+			bm := bm
+			t.Run(bm.Name, func(t *testing.T) {
+				t.Parallel()
+				g, err := core.Build(bm.Circuit, core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := atpg.Run(g, faults.OutputSA, atpg.Options{Seed: 1})
+				in := atpg.Run(g, faults.InputSA, atpg.Options{Seed: 1})
+				mu.Lock()
+				outTot += out.Total
+				outCov += out.Covered
+				inTot += in.Total
+				inCov += in.Covered
+				mu.Unlock()
+			})
 		}
-		out := atpg.Run(g, faults.OutputSA, atpg.Options{Seed: 1})
-		in := atpg.Run(g, faults.InputSA, atpg.Options{Seed: 1})
-		outTot += out.Total
-		outCov += out.Covered
-		inTot += in.Total
-		inCov += in.Covered
-	}
+	})
 	if outTot != 952 || outCov != 952 || inTot != 1678 || inCov != 1678 {
 		t.Fatalf("Table 1 totals drifted: out %d/%d in %d/%d (expected 952/952, 1678/1678)",
 			outCov, outTot, inCov, inTot)

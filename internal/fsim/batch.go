@@ -1,0 +1,199 @@
+package fsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// MaxLanes is the machine-word width of the pattern-parallel simulator:
+// up to 64 independent test sequences ride in one uint64 lane word.
+const MaxLanes = 64
+
+// Batch is a set of up to MaxLanes independent test sequences, all
+// applied from the circuit's reset state.  Lane l carries Seqs[l];
+// sequences may have different lengths (ragged batches are fine — a lane
+// stops participating in detection once its sequence is exhausted).
+type Batch struct {
+	// Seqs holds one pattern sequence per lane: primary-input vectors
+	// (input i at bit i), applied in order from reset.
+	Seqs [][]uint64
+	// Expected optionally carries the known good-circuit responses, one
+	// output vector (output j at bit j) per pattern of the matching
+	// sequence.  When set, detection is judged against these exact
+	// responses (the CSSG/tester view); when nil, the simulator runs the
+	// good machine itself and judges against its definite outputs.
+	Expected [][]uint64
+	// ResetExpected optionally declares, per lane, the output vector the
+	// tester expects before the first pattern (tester.Program's
+	// ResetExpected).  Only consulted when Options.CheckReset is on;
+	// when nil, the reset verdict is judged against the good machine's
+	// own settled reset response.
+	ResetExpected []uint64
+}
+
+// NumLanes returns the number of sequences in the batch.
+func (b *Batch) NumLanes() int { return len(b.Seqs) }
+
+// Cycles returns the length of the longest sequence.
+func (b *Batch) Cycles() int {
+	max := 0
+	for _, s := range b.Seqs {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return max
+}
+
+// validate checks lane count and Expected shape.
+func (b *Batch) validate() error {
+	if len(b.Seqs) == 0 {
+		return fmt.Errorf("fsim: empty batch")
+	}
+	if len(b.Seqs) > MaxLanes {
+		return fmt.Errorf("fsim: %d sequences exceed %d lanes", len(b.Seqs), MaxLanes)
+	}
+	if b.Expected != nil {
+		if len(b.Expected) != len(b.Seqs) {
+			return fmt.Errorf("fsim: %d expected traces for %d sequences", len(b.Expected), len(b.Seqs))
+		}
+		for l, e := range b.Expected {
+			if len(e) != len(b.Seqs[l]) {
+				return fmt.Errorf("fsim: lane %d: %d expected responses for %d patterns", l, len(e), len(b.Seqs[l]))
+			}
+		}
+	}
+	if b.ResetExpected != nil && len(b.ResetExpected) != len(b.Seqs) {
+		return fmt.Errorf("fsim: %d reset expectations for %d sequences", len(b.ResetExpected), len(b.Seqs))
+	}
+	return nil
+}
+
+// packedBatch is the lane-transposed form shared read-only by all
+// workers: per cycle, one word per primary input, plus the good-response
+// trace as per-output definite words.
+type packedBatch struct {
+	all    uint64     // mask of lanes in use
+	cycles int        // longest sequence length
+	rails  [][]uint64 // [cycle][input]: lane word of input values
+	live   []uint64   // [cycle]: lanes whose sequence includes this cycle
+
+	// Good-circuit response trace (definite values only).
+	good1, good0   [][]uint64 // [cycle][output]
+	reset1, reset0 []uint64   // [output], before any pattern
+}
+
+// pack transposes the batch into lane words.  Lanes whose sequence is
+// shorter than the batch keep re-applying their last pattern (holding a
+// settled state is idempotent) but are masked out of detection by live.
+func pack(c *netlist.Circuit, b *Batch) (*packedBatch, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	nl := len(b.Seqs)
+	pk := &packedBatch{cycles: b.Cycles()}
+	if nl == MaxLanes {
+		pk.all = ^uint64(0)
+	} else {
+		pk.all = 1<<uint(nl) - 1
+	}
+	m := c.NumInputs()
+	resetRails := c.InputBits(c.InitState())
+	pk.rails = make([][]uint64, pk.cycles)
+	pk.live = make([]uint64, pk.cycles)
+	for t := 0; t < pk.cycles; t++ {
+		words := make([]uint64, m)
+		for l, seq := range b.Seqs {
+			var pat uint64
+			switch {
+			case t < len(seq):
+				pat = seq[t]
+				pk.live[t] |= 1 << uint(l)
+			case len(seq) > 0:
+				pat = seq[len(seq)-1]
+			default:
+				pat = resetRails
+			}
+			for i := 0; i < m; i++ {
+				if pat>>uint(i)&1 == 1 {
+					words[i] |= 1 << uint(l)
+				}
+			}
+		}
+		pk.rails[t] = words
+	}
+	return pk, nil
+}
+
+// traceFromExpected fills the good-response words from the batch's
+// declared expected outputs (definite by construction).
+func (pk *packedBatch) traceFromExpected(c *netlist.Circuit, b *Batch) {
+	no := len(c.Outputs)
+	pk.good1 = make([][]uint64, pk.cycles)
+	pk.good0 = make([][]uint64, pk.cycles)
+	for t := 0; t < pk.cycles; t++ {
+		g1 := make([]uint64, no)
+		g0 := make([]uint64, no)
+		for l, e := range b.Expected {
+			if t >= len(e) {
+				continue // lane not live; detection is masked anyway
+			}
+			for j := 0; j < no; j++ {
+				if e[t]>>uint(j)&1 == 1 {
+					g1[j] |= 1 << uint(l)
+				} else {
+					g0[j] |= 1 << uint(l)
+				}
+			}
+		}
+		pk.good1[t], pk.good0[t] = g1, g0
+	}
+}
+
+// traceFromResetExpected fills the reset-response words from the
+// batch's declared per-lane reset expectations.
+func (pk *packedBatch) traceFromResetExpected(c *netlist.Circuit, b *Batch) {
+	no := len(c.Outputs)
+	pk.reset1 = make([]uint64, no)
+	pk.reset0 = make([]uint64, no)
+	for l, e := range b.ResetExpected {
+		for j := 0; j < no; j++ {
+			if e>>uint(j)&1 == 1 {
+				pk.reset1[j] |= 1 << uint(l)
+			} else {
+				pk.reset0[j] |= 1 << uint(l)
+			}
+		}
+	}
+}
+
+// traceFromGoodRun simulates the good machine over the batch and records
+// its definite output words per cycle (X outputs detect nothing),
+// filling only the trace pieces the batch did not declare itself.
+func (pk *packedBatch) traceFromGoodRun(m *machine) {
+	no := len(m.c.Outputs)
+	def := func() ([]uint64, []uint64) {
+		d1 := make([]uint64, no)
+		d0 := make([]uint64, no)
+		for j, sig := range m.c.Outputs {
+			d1[j] = m.p1[sig] &^ m.p0[sig]
+			d0[j] = m.p0[sig] &^ m.p1[sig]
+		}
+		return d1, d0
+	}
+	m.inject(nil)
+	m.reset()
+	if pk.reset1 == nil {
+		pk.reset1, pk.reset0 = def()
+	}
+	if pk.good1 != nil {
+		return // expected trace already supplied; only reset was missing
+	}
+	pk.good1 = make([][]uint64, pk.cycles)
+	pk.good0 = make([][]uint64, pk.cycles)
+	for t := 0; t < pk.cycles; t++ {
+		m.apply(pk.rails[t])
+		pk.good1[t], pk.good0[t] = def()
+	}
+}

@@ -1,0 +1,187 @@
+package fsim
+
+// Differential property tests: on seeded random (usually cyclic)
+// circuits, the bit-parallel engine must agree with the scalar ternary
+// simulator in internal/sim pattern-for-pattern — the full per-lane
+// ternary state for the good machine and for every injected stuck-at
+// fault, and the resulting detected-fault sets.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/randckt"
+	"repro/internal/sim"
+)
+
+func TestDifferentialAgainstScalarTernary(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	const lanes, cycles = 8, 6
+	tried := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, ok := randckt.New(rng, randckt.Config{})
+		if !ok {
+			continue
+		}
+		tried++
+		m := c.NumInputs()
+		seqs := make([][]uint64, lanes)
+		for l := range seqs {
+			seq := make([]uint64, cycles)
+			for tc := range seq {
+				seq[tc] = rng.Uint64() & (1<<uint(m) - 1)
+			}
+			seqs[l] = seq
+		}
+		universe := append(faults.OutputUniverse(c), faults.InputUniverse(c)...)
+
+		// Scalar reference: good trace per lane, then per-fault states and
+		// the detection matrix.
+		goodStates := make([][]logic.Vec, lanes) // [lane][cycle]
+		goodMachine := sim.Machine{C: c}
+		for l := 0; l < lanes; l++ {
+			st := goodMachine.InitState()
+			goodStates[l] = make([]logic.Vec, cycles)
+			for tc := 0; tc < cycles; tc++ {
+				st = goodMachine.Step(st, seqs[l][tc])
+				goodStates[l][tc] = st
+			}
+		}
+
+		all := uint64(1<<lanes - 1)
+
+		// Good machine, bit-parallel: states must agree lane-for-lane.
+		bm := newMachine(c, all)
+		bm.inject(nil)
+		bm.reset()
+		if ref := goodMachine.InitState(); !bm.laneState(0).Equal(ref) {
+			t.Fatalf("seed %d: good reset state differs:\n fsim %s\n  sim %s", seed, bm.laneState(0), ref)
+		}
+		for tc := 0; tc < cycles; tc++ {
+			bm.apply(railWords(t, c.NumInputs(), seqs, tc, lanes))
+			for l := 0; l < lanes; l++ {
+				if !bm.laneState(l).Equal(goodStates[l][tc]) {
+					t.Fatalf("seed %d: good lane %d cycle %d differs:\n fsim %s\n  sim %s",
+						seed, l, tc, bm.laneState(l), goodStates[l][tc])
+				}
+			}
+		}
+
+		// Per-fault state parity plus the scalar detection matrix.
+		refMatrix := make([]uint64, len(universe))
+		for fi := range universe {
+			f := universe[fi]
+			fm := sim.Machine{C: c, Fault: &f}
+			pm := newMachine(c, all)
+			pm.inject(&universe[fi])
+			pm.reset()
+			states := make([]logic.Vec, lanes)
+			for l := range states {
+				states[l] = fm.InitState()
+				if !pm.laneState(l).Equal(states[l]) {
+					t.Fatalf("seed %d fault %s: reset state lane %d differs:\n fsim %s\n  sim %s",
+						seed, f.Describe(c), l, pm.laneState(l), states[l])
+				}
+			}
+			for tc := 0; tc < cycles; tc++ {
+				pm.apply(railWords(t, c.NumInputs(), seqs, tc, lanes))
+				for l := 0; l < lanes; l++ {
+					states[l] = fm.Step(states[l], seqs[l][tc])
+					if !pm.laneState(l).Equal(states[l]) {
+						t.Fatalf("seed %d fault %s: lane %d cycle %d differs:\n fsim %s\n  sim %s",
+							seed, f.Describe(c), l, tc, pm.laneState(l), states[l])
+					}
+					if scalarDetects(c, goodStates[l][tc], states[l]) {
+						refMatrix[fi] |= 1 << uint(l)
+					}
+				}
+			}
+		}
+
+		// Detection matrix through the public API (NoDrop: full matrix).
+		s, err := New(c, universe, Options{Workers: 1, NoDrop: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.SimulateBatch(Batch{Seqs: seqs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := range universe {
+			if res.Lanes[fi] != refMatrix[fi] {
+				t.Errorf("seed %d fault %s: detection lanes differ: fsim %b, scalar %b",
+					seed, universe[fi].Describe(c), res.Lanes[fi], refMatrix[fi])
+			}
+		}
+
+		// Sharded run must reproduce the single-worker matrix exactly.
+		s4, err := New(c, universe, Options{Workers: 4, NoDrop: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res4, err := s4.SimulateBatch(Batch{Seqs: seqs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := range universe {
+			if res4.Lanes[fi] != res.Lanes[fi] {
+				t.Errorf("seed %d fault %d: sharded lanes %b != serial lanes %b",
+					seed, fi, res4.Lanes[fi], res.Lanes[fi])
+			}
+		}
+
+		// With dropping on, the detected set must equal the matrix's
+		// nonzero rows (dropping only skips redundant work, never answers).
+		sd, err := New(c, universe, Options{NoDrop: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sd.SimulateBatch(Batch{Seqs: seqs}); err != nil {
+			t.Fatal(err)
+		}
+		for fi := range universe {
+			if sd.Detected(fi) != (refMatrix[fi] != 0) {
+				t.Errorf("seed %d fault %s: dropping changed the verdict (detected=%v, scalar lanes=%b)",
+					seed, universe[fi].Describe(c), sd.Detected(fi), refMatrix[fi])
+			}
+		}
+	}
+	if tried == 0 {
+		t.Fatal("no random circuit generated; differential test exercised nothing")
+	}
+	t.Logf("differential-tested %d random circuits", tried)
+}
+
+// railWords transposes cycle tc of the sequences into per-input lane words.
+func railWords(t *testing.T, m int, seqs [][]uint64, tc, lanes int) []uint64 {
+	t.Helper()
+	words := make([]uint64, m)
+	for l := 0; l < lanes; l++ {
+		for i := 0; i < m; i++ {
+			if seqs[l][tc]>>uint(i)&1 == 1 {
+				words[i] |= 1 << uint(l)
+			}
+		}
+	}
+	return words
+}
+
+// scalarDetects mirrors the engine's detection rule on scalar states:
+// some primary output definite in both machines with opposite values.
+func scalarDetects(c *netlist.Circuit, good, faulty logic.Vec) bool {
+	gv := c.OutputVec(good)
+	fv := c.OutputVec(faulty)
+	for j := range gv {
+		if gv[j].IsDefinite() && fv[j].IsDefinite() && gv[j] != fv[j] {
+			return true
+		}
+	}
+	return false
+}

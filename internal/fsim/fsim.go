@@ -1,0 +1,286 @@
+// Package fsim is the bit-parallel concurrent fault-simulation engine:
+// the scaling counterpart of sim.Parallel with the axes swapped.
+//
+// sim.Parallel packs 64 faulty machines into one word and applies a
+// single pattern per step (parallel fault simulation in the Seshu
+// tradition); fsim packs 64 test-pattern sequences into one word and
+// evaluates one fault at a time against all of them (the PPSFP —
+// parallel-pattern single-fault propagation — orientation).  For the
+// coverage-measurement workload "many tests × many faults" this is the
+// winning shape, because it composes with the two standard ATPG scaling
+// moves:
+//
+//   - fault dropping: a fault is removed from the simulation the moment
+//     one lane guarantees its detection, so late faults never pay for
+//     patterns that early faults already answered;
+//   - sharding: faults are independent once the good trace is computed,
+//     so the fault list is partitioned across GOMAXPROCS workers, each
+//     with its own lane machine.
+//
+// Detection semantics match the rest of the repository: a fault counts
+// as detected only when some primary output settles to a definite value
+// opposite the definite good response — guaranteed detection under every
+// delay assignment, per §5.4 of Roig et al. (DAC'97).
+package fsim
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// Workers is the number of goroutines the fault list is sharded
+	// across (0: GOMAXPROCS).
+	Workers int
+	// NoDrop keeps simulating a fault against the full batch after its
+	// first detection, so BatchResult.Lanes carries the complete
+	// fault × lane detection matrix (diagnostics and the ATPG random
+	// phase need it; coverage measurement should leave it off).
+	NoDrop bool
+	// CheckReset also compares outputs right after reset settling,
+	// before any pattern — the tester observes the reset response too.
+	CheckReset bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Detection records the first guaranteed detection of one fault.
+type Detection struct {
+	Fault int // index into the simulator's fault universe
+	Lane  int // batch lane (sequence) that detects it
+	Cycle int // cycle of first detection; -1 means at reset
+}
+
+// BatchResult is the outcome of simulating one batch.
+type BatchResult struct {
+	// Lanes maps each fault index to the mask of lanes that guarantee
+	// its detection.  With dropping enabled only the lanes seen up to
+	// the dropping cycle are set; with NoDrop it is the full matrix.
+	// Faults dropped in earlier batches stay zero.
+	Lanes []uint64
+	// Detections lists the faults detected in this batch, ascending by
+	// fault index, with their first detecting lane and cycle.
+	Detections []Detection
+}
+
+// Simulator carries a fault universe across batches, dropping detected
+// faults as it goes.
+type Simulator struct {
+	c        *netlist.Circuit
+	universe []faults.Fault
+	opts     Options
+
+	dropped  []bool // no longer simulated (detected, unless NoDrop)
+	detected []bool // ever detected
+	ndet     int
+}
+
+// New builds a simulator for the fault universe.  Only stuck-at faults
+// are supported: the directional transition models need a materialised
+// circuit copy per fault (see faults.Apply) and stay on the exact path.
+func New(c *netlist.Circuit, universe []faults.Fault, opts Options) (*Simulator, error) {
+	for i, f := range universe {
+		if f.Type != faults.OutputSA && f.Type != faults.InputSA {
+			return nil, fmt.Errorf("fsim: fault %d (%s) is not a stuck-at fault", i, f.Describe(c))
+		}
+	}
+	return &Simulator{
+		c: c, universe: universe, opts: opts,
+		dropped:  make([]bool, len(universe)),
+		detected: make([]bool, len(universe)),
+	}, nil
+}
+
+// NumFaults returns the universe size.
+func (s *Simulator) NumFaults() int { return len(s.universe) }
+
+// Detected reports whether fault fi has been detected by any batch.
+func (s *Simulator) Detected(fi int) bool { return s.detected[fi] }
+
+// Coverage returns detected/total (1 for an empty universe).
+func (s *Simulator) Coverage() float64 {
+	if len(s.universe) == 0 {
+		return 1
+	}
+	return float64(s.ndet) / float64(len(s.universe))
+}
+
+// Remaining returns the indices of faults still being simulated.
+func (s *Simulator) Remaining() []int {
+	var out []int
+	for fi := range s.universe {
+		if !s.dropped[fi] {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// Drop removes a fault from future batches regardless of NoDrop (the
+// ATPG drops faults only after its exact-machine confirmation succeeds).
+func (s *Simulator) Drop(fi int) { s.dropped[fi] = true }
+
+// SimulateBatch evaluates every remaining fault against the batch,
+// sharded across the configured workers, and returns the per-fault
+// detection masks.  Detected faults are dropped from future batches
+// unless NoDrop is set.
+func (s *Simulator) SimulateBatch(b Batch) (*BatchResult, error) {
+	pk, err := pack(s.c, &b)
+	if err != nil {
+		return nil, err
+	}
+	good := newMachine(s.c, pk.all)
+	if b.Expected != nil {
+		pk.traceFromExpected(s.c, &b)
+	}
+	if b.ResetExpected != nil {
+		pk.traceFromResetExpected(s.c, &b)
+	}
+	pk.traceFromGoodRun(good) // fills whatever the batch didn't declare
+
+	rem := s.Remaining()
+	res := &BatchResult{Lanes: make([]uint64, len(s.universe))}
+	if len(rem) == 0 {
+		return res, nil
+	}
+
+	nw := s.opts.workers()
+	if nw > len(rem) {
+		nw = len(rem)
+	}
+	found := make([][]Detection, nw)
+	if nw == 1 {
+		found[0] = s.runShard(good, pk, rem, res.Lanes)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(rem) + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(rem) {
+				hi = len(rem)
+			}
+			wg.Add(1)
+			go func(w int, shard []int) {
+				defer wg.Done()
+				found[w] = s.runShard(newMachine(s.c, pk.all), pk, shard, res.Lanes)
+			}(w, rem[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	for _, shard := range found {
+		res.Detections = append(res.Detections, shard...)
+	}
+	sort.Slice(res.Detections, func(i, j int) bool {
+		return res.Detections[i].Fault < res.Detections[j].Fault
+	})
+	for _, d := range res.Detections {
+		if !s.opts.NoDrop {
+			s.dropped[d.Fault] = true
+		}
+		if !s.detected[d.Fault] {
+			s.detected[d.Fault] = true
+			s.ndet++
+		}
+	}
+	return res, nil
+}
+
+// SimulateSequences chunks a sequence set into MaxLanes-wide batches and
+// simulates each, invoking record with the base sequence index of every
+// batch (lane l of that batch is sequence base+l).  An empty set still
+// simulates one empty-lane batch, so reset-observable faults are
+// measured when CheckReset is on.  expected and resetExpected may be
+// nil; when present they must parallel seqs.
+func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected []uint64, record func(base int, br *BatchResult)) error {
+	if len(seqs) == 0 {
+		br, err := s.SimulateBatch(Batch{Seqs: [][]uint64{nil}})
+		if err != nil {
+			return err
+		}
+		record(0, br)
+		return nil
+	}
+	for base := 0; base < len(seqs); base += MaxLanes {
+		end := min(base+MaxLanes, len(seqs))
+		b := Batch{Seqs: seqs[base:end]}
+		if expected != nil {
+			b.Expected = expected[base:end]
+		}
+		if resetExpected != nil {
+			b.ResetExpected = resetExpected[base:end]
+		}
+		br, err := s.SimulateBatch(b)
+		if err != nil {
+			return err
+		}
+		record(base, br)
+	}
+	return nil
+}
+
+// runShard simulates one contiguous slice of the fault list on its own
+// machine.  Writes to lanes are per-fault and shards are disjoint, so no
+// synchronisation is needed.
+func (s *Simulator) runShard(m *machine, pk *packedBatch, shard []int, lanes []uint64) []Detection {
+	var found []Detection
+	for _, fi := range shard {
+		mask, first, ok := s.runFault(m, pk, fi)
+		if ok {
+			lanes[fi] = mask
+			found = append(found, first)
+		}
+	}
+	return found
+}
+
+// runFault evaluates one fault against the whole batch, stopping at the
+// first detection unless NoDrop.
+func (s *Simulator) runFault(m *machine, pk *packedBatch, fi int) (mask uint64, first Detection, ok bool) {
+	m.inject(&s.universe[fi])
+	m.reset()
+	if s.opts.CheckReset {
+		if d := m.detectVs(pk.reset1, pk.reset0); d != 0 {
+			// The reset state is pattern-independent, so against the good
+			// machine's own reset the verdict is lane-uniform; per-lane
+			// ResetExpected declarations can make it ragged.
+			first = Detection{Fault: fi, Lane: bits.TrailingZeros64(d), Cycle: -1}
+			ok = true
+			mask = d
+			if !s.opts.NoDrop {
+				return mask, first, true
+			}
+			// NoDrop promises the complete matrix: keep simulating the
+			// per-cycle lanes below.
+		}
+	}
+	for t := 0; t < pk.cycles; t++ {
+		m.apply(pk.rails[t])
+		d := m.detectVs(pk.good1[t], pk.good0[t]) & pk.live[t]
+		if d == 0 {
+			continue
+		}
+		if !ok {
+			first = Detection{Fault: fi, Lane: bits.TrailingZeros64(d), Cycle: t}
+			ok = true
+		}
+		mask |= d
+		if !s.opts.NoDrop {
+			break
+		}
+	}
+	return mask, first, ok
+}

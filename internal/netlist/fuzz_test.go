@@ -1,0 +1,58 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the .ckt parser.  The property is
+// total robustness: malformed netlists must produce a *ParseError (or a
+// wrapped build error), never a panic, and any circuit that does parse
+// must be well-formed enough to serialise and re-parse canonically.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The paper's Figure-1a shape: feedback, a C element, inits.
+		"circuit fig1a\ninput A B\noutput y\ngate na NOT A\ngate c C na b\ngate b BUF B\ngate y OR c b\ninit A=0 B=0 na=1 c=1 b=0 y=1\n",
+		// TABLE gate and comments.
+		"circuit t\ninput A\noutput q\n# arbitrary function\ngate q TABLE 10 A\ninit A=0 q=1\n",
+		// Valid minimal circuit.
+		"circuit min\ninput A\noutput b\ngate b BUF A\ninit A=1 b=1\n",
+		// Malformed in assorted ways.
+		"",
+		"gate before circuit",
+		"circuit dup\ncircuit dup\n",
+		"circuit x\ninput A\ngate A AND A A\n",
+		"circuit x\ninput A\noutput y\ngate y C A\ninit A=0 y=2\n",
+		"circuit x\ninput A\noutput y\ngate y TABLE 0101 A\n",
+		"circuit x\ninput A\noutput y\ngate y NAND A A A A A A A A A A A A A A\n",
+		"circuit x\ninput A\noutput A\n",
+		"circuit \xff\xfe\ninput \x00\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src, "fuzz.ckt")
+		if err != nil {
+			return // rejecting is fine; panicking is the bug being hunted
+		}
+		// Accepted circuits must round-trip canonically.
+		text := c.String()
+		c2, err := ParseString(text, "fuzz-rt.ckt")
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ninput: %q\ncanonical: %q", err, src, text)
+		}
+		if got := c2.String(); got != text {
+			t.Fatalf("round trip not canonical:\nfirst:  %q\nsecond: %q", text, got)
+		}
+		if c2.InitState() != c.InitState() {
+			t.Fatalf("round trip changed the reset state for %q", src)
+		}
+		if err := c2.Validate(); err != nil {
+			t.Fatalf("re-parsed circuit fails validation: %v", err)
+		}
+		if !strings.Contains(text, "circuit ") {
+			t.Fatalf("canonical form lacks circuit header: %q", text)
+		}
+	})
+}

@@ -18,6 +18,11 @@ const Lanes = 64
 // words: bit l of p1 set means "in lane l the signal may be 1", bit l of
 // p0 means "may be 0"; both set encodes Φ.  Lane l carries fault l of the
 // injected fault list.
+//
+// The pattern-parallel counterpart (one fault × 64 test sequences) is
+// fsim's machine, whose settle/evalGate mirror the ones here; changes
+// to the sweep semantics must be made in both files (see the note in
+// internal/fsim/machine.go).
 type Parallel struct {
 	c   *netlist.Circuit
 	fl  []faults.Fault

@@ -77,6 +77,12 @@ type (
 	Hazard = core.Hazard
 	// SelfCheckReport is the §1 self-checking experiment result.
 	SelfCheckReport = stg.SelfCheckReport
+	// CoverageReport is a batched bit-parallel coverage measurement.
+	CoverageReport = atpg.CoverageReport
+	// FaultCoverage is the per-fault verdict of a CoverageReport.
+	FaultCoverage = atpg.FaultCoverage
+	// ProgramCoverageSummary is the tester-side coverage measurement.
+	ProgramCoverageSummary = tester.CoverageSummary
 )
 
 // Test-point kinds.
@@ -114,6 +120,10 @@ type Options struct {
 	SkipRandom      bool
 	// SkipFaultSim disables collateral fault dropping.
 	SkipFaultSim bool
+	// FaultSimWorkers shards bit-parallel fault simulation across this
+	// many goroutines (0: GOMAXPROCS).  It affects the ATPG random
+	// phase and the FaultSimBatch / coverage measurements.
+	FaultSimWorkers int
 }
 
 func (o Options) coreOpts() core.Options { return core.Options{K: o.K} }
@@ -125,6 +135,7 @@ func (o Options) atpgOpts() atpg.Options {
 		RandomLength:    o.RandomLength,
 		SkipRandom:      o.SkipRandom,
 		SkipFaultSim:    o.SkipFaultSim,
+		FaultSimWorkers: o.FaultSimWorkers,
 	}
 }
 
@@ -185,6 +196,21 @@ func GenerateForCircuit(c *Circuit, model FaultModel, opts Options) (*CSSG, *Res
 // delay assignment.
 func VerifyTest(g *CSSG, f Fault, t Test) bool {
 	return atpg.Verify(g, f, t, atpg.Options{})
+}
+
+// FaultSimBatch measures the guaranteed coverage of a test set over the
+// model's full fault universe with the bit-parallel (64 patterns per
+// word) fault simulator: tests ride the lanes of each batch, the fault
+// list is sharded across Options.FaultSimWorkers goroutines, and faults
+// are dropped from later batches once detected.
+func FaultSimBatch(c *Circuit, model FaultModel, tests []Test, opts Options) (*CoverageReport, error) {
+	return atpg.CoverageOf(c, faults.Universe(c, model), tests, opts.FaultSimWorkers)
+}
+
+// MeasureProgramCoverage is FaultSimBatch for tester programs: the
+// stimulus/response view of the same measurement.
+func MeasureProgramCoverage(c *Circuit, progs []Program, model FaultModel, opts Options) (ProgramCoverageSummary, error) {
+	return tester.MeasureCoverage(c, progs, faults.Universe(c, model), opts.FaultSimWorkers)
 }
 
 // Programs converts the result's tests into tester programs (stimulus

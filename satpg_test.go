@@ -131,6 +131,53 @@ func TestFacadeProgramsAndFormat(t *testing.T) {
 	}
 }
 
+func TestFacadeFaultSimBatch(t *testing.T) {
+	c, err := LoadBenchmark("si/vbe5b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, res, err := GenerateForCircuit(c, InputStuckAt, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FaultSimBatch(c, InputStuckAt, res.Tests, Options{FaultSimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != len(Universe(c, InputStuckAt)) {
+		t.Fatalf("universe size mismatch: %d", rep.Total)
+	}
+	// The bit-parallel re-measurement replays the generated tests under
+	// the conservative ternary semantics; every detection it claims must
+	// hold up on the exact machine too.
+	for _, fc := range rep.PerFault {
+		if fc.Detected && fc.TestIndex >= 0 {
+			if !VerifyTest(g, fc.Fault, res.Tests[fc.TestIndex]) {
+				t.Errorf("fsim detection of %s not confirmed exactly", fc.Fault.Describe(c))
+			}
+		}
+	}
+	if !strings.Contains(rep.Summary(), "fsim") {
+		t.Errorf("summary: %q", rep.Summary())
+	}
+
+	sum, err := MeasureProgramCoverage(c, Programs(g, res), InputStuckAt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != rep.Total {
+		t.Fatalf("program-side universe mismatch: %d vs %d", sum.Total, rep.Total)
+	}
+	// Programs carry the same patterns/responses as the tests, so the
+	// two measurements must agree fault-for-fault.
+	for fi := range sum.PerFault {
+		if sum.PerFault[fi] != rep.PerFault[fi].Detected {
+			t.Errorf("fault %d: program coverage %v != test coverage %v",
+				fi, sum.PerFault[fi], rep.PerFault[fi].Detected)
+		}
+	}
+}
+
 func TestFacadeSelfCheck(t *testing.T) {
 	spec, err := ParseSTGString(`
 .model celem
