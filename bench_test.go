@@ -144,36 +144,70 @@ func BenchmarkParallelVsSerialFaultSim(b *testing.B) {
 	})
 }
 
-// BenchmarkFaultSimEngines compares the three fault-simulation shapes on
-// one seeded randckt circuit and a 64-sequence pattern batch:
+// BenchmarkFaultSimEngines compares the fault-simulation shapes on one
+// seeded randckt circuit:
 //
 //   - serial-per-pattern: the scalar ternary machine, one fault × one
-//     sequence at a time (the pre-fsim baseline);
-//   - bitparallel-1: the fsim engine, 64 pattern lanes per word, single
-//     worker;
-//   - sharded-N: the same engine with the fault list partitioned across
-//     GOMAXPROCS workers.
+//     sequence at a time (the pre-fsim baseline), on a 64-sequence
+//     batch;
+//   - bitparallel-1 / sharded-N: the lanevec-cored fsim engine on the
+//     same 64-sequence batch, full universe (NoCollapse) so the number
+//     compares the sweep core itself against the pre-unification
+//     engine;
+//   - collapsed-1: the default configuration — representatives only,
+//     verdicts fanned out — on the same batch;
+//   - wide/lanes-64|128|256: a 256-sequence workload chunked by lane
+//     width, measuring the multi-word pattern throughput.
 //
-// All three drop a fault at its first detection, and all three must
-// report the same detected count — asserted against the scalar
+// Every variant drops a fault at its first detection, and every variant
+// must report the same detected count — asserted against the scalar
 // reference, not merely reported.
 func BenchmarkFaultSimEngines(b *testing.B) {
 	c := benchRandCircuit(b)
 	universe := faults.InputUniverse(c)
 	const lanes, cycles = 64, 16
 	rng := rand.New(rand.NewSource(7))
-	seqs := make([][]uint64, lanes)
-	m := c.NumInputs()
-	for l := range seqs {
-		seq := make([]uint64, cycles)
-		for t := range seq {
-			seq[t] = rng.Uint64() & (1<<uint(m) - 1)
+	mkSeqs := func(n int) [][]uint64 {
+		m := c.NumInputs()
+		seqs := make([][]uint64, n)
+		for l := range seqs {
+			seq := make([]uint64, cycles)
+			for t := range seq {
+				seq[t] = rng.Uint64() & (1<<uint(m) - 1)
+			}
+			seqs[l] = seq
 		}
-		seqs[l] = seq
+		return seqs
 	}
-	b.Logf("circuit %s: %d gates, %d faults, %d lanes × %d cycles",
-		c.Name, c.NumGates(), len(universe), lanes, cycles)
+	seqs := mkSeqs(lanes)
+	cl := faults.Collapse(c, universe)
+	b.Logf("circuit %s: %d gates, %d faults (%d classes), %d lanes × %d cycles",
+		c.Name, c.NumGates(), len(universe), cl.NumClasses, lanes, cycles)
 	want := serialFaultSim(c, universe, seqs)
+
+	runEngine := func(b *testing.B, seqs [][]uint64, opts fsim.Options, want int) {
+		b.Helper()
+		var detected int
+		for i := 0; i < b.N; i++ {
+			s, err := fsim.New(c, universe, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.SimulateSequences(seqs, nil, nil, func(int, *fsim.BatchResult) {}); err != nil {
+				b.Fatal(err)
+			}
+			detected = 0
+			for fi := range universe {
+				if s.Detected(fi) {
+					detected++
+				}
+			}
+		}
+		if detected != want {
+			b.Fatalf("engine %+v found %d faults, scalar reference %d", opts, detected, want)
+		}
+		b.ReportMetric(float64(detected), "detected")
+	}
 
 	b.Run("serial-per-pattern", func(b *testing.B) {
 		var detected int
@@ -199,26 +233,26 @@ func BenchmarkFaultSimEngines(b *testing.B) {
 		}
 		w := w
 		b.Run(name, func(b *testing.B) {
-			var detected int
-			for i := 0; i < b.N; i++ {
-				s, err := fsim.New(c, universe, fsim.Options{Workers: w})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, err := s.SimulateBatch(fsim.Batch{Seqs: seqs}); err != nil {
-					b.Fatal(err)
-				}
-				detected = 0
-				for fi := range universe {
-					if s.Detected(fi) {
-						detected++
-					}
-				}
-			}
-			if detected != want {
-				b.Fatalf("bit-parallel (%d workers) found %d faults, scalar reference %d", w, detected, want)
-			}
-			b.ReportMetric(float64(detected), "detected")
+			runEngine(b, seqs, fsim.Options{Workers: w, NoCollapse: true}, want)
+		})
+	}
+	b.Run("collapsed-1", func(b *testing.B) {
+		runEngine(b, seqs, fsim.Options{Workers: 1}, want)
+	})
+
+	// Multi-word pattern throughput: the same fault universe against a
+	// 256-sequence workload, chunked by lane width.  Fewer, wider
+	// sweeps answer the same questions and amortise per-gate fixed
+	// costs, but a batch sweeps until its slowest lane settles, so the
+	// net is workload-dependent: expect ~1.6× at 256 lanes and roughly
+	// break-even at 128 on this circuit.
+	wideSeqs := mkSeqs(256)
+	wideWant := serialFaultSim(c, universe, wideSeqs)
+	for _, lw := range []int{64, 128, 256} {
+		lw := lw
+		b.Run("wide/lanes-"+strconv.Itoa(lw), func(b *testing.B) {
+			runEngine(b, wideSeqs, fsim.Options{Workers: 1, Lanes: lw, NoCollapse: true}, wideWant)
+			b.ReportMetric(float64(lw), "lanes")
 		})
 	}
 }

@@ -28,6 +28,7 @@ func main() {
 		skipRandom  = flag.Bool("skip-random", false, "disable the random TPG phase")
 		fsimFlag    = flag.Bool("fsim", false, "re-measure coverage of the generated tests with the bit-parallel fault simulator")
 		fsimWorkers = flag.Int("fsim-workers", 0, "goroutines sharding the fault list (0: GOMAXPROCS)")
+		lanes       = flag.Int("lanes", 0, "fault-simulation lane width: 64 (default), 128 or 256 patterns per sweep")
 		testsOut    = flag.String("tests", "", "write tester programs to this file")
 		validate    = flag.Int("validate", 0, "Monte-Carlo trials on the timed chip model (0: skip)")
 		perFault    = flag.Bool("per-fault", false, "print the verdict for every fault")
@@ -47,10 +48,15 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown model %q (want input or output)", *model))
 	}
+	switch *lanes {
+	case 0, 64, 128, 256:
+	default:
+		fatal(fmt.Errorf("unsupported -lanes %d (want 64, 128 or 256)", *lanes))
+	}
 	opts := satpg.Options{
 		K: *k, Seed: *seed,
 		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
-		FaultSimWorkers: *fsimWorkers,
+		FaultSimWorkers: *fsimWorkers, FaultSimLanes: *lanes,
 	}
 	g, err := satpg.Abstract(c, opts)
 	if err != nil {

@@ -93,6 +93,12 @@ type Options struct {
 	// FaultSimWorkers shards the bit-parallel fault simulation of the
 	// random phase across this many goroutines (0: GOMAXPROCS).
 	FaultSimWorkers int
+	// FaultSimLanes selects the lane width of the bit-parallel fault
+	// simulation: 64 (default), 128 or 256 random walks ride one batch.
+	// Unsupported values fall back to the default width.  The generated
+	// tests and per-fault verdicts are identical across widths; wider
+	// lanes amortise each sweep over more walks.
+	FaultSimLanes int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +116,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxFaultySet == 0 {
 		o.MaxFaultySet = 1024
+	}
+	switch o.FaultSimLanes {
+	case 0, 64, 128, 256:
+	default:
+		// A library-facing option must not panic the flow; fall back to
+		// the default width (cmd/satpg rejects bad -lanes up front).
+		o.FaultSimLanes = 0
 	}
 	return o
 }
@@ -205,9 +218,10 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 	}
 
 	// Phase 1: random TPG.  The walks are drawn exactly as before, but
-	// fault simulation is batched: 64 walks ride the lanes of one
-	// fsim.Batch and every remaining fault is evaluated against all of
-	// them in one pass, sharded across workers.  NoDrop keeps the full
+	// fault simulation is batched: a lane-width of walks (64–256, per
+	// FaultSimLanes) rides one fsim.Batch and every remaining fault is
+	// evaluated against all of them in one pass, sharded across
+	// workers.  NoDrop keeps the full
 	// fault × walk matrix so the sequential test-selection replay below
 	// is observably identical to per-walk simulation (a ternary detection
 	// that the exact confirmation rejects stays live for later walks);
@@ -221,14 +235,16 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 			walks[seq] = randomWalk(g, rng, opts.RandomLength)
 		}
 		fs, err := fsim.New(g.C, universe, fsim.Options{
-			Workers: opts.FaultSimWorkers, NoDrop: true,
+			Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes, NoDrop: true,
 		})
 		if err != nil {
-			// Unreachable: non-stuck-at models force SkipRandom above.
+			// Unreachable: non-stuck-at models force SkipRandom above and
+			// withDefaults normalises FaultSimLanes.
 			panic("atpg: " + err.Error())
 		}
-		for base := 0; base < len(walks) && len(remaining) > 0; base += fsim.MaxLanes {
-			end := min(base+fsim.MaxLanes, len(walks))
+		width := fs.Lanes()
+		for base := 0; base < len(walks) && len(remaining) > 0; base += width {
+			end := min(base+width, len(walks))
 			chunk := walks[base:end]
 			batch := fsim.Batch{
 				Seqs:     make([][]uint64, len(chunk)),
@@ -246,10 +262,9 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 				if len(test.Patterns) == 0 || len(remaining) == 0 {
 					continue
 				}
-				bit := uint64(1) << uint(l)
 				var cand []int
 				for _, fi := range remaining {
-					if br.Lanes[fi]&bit != 0 {
+					if br.Lanes[fi].Has(l) {
 						cand = append(cand, fi)
 					}
 				}

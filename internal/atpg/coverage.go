@@ -16,9 +16,9 @@ type FaultCoverage struct {
 	Detected bool
 	// TestIndex is a test (index into the measured set) whose replay
 	// guarantees detection; -1 when undetected or when the fault is
-	// already observable at reset.  Tests are measured 64 at a time, so
-	// within a batch the earliest-*cycle* detection wins the
-	// attribution, not the lowest test index.
+	// already observable at reset.  Tests are measured one lane-width
+	// at a time, so within a batch the earliest-*cycle* detection wins
+	// the attribution, not the lowest test index.
 	TestIndex int
 	// Cycle is the cycle of first detection within that test; -1 means
 	// the reset response alone exposes the fault.
@@ -31,6 +31,8 @@ type CoverageReport struct {
 	Detected int
 	PerFault []FaultCoverage
 	Workers  int
+	Lanes    int // lane width the measurement ran at
+	Classes  int // simulated equivalence classes (≤ Total)
 	Elapsed  time.Duration
 }
 
@@ -44,21 +46,24 @@ func (r *CoverageReport) Coverage() float64 {
 
 // Summary renders a one-line report.
 func (r *CoverageReport) Summary() string {
-	return fmt.Sprintf("fsim cov=%d/%d (%.2f%%) workers=%d elapsed=%v",
-		r.Detected, r.Total, 100*r.Coverage(), r.Workers, r.Elapsed.Round(time.Microsecond))
+	return fmt.Sprintf("fsim cov=%d/%d (%.2f%%) classes=%d lanes=%d workers=%d elapsed=%v",
+		r.Detected, r.Total, 100*r.Coverage(), r.Classes, r.Lanes, r.Workers,
+		r.Elapsed.Round(time.Microsecond))
 }
 
 // CoverageOf measures the guaranteed fault coverage of a test set with
-// the bit-parallel pattern-parallel engine: tests ride the 64 lanes of
-// each fsim batch, the fault list is sharded across workers, and a fault
-// is dropped from later batches the moment one test detects it.  The
-// verdict is the conservative ternary one — a fault counts only when
-// some primary output settles definitely opposite the expected response
-// (or the reset response) under every delay assignment.  Tests must
-// carry their Expected outputs (every Test built by this package does).
-func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, workers int) (*CoverageReport, error) {
+// the bit-parallel pattern-parallel engine: tests ride the lanes of
+// each fsim batch (64, 128 or 256 wide), only one representative per
+// structural equivalence class is simulated, the class list is sharded
+// across workers, and a fault is dropped from later batches the moment
+// one test detects it.  The verdict is the conservative ternary one — a
+// fault counts only when some primary output settles definitely
+// opposite the expected response (or the reset response) under every
+// delay assignment.  Tests must carry their Expected outputs (every
+// Test built by this package does).
+func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, workers, lanes int) (*CoverageReport, error) {
 	start := time.Now()
-	s, err := fsim.New(c, universe, fsim.Options{Workers: workers, CheckReset: true})
+	s, err := fsim.New(c, universe, fsim.Options{Workers: workers, Lanes: lanes, CheckReset: true})
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +71,8 @@ func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, worke
 		Total:    len(universe),
 		PerFault: make([]FaultCoverage, len(universe)),
 		Workers:  workers,
+		Lanes:    s.Lanes(),
+		Classes:  s.NumClasses(),
 	}
 	if rep.Workers <= 0 {
 		rep.Workers = runtime.GOMAXPROCS(0)

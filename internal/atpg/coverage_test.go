@@ -16,7 +16,7 @@ func TestCoverageOfMatchesRun(t *testing.T) {
 	res := Run(g, faults.InputSA, Options{Seed: 1})
 	universe := faults.Universe(g.C, faults.InputSA)
 
-	rep, err := CoverageOf(g.C, universe, res.Tests, 2)
+	rep, err := CoverageOf(g.C, universe, res.Tests, 2, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestCoverageOfMatchesRun(t *testing.T) {
 func TestCoverageOfEmptyTestSet(t *testing.T) {
 	g := buildCSSG(t, invSrc, "inv")
 	universe := faults.Universe(g.C, faults.OutputSA)
-	rep, err := CoverageOf(g.C, universe, nil, 1)
+	rep, err := CoverageOf(g.C, universe, nil, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestCoverageOfEmptyTestSet(t *testing.T) {
 
 func TestCoverageOfRejectsTransitionFaults(t *testing.T) {
 	g := buildCSSG(t, invSrc, "inv")
-	if _, err := CoverageOf(g.C, faults.Universe(g.C, faults.Transition), nil, 1); err == nil {
+	if _, err := CoverageOf(g.C, faults.Universe(g.C, faults.Transition), nil, 1, 0); err == nil {
 		t.Fatal("transition universe must be rejected")
 	}
 }

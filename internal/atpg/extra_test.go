@@ -104,3 +104,15 @@ init A=0 c=1 d=1
 		}
 	}
 }
+
+// An unsupported FaultSimLanes value must fall back to the default
+// width instead of panicking the flow, and produce the same result.
+func TestInvalidFaultSimLanesFallsBack(t *testing.T) {
+	g := buildCSSG(t, pipe2Src, "pipe2")
+	base := Run(g, faults.InputSA, Options{Seed: 1})
+	odd := Run(g, faults.InputSA, Options{Seed: 1, FaultSimLanes: 32})
+	if odd.Covered != base.Covered || len(odd.Tests) != len(base.Tests) {
+		t.Fatalf("fallback diverged: cov %d vs %d, tests %d vs %d",
+			odd.Covered, base.Covered, len(odd.Tests), len(base.Tests))
+	}
+}

@@ -211,32 +211,225 @@ func Universe(c *netlist.Circuit, t Type) []Fault {
 	return nil
 }
 
-// CollapseStats summarises cheap structural equivalences in a fault list:
-// an input-SA fault on the single fanout pin of a signal is equivalent to
-// the output-SA fault on that signal.  The ATPG does not exploit this (the
-// paper reports uncollapsed totals); the statistic is informational.
+// CollapseStats summarises the cheap structural equivalences found in a
+// fault list.  The paper reports uncollapsed totals, and so do we: the
+// collapsing below shrinks only the *simulated* universe — every fault
+// keeps its own verdict, fanned out from its class representative.
 type CollapseStats struct {
 	Total            int
 	EquivalentToOut  int // input faults equivalent to an output fault
 	SingleFanoutPins int
 }
 
-// Collapse computes CollapseStats for an input-SA universe.
-func Collapse(c *netlist.Circuit, list []Fault) CollapseStats {
-	st := CollapseStats{Total: len(list)}
-	for _, f := range list {
-		if f.Type != InputSA {
-			continue
+// Collapsed is a representative-fault mapping over a stuck-at universe:
+// faults in the same structural equivalence class provably behave
+// identically at every primary output in every delay assignment, so a
+// simulator only needs to run one representative per class and can copy
+// the verdict to the rest.
+type Collapsed struct {
+	// Rep maps each index of the collapsed list to the index of its
+	// class representative (the lowest list index of the class;
+	// Rep[r] == r for representatives).  Faults the collapsing does not
+	// understand (e.g. transition faults) are their own representative.
+	Rep []int
+	// NumClasses is the number of distinct representatives.
+	NumClasses int
+	// Stats carries the informational summary.
+	Stats CollapseStats
+}
+
+// Representatives returns the sorted list indices that must actually be
+// simulated.
+func (cl Collapsed) Representatives() []int {
+	out := make([]int, 0, cl.NumClasses)
+	for i, r := range cl.Rep {
+		if r == i {
+			out = append(out, i)
 		}
-		sig := f.Site(c)
-		if len(c.Fanouts(sig)) == 1 {
-			st.EquivalentToOut++
+	}
+	return out
+}
+
+// Members returns, for each list index, the indices sharing its class
+// representative (Members[r] is the full class for representative r;
+// non-representatives get nil).
+func (cl Collapsed) Members() [][]int {
+	out := make([][]int, len(cl.Rep))
+	for i, r := range cl.Rep {
+		out[r] = append(out[r], i)
+	}
+	return out
+}
+
+// Collapse computes the structural equivalence classes of a stuck-at
+// fault list.  Two rules, both exact behavioural identities on the
+// primary outputs (ternary and binary semantics alike):
+//
+//  1. Unary gates: for a non-self-dependent gate d with a single fanin
+//     and output function f, the input fault d.pin0/SA-v forces the
+//     output to the constant f(v) exactly like the output fault
+//     d/SA-f(v) does — the two faulty circuits are identical on every
+//     signal.
+//  2. Single-fanout nets: when gate d's output s is read by exactly one
+//     gate pin (g,p) and s is not a primary output, d/SA-v and
+//     g.pinp/SA-v differ only in the value of s itself, which nothing
+//     observes — the faulty circuits agree on every other signal and on
+//     all primary outputs.  (Self-dependent d is fine: s's private
+//     feedback never escapes.)
+//
+// Chaining the rules collapses buffer/inverter chains within a single
+// model too: the classes are the connected components over a virtual
+// node space of output and input stuck-at sites, and the list faults
+// that land in one component form one class.
+func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
+	cl := Collapsed{Rep: make([]int, len(list))}
+	cl.Stats.Total = len(list)
+
+	// Fanout pin census: readers[s] is the unique (gate, pin) reading s
+	// when pinCount[s] == 1.  Scanning fanins (rather than Fanouts)
+	// counts a gate reading s on two pins twice, as it must.
+	type pinRef struct{ gate, pin int }
+	pinCount := make([]int, c.NumSignals())
+	reader := make([]pinRef, c.NumSignals())
+	for gi := 0; gi < c.NumGates(); gi++ {
+		for p, s := range c.Gates[gi].Fanin {
+			pinCount[s]++
+			reader[s] = pinRef{gate: gi, pin: p}
 		}
+	}
+	isPO := make([]bool, c.NumSignals())
+	for _, s := range c.Outputs {
+		isPO[s] = true
 	}
 	for s := 0; s < c.NumSignals(); s++ {
-		if len(c.Fanouts(netlist.SigID(s))) == 1 {
-			st.SingleFanoutPins++
+		if pinCount[s] == 1 {
+			cl.Stats.SingleFanoutPins++
 		}
 	}
-	return st
+
+	// Virtual node space: 2 output-SA nodes per gate, then input-SA
+	// nodes allocated on demand.
+	uf := newUnionFind(2 * c.NumGates())
+	outNode := func(gi int, one bool) int {
+		n := 2 * gi
+		if one {
+			n++
+		}
+		return n
+	}
+	inNodes := make(map[[3]int]int) // (gate, pin, value) → node
+	inNode := func(gi, pin int, one bool) int {
+		v := 0
+		if one {
+			v = 1
+		}
+		key := [3]int{gi, pin, v}
+		if n, ok := inNodes[key]; ok {
+			return n
+		}
+		n := uf.add()
+		inNodes[key] = n
+		return n
+	}
+
+	for gi := 0; gi < c.NumGates(); gi++ {
+		g := &c.Gates[gi]
+		// Rule 1: unary non-self-dependent gates.
+		if len(g.Fanin) == 1 && !g.Kind.SelfDependent() {
+			for _, v := range []bool{false, true} {
+				idx := 0
+				if v {
+					idx = 1
+				}
+				fv := g.Tbl[idx]
+				if fv.IsDefinite() {
+					uf.union(inNode(gi, 0, v), outNode(gi, fv == logic.One))
+				}
+			}
+		}
+		// Rule 2: this gate's output feeds exactly one pin and is not
+		// observable itself.
+		s := g.Out
+		if pinCount[s] == 1 && !isPO[s] {
+			r := reader[s]
+			for _, v := range []bool{false, true} {
+				uf.union(outNode(gi, v), inNode(r.gate, r.pin, v))
+			}
+		}
+	}
+
+	// Group list faults by component; representative = lowest index.
+	repOf := make(map[int]int) // component root → representative index
+	for i, f := range list {
+		var n int
+		switch f.Type {
+		case OutputSA:
+			n = outNode(f.Gate, f.Value == logic.One)
+		case InputSA:
+			n = inNode(f.Gate, f.Pin, f.Value == logic.One)
+		default:
+			// Transition faults collapse with nothing.
+			cl.Rep[i] = i
+			cl.NumClasses++
+			continue
+		}
+		root := uf.find(n)
+		if r, ok := repOf[root]; ok {
+			cl.Rep[i] = r
+		} else {
+			repOf[root] = i
+			cl.Rep[i] = i
+			cl.NumClasses++
+		}
+	}
+	for _, f := range list {
+		if f.Type == InputSA && pinCount[f.Site(c)] == 1 {
+			cl.Stats.EquivalentToOut++
+		}
+	}
+	return cl
+}
+
+// unionFind is a plain weighted union-find with path halving over a
+// growable node space.
+type unionFind struct {
+	parent []int
+	rank   []uint8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]uint8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) add() int {
+	n := len(uf.parent)
+	uf.parent = append(uf.parent, n)
+	uf.rank = append(uf.rank, 0)
+	return n
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
 }

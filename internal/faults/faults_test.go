@@ -171,11 +171,79 @@ func TestDescribeFormats(t *testing.T) {
 
 func TestCollapse(t *testing.T) {
 	c := parse(t)
-	st := Collapse(c, InputUniverse(c))
-	if st.Total != len(InputUniverse(c)) {
+	universe := InputUniverse(c)
+	cl := Collapse(c, universe)
+	if cl.Stats.Total != len(universe) {
 		t.Error("total mismatch")
 	}
-	if st.EquivalentToOut == 0 || st.SingleFanoutPins == 0 {
-		t.Errorf("degenerate collapse stats: %+v", st)
+	if cl.Stats.EquivalentToOut == 0 || cl.Stats.SingleFanoutPins == 0 {
+		t.Errorf("degenerate collapse stats: %+v", cl.Stats)
+	}
+	if len(cl.Rep) != len(universe) {
+		t.Fatalf("Rep length %d, want %d", len(cl.Rep), len(universe))
+	}
+	// Representative invariants: reps point to themselves, members point
+	// to an earlier (or equal) representative, counts agree.
+	reps := cl.Representatives()
+	if len(reps) != cl.NumClasses {
+		t.Errorf("NumClasses %d but %d representatives", cl.NumClasses, len(reps))
+	}
+	for i, r := range cl.Rep {
+		if cl.Rep[r] != r {
+			t.Errorf("fault %d: representative %d is not its own representative", i, r)
+		}
+		if r > i {
+			t.Errorf("fault %d: representative %d comes later in the list", i, r)
+		}
+	}
+	members := cl.Members()
+	total := 0
+	for _, r := range reps {
+		total += len(members[r])
+	}
+	if total != len(universe) {
+		t.Errorf("classes cover %d faults, want %d", total, len(universe))
 	}
 }
+
+// The mixed universe must collapse: every output fault on a
+// single-fanout, non-observable net shares a class with the input fault
+// on its reading pin, and unary chains merge transitively.
+func TestCollapseMergesMixedUniverse(t *testing.T) {
+	c := parse(t)
+	universe := append(OutputUniverse(c), InputUniverse(c)...)
+	cl := Collapse(c, universe)
+	if cl.NumClasses >= len(universe) {
+		t.Fatalf("mixed universe did not collapse: %d classes of %d faults",
+			cl.NumClasses, len(universe))
+	}
+	// Every primary input is buffered; the buffer is a unary identity
+	// gate, so A@in-pin/SA0 ≡ a/SA0 (buffer output stuck) must merge.
+	aID, _ := c.SignalID("a") // buffer output of input A
+	bufGate := c.GateOf(aID)
+	var outIdx, inIdx = -1, -1
+	for i, f := range universe {
+		if f.Gate != bufGate {
+			continue
+		}
+		if f.Type == OutputSA && f.Value == logic.Zero {
+			outIdx = i
+		}
+		if f.Type == InputSA && f.Pin == 0 && f.Value == logic.Zero {
+			inIdx = i
+		}
+	}
+	if outIdx < 0 || inIdx < 0 {
+		t.Fatal("buffer faults not found in universe")
+	}
+	if cl.Rep[outIdx] != cl.Rep[inIdx] {
+		t.Errorf("buffer input/output SA0 not merged: rep %d vs %d",
+			cl.Rep[outIdx], cl.Rep[inIdx])
+	}
+}
+
+// The scalar behavioural-equivalence property for collapsed classes
+// (same primary-output trace from reset for every member, under the
+// ternary machine) lives in internal/fsim's differential tests, next to
+// the collapse-vs-full detected-set check — the faults package cannot
+// import the simulators.

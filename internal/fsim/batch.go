@@ -3,17 +3,21 @@ package fsim
 import (
 	"fmt"
 
+	"repro/internal/lanevec"
 	"repro/internal/netlist"
 )
 
-// MaxLanes is the machine-word width of the pattern-parallel simulator:
-// up to 64 independent test sequences ride in one uint64 lane word.
-const MaxLanes = 64
+// DefaultLanes is the default lane width of the pattern-parallel
+// simulator: 64 independent test sequences per machine word.
+// Options.Lanes widens a Simulator to 128 or 256 lanes (two or four
+// words per vector).
+const DefaultLanes = 64
 
-// Batch is a set of up to MaxLanes independent test sequences, all
-// applied from the circuit's reset state.  Lane l carries Seqs[l];
-// sequences may have different lengths (ragged batches are fine — a lane
-// stops participating in detection once its sequence is exhausted).
+// Batch is a set of independent test sequences (at most the simulator's
+// lane width), all applied from the circuit's reset state.  Lane l
+// carries Seqs[l]; sequences may have different lengths (ragged batches
+// are fine — a lane stops participating in detection once its sequence
+// is exhausted).
 type Batch struct {
 	// Seqs holds one pattern sequence per lane: primary-input vectors
 	// (input i at bit i), applied in order from reset.
@@ -46,13 +50,14 @@ func (b *Batch) Cycles() int {
 	return max
 }
 
-// validate checks lane count and Expected shape.
-func (b *Batch) validate() error {
+// validate checks lane count against the simulator width and the
+// Expected shape.
+func (b *Batch) validate(width int) error {
 	if len(b.Seqs) == 0 {
 		return fmt.Errorf("fsim: empty batch")
 	}
-	if len(b.Seqs) > MaxLanes {
-		return fmt.Errorf("fsim: %d sequences exceed %d lanes", len(b.Seqs), MaxLanes)
+	if len(b.Seqs) > width {
+		return fmt.Errorf("fsim: %d sequences exceed %d lanes", len(b.Seqs), width)
 	}
 	if b.Expected != nil {
 		if len(b.Expected) != len(b.Seqs) {
@@ -71,45 +76,41 @@ func (b *Batch) validate() error {
 }
 
 // packedBatch is the lane-transposed form shared read-only by all
-// workers: per cycle, one word per primary input, plus the good-response
-// trace as per-output definite words.
-type packedBatch struct {
-	all    uint64     // mask of lanes in use
-	cycles int        // longest sequence length
-	rails  [][]uint64 // [cycle][input]: lane word of input values
-	live   []uint64   // [cycle]: lanes whose sequence includes this cycle
+// workers: per cycle, one lane vector per primary input, plus the
+// good-response trace as per-output definite vectors.
+type packedBatch[V lanevec.Vec[V]] struct {
+	all    V      // mask of lanes in use
+	cycles int    // longest sequence length
+	rails  [][]V  // [cycle][input]: lane vector of input values
+	live   []V    // [cycle]: lanes whose sequence includes this cycle
 
 	// Good-circuit response trace (definite values only).
-	good1, good0   [][]uint64 // [cycle][output]
-	reset1, reset0 []uint64   // [output], before any pattern
+	good1, good0   [][]V // [cycle][output]
+	reset1, reset0 []V   // [output], before any pattern
 }
 
-// pack transposes the batch into lane words.  Lanes whose sequence is
+// pack transposes the batch into lane vectors.  Lanes whose sequence is
 // shorter than the batch keep re-applying their last pattern (holding a
 // settled state is idempotent) but are masked out of detection by live.
-func pack(c *netlist.Circuit, b *Batch) (*packedBatch, error) {
-	if err := b.validate(); err != nil {
+func pack[V lanevec.Vec[V]](c *netlist.Circuit, b *Batch) (*packedBatch[V], error) {
+	var zero V
+	if err := b.validate(zero.Size()); err != nil {
 		return nil, err
 	}
 	nl := len(b.Seqs)
-	pk := &packedBatch{cycles: b.Cycles()}
-	if nl == MaxLanes {
-		pk.all = ^uint64(0)
-	} else {
-		pk.all = 1<<uint(nl) - 1
-	}
+	pk := &packedBatch[V]{cycles: b.Cycles(), all: zero.FirstN(nl)}
 	m := c.NumInputs()
 	resetRails := c.InputBits(c.InitState())
-	pk.rails = make([][]uint64, pk.cycles)
-	pk.live = make([]uint64, pk.cycles)
+	pk.rails = make([][]V, pk.cycles)
+	pk.live = make([]V, pk.cycles)
 	for t := 0; t < pk.cycles; t++ {
-		words := make([]uint64, m)
+		words := make([]V, m)
 		for l, seq := range b.Seqs {
 			var pat uint64
 			switch {
 			case t < len(seq):
 				pat = seq[t]
-				pk.live[t] |= 1 << uint(l)
+				pk.live[t] = pk.live[t].WithBit(l)
 			case len(seq) > 0:
 				pat = seq[len(seq)-1]
 			default:
@@ -117,7 +118,7 @@ func pack(c *netlist.Circuit, b *Batch) (*packedBatch, error) {
 			}
 			for i := 0; i < m; i++ {
 				if pat>>uint(i)&1 == 1 {
-					words[i] |= 1 << uint(l)
+					words[i] = words[i].WithBit(l)
 				}
 			}
 		}
@@ -126,24 +127,24 @@ func pack(c *netlist.Circuit, b *Batch) (*packedBatch, error) {
 	return pk, nil
 }
 
-// traceFromExpected fills the good-response words from the batch's
+// traceFromExpected fills the good-response vectors from the batch's
 // declared expected outputs (definite by construction).
-func (pk *packedBatch) traceFromExpected(c *netlist.Circuit, b *Batch) {
+func (pk *packedBatch[V]) traceFromExpected(c *netlist.Circuit, b *Batch) {
 	no := len(c.Outputs)
-	pk.good1 = make([][]uint64, pk.cycles)
-	pk.good0 = make([][]uint64, pk.cycles)
+	pk.good1 = make([][]V, pk.cycles)
+	pk.good0 = make([][]V, pk.cycles)
 	for t := 0; t < pk.cycles; t++ {
-		g1 := make([]uint64, no)
-		g0 := make([]uint64, no)
+		g1 := make([]V, no)
+		g0 := make([]V, no)
 		for l, e := range b.Expected {
 			if t >= len(e) {
 				continue // lane not live; detection is masked anyway
 			}
 			for j := 0; j < no; j++ {
 				if e[t]>>uint(j)&1 == 1 {
-					g1[j] |= 1 << uint(l)
+					g1[j] = g1[j].WithBit(l)
 				} else {
-					g0[j] |= 1 << uint(l)
+					g0[j] = g0[j].WithBit(l)
 				}
 			}
 		}
@@ -151,49 +152,56 @@ func (pk *packedBatch) traceFromExpected(c *netlist.Circuit, b *Batch) {
 	}
 }
 
-// traceFromResetExpected fills the reset-response words from the
+// traceFromResetExpected fills the reset-response vectors from the
 // batch's declared per-lane reset expectations.
-func (pk *packedBatch) traceFromResetExpected(c *netlist.Circuit, b *Batch) {
+func (pk *packedBatch[V]) traceFromResetExpected(c *netlist.Circuit, b *Batch) {
 	no := len(c.Outputs)
-	pk.reset1 = make([]uint64, no)
-	pk.reset0 = make([]uint64, no)
+	pk.reset1 = make([]V, no)
+	pk.reset0 = make([]V, no)
 	for l, e := range b.ResetExpected {
 		for j := 0; j < no; j++ {
 			if e>>uint(j)&1 == 1 {
-				pk.reset1[j] |= 1 << uint(l)
+				pk.reset1[j] = pk.reset1[j].WithBit(l)
 			} else {
-				pk.reset0[j] |= 1 << uint(l)
+				pk.reset0[j] = pk.reset0[j].WithBit(l)
 			}
 		}
 	}
 }
 
-// traceFromGoodRun simulates the good machine over the batch and records
-// its definite output words per cycle (X outputs detect nothing),
-// filling only the trace pieces the batch did not declare itself.
-func (pk *packedBatch) traceFromGoodRun(m *machine) {
-	no := len(m.c.Outputs)
-	def := func() ([]uint64, []uint64) {
-		d1 := make([]uint64, no)
-		d0 := make([]uint64, no)
-		for j, sig := range m.c.Outputs {
-			d1[j] = m.p1[sig] &^ m.p0[sig]
-			d0[j] = m.p0[sig] &^ m.p1[sig]
+// goodTrace is the good machine's definite response trace over one
+// batch's rails: the cacheable part of a packedBatch.  good1/good0 stay
+// nil until some batch actually needs per-cycle good responses (a batch
+// that declares Expected only ever needs the reset pair).
+type goodTrace[V lanevec.Vec[V]] struct {
+	reset1, reset0 []V
+	good1, good0   [][]V
+}
+
+// run simulates the good machine over the rails, filling the reset pair
+// and, when cycles is true, the per-cycle definite output vectors.
+func (tr *goodTrace[V]) run(m *machine[V], pk *packedBatch[V], cycles bool) {
+	c := m.eng.Circuit()
+	no := len(c.Outputs)
+	def := func() ([]V, []V) {
+		d1 := make([]V, no)
+		d0 := make([]V, no)
+		for j, sig := range c.Outputs {
+			d1[j], d0[j] = m.eng.Definite(sig)
 		}
 		return d1, d0
 	}
+	m.setAll(pk.all)
 	m.inject(nil)
 	m.reset()
-	if pk.reset1 == nil {
-		pk.reset1, pk.reset0 = def()
+	tr.reset1, tr.reset0 = def()
+	if !cycles {
+		return
 	}
-	if pk.good1 != nil {
-		return // expected trace already supplied; only reset was missing
-	}
-	pk.good1 = make([][]uint64, pk.cycles)
-	pk.good0 = make([][]uint64, pk.cycles)
+	tr.good1 = make([][]V, pk.cycles)
+	tr.good0 = make([][]V, pk.cycles)
 	for t := 0; t < pk.cycles; t++ {
 		m.apply(pk.rails[t])
-		pk.good1[t], pk.good0[t] = def()
+		tr.good1[t], tr.good0[t] = def()
 	}
 }

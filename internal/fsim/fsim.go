@@ -1,21 +1,30 @@
 // Package fsim is the bit-parallel concurrent fault-simulation engine:
-// the scaling counterpart of sim.Parallel with the axes swapped.
+// the pattern-parallel instantiation of the shared lanevec sweep core.
 //
-// sim.Parallel packs 64 faulty machines into one word and applies a
-// single pattern per step (parallel fault simulation in the Seshu
-// tradition); fsim packs 64 test-pattern sequences into one word and
-// evaluates one fault at a time against all of them (the PPSFP —
-// parallel-pattern single-fault propagation — orientation).  For the
-// coverage-measurement workload "many tests × many faults" this is the
-// winning shape, because it composes with the two standard ATPG scaling
-// moves:
+// sim.Parallel instantiates the core fault-per-lane (many faulty
+// machines, one pattern per step, the Seshu tradition); fsim
+// instantiates it pattern-per-lane and evaluates one fault at a time
+// against a whole batch of test sequences (the PPSFP — parallel-pattern
+// single-fault propagation — orientation).  For the coverage workload
+// "many tests × many faults" this is the winning shape, because it
+// composes with the standard ATPG scaling moves:
 //
+//   - wide lanes: Options.Lanes selects 64, 128 or 256 test sequences
+//     per sweep (one, two or four machine words per signal vector);
+//   - fault collapsing: structurally equivalent faults (faults.Collapse)
+//     are simulated once per class and the verdict is fanned back out to
+//     every member, so the simulated universe is smaller than the
+//     reported one;
 //   - fault dropping: a fault is removed from the simulation the moment
 //     one lane guarantees its detection, so late faults never pay for
 //     patterns that early faults already answered;
 //   - sharding: faults are independent once the good trace is computed,
-//     so the fault list is partitioned across GOMAXPROCS workers, each
-//     with its own lane machine.
+//     so the representative list is partitioned across workers — the
+//     shard assignment and the per-worker lane machines are sticky
+//     across batches, keeping worker state cache-warm;
+//   - good-trace caching: the good machine's response to a sequence set
+//     is cached across Simulator instances, so repeated measurements of
+//     the same tests skip the redundant good run.
 //
 // Detection semantics match the rest of the repository: a fault counts
 // as detected only when some primary output settles to a definite value
@@ -25,20 +34,26 @@ package fsim
 
 import (
 	"fmt"
-	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/faults"
+	"repro/internal/lanevec"
 	"repro/internal/netlist"
 )
 
 // Options tunes the engine.
 type Options struct {
 	// Workers is the number of goroutines the fault list is sharded
-	// across (0: GOMAXPROCS).
+	// across (0: GOMAXPROCS).  The shard assignment is fixed at New and
+	// each worker keeps its lane machine across batches.
 	Workers int
+	// Lanes is the number of test sequences simulated per sweep: 64
+	// (default), 128 or 256.  Wider lanes trade more work per gate
+	// evaluation for fewer sweeps per batch; the detected sets are
+	// identical across widths.
+	Lanes int
 	// NoDrop keeps simulating a fault against the full batch after its
 	// first detection, so BatchResult.Lanes carries the complete
 	// fault × lane detection matrix (diagnostics and the ATPG random
@@ -47,6 +62,12 @@ type Options struct {
 	// CheckReset also compares outputs right after reset settling,
 	// before any pattern — the tester observes the reset response too.
 	CheckReset bool
+	// NoCollapse simulates every fault of the universe individually
+	// instead of one representative per structural equivalence class.
+	// The results are identical either way (the differential tests
+	// assert it); the flag exists for those tests and for measuring
+	// the collapsing win.
+	NoCollapse bool
 }
 
 func (o Options) workers() int {
@@ -54,6 +75,69 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) lanes() int {
+	if o.Lanes == 0 {
+		return DefaultLanes
+	}
+	return o.Lanes
+}
+
+// LaneMask is a bitset over batch lanes: lane l lives at bit l&63 of
+// word l>>6.  A nil mask is empty.
+type LaneMask []uint64
+
+// Has reports whether lane l is set.
+func (m LaneMask) Has(l int) bool {
+	w := l >> 6
+	return w < len(m) && m[w]>>uint(l&63)&1 == 1
+}
+
+// Any reports whether any lane is set.
+func (m LaneMask) Any() bool {
+	for _, w := range m {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstLane returns the lowest set lane, or -1 when empty.
+func (m LaneMask) FirstLane() int {
+	for wi, w := range m {
+		if w != 0 {
+			for b := 0; b < 64; b++ {
+				if w>>uint(b)&1 == 1 {
+					return wi*64 + b
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// Equal compares two masks, zero-extending the shorter one (nil equals
+// the all-zero mask of any width).
+func (m LaneMask) Equal(o LaneMask) bool {
+	n := len(m)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(m) {
+			a = m[i]
+		}
+		if i < len(o) {
+			b = o[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
 }
 
 // Detection records the first guaranteed detection of one fault.
@@ -68,19 +152,38 @@ type BatchResult struct {
 	// Lanes maps each fault index to the mask of lanes that guarantee
 	// its detection.  With dropping enabled only the lanes seen up to
 	// the dropping cycle are set; with NoDrop it is the full matrix.
-	// Faults dropped in earlier batches stay zero.
-	Lanes []uint64
+	// Faults dropped in earlier batches stay empty (nil).
+	Lanes []LaneMask
 	// Detections lists the faults detected in this batch, ascending by
 	// fault index, with their first detecting lane and cycle.
 	Detections []Detection
 }
 
+// laneRunner is the width-erased handle to the generic engine; the
+// Simulator picks the instantiation once at New, so the per-batch and
+// per-fault hot paths stay monomorphic.
+type laneRunner interface {
+	run(b *Batch) (*BatchResult, error)
+}
+
 // Simulator carries a fault universe across batches, dropping detected
-// faults as it goes.
+// faults as it goes.  It simulates one representative per structural
+// equivalence class (faults.Collapse) and fans each verdict out to the
+// class members, unless Options.NoCollapse.
 type Simulator struct {
 	c        *netlist.Circuit
 	universe []faults.Fault
 	opts     Options
+	lanes    int
+
+	// members[r] lists the universe indices equivalent to representative
+	// r (including r itself); nil for non-representatives.
+	members [][]int
+	// shards holds the representative indices assigned to each worker,
+	// fixed at New so assignments stay sticky across batches.
+	shards [][]int
+
+	runner laneRunner
 
 	dropped  []bool // no longer simulated (detected, unless NoDrop)
 	detected []bool // ever detected
@@ -96,15 +199,76 @@ func New(c *netlist.Circuit, universe []faults.Fault, opts Options) (*Simulator,
 			return nil, fmt.Errorf("fsim: fault %d (%s) is not a stuck-at fault", i, f.Describe(c))
 		}
 	}
-	return &Simulator{
-		c: c, universe: universe, opts: opts,
+	lanes := opts.lanes()
+	s := &Simulator{
+		c: c, universe: universe, opts: opts, lanes: lanes,
 		dropped:  make([]bool, len(universe)),
 		detected: make([]bool, len(universe)),
-	}, nil
+	}
+	var reps []int
+	if opts.NoCollapse {
+		s.members = make([][]int, len(universe))
+		reps = make([]int, len(universe))
+		for i := range universe {
+			s.members[i] = []int{i}
+			reps[i] = i
+		}
+	} else {
+		cl := faults.Collapse(c, universe)
+		s.members = cl.Members()
+		reps = cl.Representatives()
+	}
+	nw := opts.workers()
+	if nw > len(reps) {
+		nw = len(reps)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	s.shards = make([][]int, nw)
+	chunk := (len(reps) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo > len(reps) {
+			lo = len(reps)
+		}
+		if hi > len(reps) {
+			hi = len(reps)
+		}
+		s.shards[w] = reps[lo:hi]
+	}
+	switch lanes {
+	case lanevec.Lanes1:
+		s.runner = newEngine[lanevec.V1](s)
+	case lanevec.Lanes2:
+		s.runner = newEngine[lanevec.V2](s)
+	case lanevec.Lanes4:
+		s.runner = newEngine[lanevec.V4](s)
+	default:
+		return nil, fmt.Errorf("fsim: unsupported lane width %d (want %d, %d or %d)",
+			lanes, lanevec.Lanes1, lanevec.Lanes2, lanevec.Lanes4)
+	}
+	return s, nil
 }
 
 // NumFaults returns the universe size.
 func (s *Simulator) NumFaults() int { return len(s.universe) }
+
+// Lanes returns the configured lane width (sequences per batch).
+func (s *Simulator) Lanes() int { return s.lanes }
+
+// NumClasses returns the number of simulated equivalence classes (the
+// universe size when collapsing is off).
+func (s *Simulator) NumClasses() int {
+	n := 0
+	for _, m := range s.members {
+		if m != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Detected reports whether fault fi has been detected by any batch.
 func (s *Simulator) Detected(fi int) bool { return s.detected[fi] }
@@ -130,63 +294,30 @@ func (s *Simulator) Remaining() []int {
 
 // Drop removes a fault from future batches regardless of NoDrop (the
 // ATPG drops faults only after its exact-machine confirmation succeeds).
+// A class representative keeps running while any of its members is
+// live; its verdicts only fan out to live members.
 func (s *Simulator) Drop(fi int) { s.dropped[fi] = true }
 
-// SimulateBatch evaluates every remaining fault against the batch,
-// sharded across the configured workers, and returns the per-fault
-// detection masks.  Detected faults are dropped from future batches
-// unless NoDrop is set.
+// repLive reports whether any member of representative fi's class is
+// still simulated.
+func (s *Simulator) repLive(fi int) bool {
+	for _, mi := range s.members[fi] {
+		if !s.dropped[mi] {
+			return true
+		}
+	}
+	return false
+}
+
+// SimulateBatch evaluates every remaining fault class against the
+// batch, sharded across the configured workers, and returns the
+// per-fault detection masks.  Detected faults are dropped from future
+// batches unless NoDrop is set.
 func (s *Simulator) SimulateBatch(b Batch) (*BatchResult, error) {
-	pk, err := pack(s.c, &b)
+	res, err := s.runner.run(&b)
 	if err != nil {
 		return nil, err
 	}
-	good := newMachine(s.c, pk.all)
-	if b.Expected != nil {
-		pk.traceFromExpected(s.c, &b)
-	}
-	if b.ResetExpected != nil {
-		pk.traceFromResetExpected(s.c, &b)
-	}
-	pk.traceFromGoodRun(good) // fills whatever the batch didn't declare
-
-	rem := s.Remaining()
-	res := &BatchResult{Lanes: make([]uint64, len(s.universe))}
-	if len(rem) == 0 {
-		return res, nil
-	}
-
-	nw := s.opts.workers()
-	if nw > len(rem) {
-		nw = len(rem)
-	}
-	found := make([][]Detection, nw)
-	if nw == 1 {
-		found[0] = s.runShard(good, pk, rem, res.Lanes)
-	} else {
-		var wg sync.WaitGroup
-		chunk := (len(rem) + nw - 1) / nw
-		for w := 0; w < nw; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(rem) {
-				hi = len(rem)
-			}
-			wg.Add(1)
-			go func(w int, shard []int) {
-				defer wg.Done()
-				found[w] = s.runShard(newMachine(s.c, pk.all), pk, shard, res.Lanes)
-			}(w, rem[lo:hi])
-		}
-		wg.Wait()
-	}
-
-	for _, shard := range found {
-		res.Detections = append(res.Detections, shard...)
-	}
-	sort.Slice(res.Detections, func(i, j int) bool {
-		return res.Detections[i].Fault < res.Detections[j].Fault
-	})
 	for _, d := range res.Detections {
 		if !s.opts.NoDrop {
 			s.dropped[d.Fault] = true
@@ -199,7 +330,7 @@ func (s *Simulator) SimulateBatch(b Batch) (*BatchResult, error) {
 	return res, nil
 }
 
-// SimulateSequences chunks a sequence set into MaxLanes-wide batches and
+// SimulateSequences chunks a sequence set into lane-width batches and
 // simulates each, invoking record with the base sequence index of every
 // batch (lane l of that batch is sequence base+l).  An empty set still
 // simulates one empty-lane batch, so reset-observable faults are
@@ -214,8 +345,8 @@ func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected [
 		record(0, br)
 		return nil
 	}
-	for base := 0; base < len(seqs); base += MaxLanes {
-		end := min(base+MaxLanes, len(seqs))
+	for base := 0; base < len(seqs); base += s.lanes {
+		end := min(base+s.lanes, len(seqs))
 		b := Batch{Seqs: seqs[base:end]}
 		if expected != nil {
 			b.Expected = expected[base:end]
@@ -232,16 +363,146 @@ func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected [
 	return nil
 }
 
-// runShard simulates one contiguous slice of the fault list on its own
-// machine.  Writes to lanes are per-fault and shards are disjoint, so no
-// synchronisation is needed.
-func (s *Simulator) runShard(m *machine, pk *packedBatch, shard []int, lanes []uint64) []Detection {
+// engine is the width-specialised runner: it owns the sticky good
+// machine and per-worker machines, so allocations and cache-warm state
+// survive across batches.
+type engine[V lanevec.Vec[V]] struct {
+	s       *Simulator
+	good    *machine[V]   // built on first use, reused for good runs
+	workers []*machine[V] // sticky per-shard machines
+}
+
+func newEngine[V lanevec.Vec[V]](s *Simulator) *engine[V] {
+	return &engine[V]{s: s, workers: make([]*machine[V], len(s.shards))}
+}
+
+func (e *engine[V]) goodMachine() *machine[V] {
+	if e.good == nil {
+		e.good = newMachine[V](e.s.c)
+	}
+	return e.good
+}
+
+// goodTraceFor returns the good machine's trace for the batch, serving
+// it from the shared cache when the same sequence set was simulated
+// before (by this or any other Simulator) and computing+publishing it
+// otherwise.  needCycles requests the per-cycle output trace on top of
+// the reset response.
+func (e *engine[V]) goodTraceFor(b *Batch, pk *packedBatch[V], needCycles bool) *goodTrace[V] {
+	var zero V
+	key := traceKey{c: e.s.c, width: zero.Size(), hash: hashSeqs(b.Seqs)}
+	if cached := lookupTrace(key, b.Seqs); cached != nil {
+		tr := cached.(*goodTrace[V])
+		if tr.good1 != nil || !needCycles {
+			return tr
+		}
+	}
+	tr := &goodTrace[V]{}
+	tr.run(e.goodMachine(), pk, needCycles)
+	storeTrace(key, b.Seqs, tr)
+	return tr
+}
+
+// run simulates one batch: pack, fill the response trace, then sweep
+// every live fault class over its sticky shard.
+func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
+	s := e.s
+	pk, err := pack[V](s.c, b)
+	if err != nil {
+		return nil, err
+	}
+	if b.Expected != nil {
+		pk.traceFromExpected(s.c, b)
+	}
+	if b.ResetExpected != nil {
+		pk.traceFromResetExpected(s.c, b)
+	}
+	// The reset trace is only consulted under CheckReset, so a batch
+	// that declares its Expected responses and doesn't check reset
+	// needs no good run at all.
+	needReset := s.opts.CheckReset && b.ResetExpected == nil
+	needCycles := pk.good1 == nil
+	if needReset || needCycles {
+		tr := e.goodTraceFor(b, pk, needCycles)
+		if pk.reset1 == nil {
+			pk.reset1, pk.reset0 = tr.reset1, tr.reset0
+		}
+		if needCycles {
+			pk.good1, pk.good0 = tr.good1, tr.good0
+		}
+	}
+
+	res := &BatchResult{Lanes: make([]LaneMask, len(s.universe))}
+	live := make([][]int, len(s.shards))
+	active := 0
+	for w, shard := range s.shards {
+		for _, fi := range shard {
+			if s.repLive(fi) {
+				live[w] = append(live[w], fi)
+			}
+		}
+		if len(live[w]) > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return res, nil
+	}
+
+	// Class members are disjoint, so workers write disjoint res.Lanes
+	// entries and no synchronisation is needed beyond the join.
+	found := make([][]Detection, len(s.shards))
+	if active == 1 {
+		for w := range live {
+			if len(live[w]) > 0 {
+				found[w] = e.runShard(w, pk, live[w], res.Lanes)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := range live {
+			if len(live[w]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				found[w] = e.runShard(w, pk, live[w], res.Lanes)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, shard := range found {
+		res.Detections = append(res.Detections, shard...)
+	}
+	sort.Slice(res.Detections, func(i, j int) bool {
+		return res.Detections[i].Fault < res.Detections[j].Fault
+	})
+	return res, nil
+}
+
+// runShard simulates the live representatives of one shard on its
+// sticky machine and fans each verdict out to the class members.
+func (e *engine[V]) runShard(w int, pk *packedBatch[V], shard []int, lanes []LaneMask) []Detection {
+	s := e.s
+	m := e.workers[w]
+	if m == nil {
+		m = newMachine[V](s.c)
+		e.workers[w] = m
+	}
 	var found []Detection
 	for _, fi := range shard {
-		mask, first, ok := s.runFault(m, pk, fi)
-		if ok {
-			lanes[fi] = mask
-			found = append(found, first)
+		mask, lane, cycle, ok := e.runFault(m, pk, fi)
+		if !ok {
+			continue
+		}
+		words := LaneMask(mask.Words())
+		for _, mi := range s.members[fi] {
+			if s.dropped[mi] {
+				continue
+			}
+			lanes[mi] = words
+			found = append(found, Detection{Fault: mi, Lane: lane, Cycle: cycle})
 		}
 	}
 	return found
@@ -249,19 +510,21 @@ func (s *Simulator) runShard(m *machine, pk *packedBatch, shard []int, lanes []u
 
 // runFault evaluates one fault against the whole batch, stopping at the
 // first detection unless NoDrop.
-func (s *Simulator) runFault(m *machine, pk *packedBatch, fi int) (mask uint64, first Detection, ok bool) {
+func (e *engine[V]) runFault(m *machine[V], pk *packedBatch[V], fi int) (mask V, lane, cycle int, ok bool) {
+	s := e.s
+	m.setAll(pk.all)
 	m.inject(&s.universe[fi])
 	m.reset()
+	lane, cycle = -1, -1
 	if s.opts.CheckReset {
-		if d := m.detectVs(pk.reset1, pk.reset0); d != 0 {
+		if d := m.detectVs(pk.reset1, pk.reset0); !d.IsZero() {
 			// The reset state is pattern-independent, so against the good
 			// machine's own reset the verdict is lane-uniform; per-lane
 			// ResetExpected declarations can make it ragged.
-			first = Detection{Fault: fi, Lane: bits.TrailingZeros64(d), Cycle: -1}
-			ok = true
+			lane, cycle, ok = d.TrailingZeros(), -1, true
 			mask = d
 			if !s.opts.NoDrop {
-				return mask, first, true
+				return mask, lane, cycle, true
 			}
 			// NoDrop promises the complete matrix: keep simulating the
 			// per-cycle lanes below.
@@ -269,18 +532,17 @@ func (s *Simulator) runFault(m *machine, pk *packedBatch, fi int) (mask uint64, 
 	}
 	for t := 0; t < pk.cycles; t++ {
 		m.apply(pk.rails[t])
-		d := m.detectVs(pk.good1[t], pk.good0[t]) & pk.live[t]
-		if d == 0 {
+		d := m.detectVs(pk.good1[t], pk.good0[t]).And(pk.live[t])
+		if d.IsZero() {
 			continue
 		}
 		if !ok {
-			first = Detection{Fault: fi, Lane: bits.TrailingZeros64(d), Cycle: t}
-			ok = true
+			lane, cycle, ok = d.TrailingZeros(), t, true
 		}
-		mask |= d
+		mask = mask.Or(d)
 		if !s.opts.NoDrop {
 			break
 		}
 	}
-	return mask, first, ok
+	return mask, lane, cycle, ok
 }

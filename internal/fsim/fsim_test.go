@@ -51,11 +51,11 @@ func TestDetectsOutputStuckAt(t *testing.T) {
 	}
 	sa0 := findFault(t, c, universe, "y", logic.Zero)
 	sa1 := findFault(t, c, universe, "y", logic.One)
-	if res.Lanes[sa0]&1 == 0 {
-		t.Errorf("y/SA0 must be detected by lane 0 (A=1): lanes=%b", res.Lanes[sa0])
+	if !res.Lanes[sa0].Has(0) {
+		t.Errorf("y/SA0 must be detected by lane 0 (A=1): lanes=%v", res.Lanes[sa0])
 	}
-	if res.Lanes[sa1]&2 == 0 {
-		t.Errorf("y/SA1 must be detected by lane 1 (A=0): lanes=%b", res.Lanes[sa1])
+	if !res.Lanes[sa1].Has(1) {
+		t.Errorf("y/SA1 must be detected by lane 1 (A=0): lanes=%v", res.Lanes[sa1])
 	}
 	if !s.Detected(sa0) || !s.Detected(sa1) {
 		t.Error("detections not recorded")
@@ -136,7 +136,7 @@ func TestManualDropWithNoDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Lanes[fi] != 0 {
+	if res2.Lanes[fi].Any() {
 		t.Error("manually dropped fault still simulated")
 	}
 }
@@ -162,8 +162,8 @@ func TestExpectedTraceMatchesGoodRun(t *testing.T) {
 	byGood := run(Batch{Seqs: seqs})
 	byExp := run(Batch{Seqs: seqs, Expected: expected})
 	for fi := range universe {
-		if byGood.Lanes[fi] != byExp.Lanes[fi] {
-			t.Errorf("fault %d: good-run lanes %b != expected-trace lanes %b",
+		if !byGood.Lanes[fi].Equal(byExp.Lanes[fi]) {
+			t.Errorf("fault %d: good-run lanes %v != expected-trace lanes %v",
 				fi, byGood.Lanes[fi], byExp.Lanes[fi])
 		}
 	}
@@ -183,10 +183,10 @@ func TestRaggedBatchMasksExhaustedLanes(t *testing.T) {
 		t.Fatal(err)
 	}
 	sa0 := findFault(t, c, universe, "y", logic.Zero)
-	if res.Lanes[sa0]&2 != 0 {
+	if res.Lanes[sa0].Has(1) {
 		t.Error("exhausted lane 1 must not report detections at cycle 1")
 	}
-	if res.Lanes[sa0]&1 == 0 {
+	if !res.Lanes[sa0].Has(0) {
 		t.Error("lane 0 (A: 0 then 1) must detect y/SA0")
 	}
 }
@@ -199,7 +199,7 @@ func TestNoDropWithCheckResetKeepsFullMatrix(t *testing.T) {
 	universe := faults.OutputUniverse(c)
 	sa1 := findFault(t, c, universe, "y", logic.One)
 
-	matrix := func(checkReset bool) uint64 {
+	matrix := func(checkReset bool) LaneMask {
 		s, err := New(c, universe, Options{Workers: 1, NoDrop: true, CheckReset: checkReset})
 		if err != nil {
 			t.Fatal(err)
@@ -214,10 +214,12 @@ func TestNoDropWithCheckResetKeepsFullMatrix(t *testing.T) {
 	}
 	without := matrix(false)
 	with := matrix(true)
-	if with&without != without {
-		t.Errorf("CheckReset lost per-cycle matrix rows: with=%b without=%b", with, without)
+	for l := 0; l < DefaultLanes; l++ {
+		if without.Has(l) && !with.Has(l) {
+			t.Errorf("CheckReset lost per-cycle matrix rows: with=%v without=%v", with, without)
+		}
 	}
-	if with == 0 || without == 0 {
+	if !with.Any() || !without.Any() {
 		t.Fatal("y/SA1 must be detected in both configurations")
 	}
 }
@@ -244,8 +246,8 @@ func TestSimulateSequencesChunksAcrossBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(bases) != 2 || bases[0] != 0 || bases[1] != MaxLanes {
-		t.Fatalf("expected batch bases [0 %d], got %v", MaxLanes, bases)
+	if len(bases) != 2 || bases[0] != 0 || bases[1] != DefaultLanes {
+		t.Fatalf("expected batch bases [0 %d], got %v", DefaultLanes, bases)
 	}
 	if s.Coverage() != 1 {
 		t.Fatalf("the toggling sequence covers the whole chain: got %.2f", s.Coverage())
@@ -282,7 +284,7 @@ func TestErrors(t *testing.T) {
 	if _, err := s.SimulateBatch(Batch{}); err == nil {
 		t.Error("empty batch must be rejected")
 	}
-	if _, err := s.SimulateBatch(Batch{Seqs: make([][]uint64, MaxLanes+1)}); err == nil {
+	if _, err := s.SimulateBatch(Batch{Seqs: make([][]uint64, DefaultLanes+1)}); err == nil {
 		t.Error("over-wide batch must be rejected")
 	}
 	if _, err := s.SimulateBatch(Batch{Seqs: [][]uint64{{0}}, Expected: [][]uint64{{0, 0}}}); err == nil {

@@ -2,234 +2,64 @@ package fsim
 
 import (
 	"repro/internal/faults"
+	"repro/internal/lanevec"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
 
-// machine is the bit-parallel ternary core: one (possibly faulty) circuit
-// simulated across up to 64 pattern lanes at once.  Each signal is encoded
-// as two 64-bit possibility words: bit l of p1 set means "in lane l the
-// signal may be 1", bit l of p0 means "may be 0"; both set encodes Φ.
-// Every word operation is bitwise, so the lane columns evolve completely
-// independently and the per-lane fixpoint of the Jacobi sweeps is exactly
-// the scalar SettleTernary fixpoint — the differential tests rely on this.
-//
-// Unlike sim.Parallel (fault per lane, one pattern at a time), the fault
-// here is uniform across all lanes and the lanes carry independent test
-// sequences: the PPSFP orientation that lets a single fault be evaluated
-// against 64 patterns per word per gate.
-//
-// settle and evalGate deliberately mirror sim/parallel.go (only the
-// fault-injection orientation differs); the duplication keeps both hot
-// loops free of indirection.  Any change to the sweep semantics — the
-// convergence bound, the OnSet/OffSet cube evaluation, the possibility
-// encoding — must be made in both files, and the differential tests
-// here plus sim's own tests are the tripwire.
-type machine struct {
-	c   *netlist.Circuit
-	all uint64 // mask of lanes in use
-
-	p1, p0 []uint64 // current possibility words, indexed by signal
-	t1, t0 []uint64 // scratch for Jacobi sweeps
-
-	// Injected single stuck-at fault, uniform across lanes.
-	fGate int  // gate index; -1 = good machine
-	fPin  int  // fanin pin for input-SA; -1 = output-SA
-	fOne  bool // stuck value
+// machine is the pattern-parallel instantiation of the shared
+// lanevec.Engine sweep core: one (possibly faulty) circuit simulated
+// across the lanes of V, where each lane carries an independent test
+// sequence and the single stuck-at fault is injected uniformly (the
+// PPSFP orientation).  The engine is the same generic settle/evalGate
+// that sim.Parallel instantiates with per-lane fault masks; a uniform
+// fault is simply an override whose mask covers every active lane.
+type machine[V lanevec.Vec[V]] struct {
+	eng *lanevec.Engine[V]
 }
 
-func newMachine(c *netlist.Circuit, all uint64) *machine {
-	n := c.NumSignals()
-	return &machine{
-		c: c, all: all, fGate: -1, fPin: -1,
-		p1: make([]uint64, n), p0: make([]uint64, n),
-		t1: make([]uint64, n), t0: make([]uint64, n),
-	}
+func newMachine[V lanevec.Vec[V]](c *netlist.Circuit) *machine[V] {
+	return &machine[V]{eng: lanevec.NewEngine[V](c)}
 }
+
+// setAll selects the active lanes; safe to change between batches on a
+// reused machine.
+func (m *machine[V]) setAll(all V) { m.eng.SetAll(all) }
 
 // inject selects the fault simulated by subsequent reset/apply calls
 // (nil: the good machine).  Only stuck-at faults are supported; New
 // rejects everything else up front.
-func (m *machine) inject(f *faults.Fault) {
+func (m *machine[V]) inject(f *faults.Fault) {
+	m.eng.ClearOverrides()
 	if f == nil {
-		m.fGate, m.fPin = -1, -1
 		return
 	}
-	m.fGate, m.fOne = f.Gate, f.Value == logic.One
-	if f.Type == faults.InputSA {
-		m.fPin = f.Pin
-	} else {
-		m.fPin = -1
+	all := m.eng.All()
+	var zero V
+	if f.Type == faults.OutputSA {
+		if f.Value == logic.One {
+			m.eng.OrOutOverride(f.Gate, all, zero)
+		} else {
+			m.eng.OrOutOverride(f.Gate, zero, all)
+		}
+		return
 	}
+	m.eng.AddPinOverride(f.Gate, f.Pin, all, f.Value == logic.One)
 }
 
 // reset loads the circuit's declared initial state into every lane and
 // settles (a fault can destabilise the reset state).
-func (m *machine) reset() {
-	init := m.c.InitState()
-	for s := 0; s < m.c.NumSignals(); s++ {
-		if init>>uint(s)&1 == 1 {
-			m.p1[s], m.p0[s] = m.all, 0
-		} else {
-			m.p1[s], m.p0[s] = 0, m.all
-		}
-	}
-	m.settle()
-}
+func (m *machine[V]) reset() { m.eng.Reset() }
 
-// apply drives the primary-input rails with per-lane values and settles:
-// rails[i] holds the lane word of input i (bit l = the value lane l's
-// sequence applies this cycle).  One synchronous test cycle for all
-// lanes at once.
-func (m *machine) apply(rails []uint64) {
-	for i := 0; i < m.c.NumInputs(); i++ {
-		w := rails[i] & m.all
-		m.p1[i], m.p0[i] = w, ^w&m.all
-	}
-	m.settle()
-}
-
-// evalGate computes the possibility words of gate gi's function across
-// all lanes, with the injected fault applied uniformly.
-func (m *machine) evalGate(gi int) (can1, can0 uint64) {
-	g := &m.c.Gates[gi]
-	if m.fGate == gi && m.fPin < 0 {
-		// Output stuck-at: the constant function in every lane.
-		if m.fOne {
-			return m.all, 0
-		}
-		return 0, m.all
-	}
-	nf := len(g.Fanin)
-	injPin := -1
-	if m.fGate == gi {
-		injPin = m.fPin
-	}
-	n := g.NLocal()
-	cube := func(mt uint16) uint64 {
-		w := m.all
-		for j := 0; j < n && w != 0; j++ {
-			bitOne := mt>>uint(j)&1 == 1
-			if j == injPin {
-				// The stuck pin perceives the constant regardless of the
-				// driving signal: compatible iff the minterm agrees.
-				if bitOne != m.fOne {
-					return 0
-				}
-				continue
-			}
-			var sig netlist.SigID
-			if j < nf {
-				sig = g.Fanin[j]
-			} else {
-				sig = g.Out // self input of C gates
-			}
-			if bitOne {
-				w &= m.p1[sig]
-			} else {
-				w &= m.p0[sig]
-			}
-		}
-		return w
-	}
-	for _, mt := range g.OnSet {
-		can1 |= cube(mt)
-		if can1 == m.all {
-			break
-		}
-	}
-	for _, mt := range g.OffSet {
-		can0 |= cube(mt)
-		if can0 == m.all {
-			break
-		}
-	}
-	return can1, can0
-}
-
-// settle runs parallel algorithm A (information-raising) then parallel
-// algorithm B (lowering), Jacobi sweeps, all lanes at once.
-func (m *machine) settle() {
-	maxSweeps := 2*m.c.NumSignals() + 4
-	// Algorithm A.
-	for sweep := 0; ; sweep++ {
-		if sweep > maxSweeps {
-			panic("fsim: parallel algorithm A did not converge")
-		}
-		copy(m.t1, m.p1)
-		copy(m.t0, m.p0)
-		changed := false
-		for gi := 0; gi < m.c.NumGates(); gi++ {
-			out := m.c.Gates[gi].Out
-			e1, e0 := m.evalGate(gi)
-			n1 := m.p1[out] | e1
-			n0 := m.p0[out] | e0
-			if n1 != m.t1[out] || n0 != m.t0[out] {
-				m.t1[out], m.t0[out] = n1, n0
-				changed = true
-			}
-		}
-		m.p1, m.t1 = m.t1, m.p1
-		m.p0, m.t0 = m.t0, m.p0
-		if !changed {
-			break
-		}
-	}
-	// Algorithm B.
-	for sweep := 0; ; sweep++ {
-		if sweep > maxSweeps {
-			panic("fsim: parallel algorithm B did not converge")
-		}
-		copy(m.t1, m.p1)
-		copy(m.t0, m.p0)
-		changed := false
-		for gi := 0; gi < m.c.NumGates(); gi++ {
-			out := m.c.Gates[gi].Out
-			e1, e0 := m.evalGate(gi)
-			if e1 != m.t1[out] || e0 != m.t0[out] {
-				m.t1[out], m.t0[out] = e1, e0
-				changed = true
-			}
-		}
-		m.p1, m.t1 = m.t1, m.p1
-		m.p0, m.t0 = m.t0, m.p0
-		if !changed {
-			break
-		}
-	}
-}
+// apply drives the primary-input rails with per-lane values and
+// settles: rails[i] holds the lane vector of input i.  One synchronous
+// test cycle for all lanes at once.
+func (m *machine[V]) apply(rails []V) { m.eng.ApplyRails(rails) }
 
 // detectVs returns the lanes whose primary outputs are definitely
-// different from the good response encoded as per-output definite words
-// (good1[j] bit l set: in lane l output j is definitely 1 in the good
-// machine).  A lane is reported only when some output has a definite
-// value opposite to a definite good value — detection guaranteed under
-// every delay assignment.
-func (m *machine) detectVs(good1, good0 []uint64) uint64 {
-	var det uint64
-	for j, sig := range m.c.Outputs {
-		f1 := m.p1[sig] &^ m.p0[sig]
-		f0 := m.p0[sig] &^ m.p1[sig]
-		det |= f1&good0[j] | f0&good1[j]
-	}
-	return det & m.all
-}
+// different from the good response encoded as per-output definite
+// vectors — detection guaranteed under every delay assignment.
+func (m *machine[V]) detectVs(good1, good0 []V) V { return m.eng.DetectVs(good1, good0) }
 
-// laneState extracts the ternary state of one lane (for tests/debugging).
-func (m *machine) laneState(lane int) logic.Vec {
-	st := make(logic.Vec, m.c.NumSignals())
-	bit := uint64(1) << uint(lane)
-	for s := range st {
-		one := m.p1[s]&bit != 0
-		zero := m.p0[s]&bit != 0
-		switch {
-		case one && zero:
-			st[s] = logic.X
-		case one:
-			st[s] = logic.One
-		default:
-			st[s] = logic.Zero
-		}
-	}
-	return st
-}
+// laneState extracts the ternary state of one lane (tests/debugging).
+func (m *machine[V]) laneState(lane int) logic.Vec { return m.eng.LaneState(lane) }

@@ -1,0 +1,212 @@
+package lanevec
+
+//go:generate go run gen.go
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// PinOverride forces one input pin of a gate to a constant in the lanes
+// named by Mask: the pin perceives One (or zero) regardless of the
+// driving signal — the input stuck-at model.
+type PinOverride[V Vec[V]] struct {
+	Pin  int
+	Mask V
+	One  bool // stuck value
+}
+
+// outOverride forces a gate's output to a constant per lane.
+type outOverride[V Vec[V]] struct {
+	m1 V // lanes whose output is stuck at 1
+	m0 V // lanes whose output is stuck at 0
+}
+
+// Engine is the generic bit-parallel ternary machine: one circuit
+// simulated across the lanes of V, each signal held as two possibility
+// vectors (p1 bit l set: "in lane l the signal may be 1"; p0: "may be
+// 0"; both: Φ).  Every operation is lanewise, so the lane columns
+// evolve completely independently and each converges to exactly the
+// scalar SettleTernary fixpoint — the differential tests in
+// internal/fsim rely on this.
+//
+// Faults are injected as overrides: per-lane pin masks (fault-per-lane)
+// or all-lane masks (one uniform fault, pattern-per-lane).  An output
+// stuck-at is an output override; an input stuck-at is a pin override.
+type Engine[V Vec[V]] struct {
+	c   *netlist.Circuit
+	all V // mask of lanes in use
+
+	inOv  [][]PinOverride[V] // per gate: input-pin stuck-at overrides
+	outOv []outOverride[V]   // per gate: output stuck-at overrides
+	hasOv []bool             // per gate: any override set (sweep fast-path test)
+	dirty []int              // gates with any override set
+
+	p1, p0 []V // current possibility vectors, indexed by signal
+	t1, t0 []V // scratch for Jacobi sweeps
+}
+
+// NewEngine builds an engine for the circuit with no lanes active and
+// no overrides; call SetAll (and the override setters) before Reset.
+func NewEngine[V Vec[V]](c *netlist.Circuit) *Engine[V] {
+	n := c.NumSignals()
+	return &Engine[V]{
+		c:     c,
+		inOv:  make([][]PinOverride[V], c.NumGates()),
+		outOv: make([]outOverride[V], c.NumGates()),
+		hasOv: make([]bool, c.NumGates()),
+		p1:    make([]V, n),
+		p0:    make([]V, n),
+		t1:    make([]V, n),
+		t0:    make([]V, n),
+	}
+}
+
+// Circuit returns the simulated circuit.
+func (e *Engine[V]) Circuit() *netlist.Circuit { return e.c }
+
+// All returns the active-lane mask.
+func (e *Engine[V]) All() V { return e.all }
+
+// SetAll selects the active lanes (typically FirstN of the lane count).
+func (e *Engine[V]) SetAll(all V) { e.all = all }
+
+// AddPinOverride makes input pin `pin` of gate gi perceive the constant
+// `one` in the lanes of mask.
+func (e *Engine[V]) AddPinOverride(gi, pin int, mask V, one bool) {
+	e.markDirty(gi)
+	e.inOv[gi] = append(e.inOv[gi], PinOverride[V]{Pin: pin, Mask: mask, One: one})
+}
+
+// OrOutOverride sticks gate gi's output at 1 in the lanes of m1 and at
+// 0 in the lanes of m0, accumulating over previous calls.
+func (e *Engine[V]) OrOutOverride(gi int, m1, m0 V) {
+	e.markDirty(gi)
+	e.outOv[gi].m1 = e.outOv[gi].m1.Or(m1)
+	e.outOv[gi].m0 = e.outOv[gi].m0.Or(m0)
+}
+
+func (e *Engine[V]) markDirty(gi int) {
+	if e.hasOv[gi] {
+		return
+	}
+	e.hasOv[gi] = true
+	e.dirty = append(e.dirty, gi)
+}
+
+// ClearOverrides removes every override in O(overridden gates), so a
+// reused engine can switch faults cheaply.
+func (e *Engine[V]) ClearOverrides() {
+	var zero outOverride[V]
+	for _, gi := range e.dirty {
+		e.inOv[gi] = e.inOv[gi][:0]
+		e.outOv[gi] = zero
+		e.hasOv[gi] = false
+	}
+	e.dirty = e.dirty[:0]
+}
+
+// Reset loads the circuit's declared initial state into every active
+// lane and settles (a fault can destabilise the reset state).
+func (e *Engine[V]) Reset() {
+	init := e.c.InitState()
+	var zero V
+	for s := 0; s < e.c.NumSignals(); s++ {
+		if init>>uint(s)&1 == 1 {
+			e.p1[s], e.p0[s] = e.all, zero
+		} else {
+			e.p1[s], e.p0[s] = zero, e.all
+		}
+	}
+	e.Settle()
+}
+
+// ApplyRails drives the primary-input rails with per-lane values and
+// settles: rails[i] holds the lane vector of input i (bit l = the value
+// lane l applies this cycle).  One synchronous test cycle for all lanes
+// at once.
+func (e *Engine[V]) ApplyRails(rails []V) {
+	for i := 0; i < e.c.NumInputs(); i++ {
+		w := rails[i].And(e.all)
+		e.p1[i], e.p0[i] = w, e.all.AndNot(w)
+	}
+	e.Settle()
+}
+
+// ApplyUniform drives the primary-input rails to the same packed
+// pattern (input i at bit i) in every lane and settles.
+func (e *Engine[V]) ApplyUniform(pattern uint64) {
+	var zero V
+	for i := 0; i < e.c.NumInputs(); i++ {
+		if pattern>>uint(i)&1 == 1 {
+			e.p1[i], e.p0[i] = e.all, zero
+		} else {
+			e.p1[i], e.p0[i] = zero, e.all
+		}
+	}
+	e.Settle()
+}
+
+// Definite returns the lanes where signal sig is definitely 1 and
+// definitely 0 (Φ lanes appear in neither).
+func (e *Engine[V]) Definite(sig netlist.SigID) (d1, d0 V) {
+	return e.p1[sig].AndNot(e.p0[sig]), e.p0[sig].AndNot(e.p1[sig])
+}
+
+// LaneState extracts the ternary state of one lane (tests/debugging).
+func (e *Engine[V]) LaneState(lane int) logic.Vec {
+	st := make(logic.Vec, e.c.NumSignals())
+	for s := range st {
+		one := e.p1[s].Has(lane)
+		zero := e.p0[s].Has(lane)
+		switch {
+		case one && zero:
+			st[s] = logic.X
+		case one:
+			st[s] = logic.One
+		default:
+			st[s] = logic.Zero
+		}
+	}
+	return st
+}
+
+// Settle runs parallel algorithm A (information-raising) then parallel
+// algorithm B (lowering), Jacobi sweeps, all lanes at once.  This is
+// Eichelberger's ternary settling, lanewise: per lane the A fixpoint
+// raises every potentially-unstable signal to Φ and B restores the
+// signals whose final value is certain under every delay assignment.
+//
+// The sweep body lives in sweep_gen.go: one kernel per width, all
+// rendered from the single template in sweepgen.go, because the
+// per-word operations must compile to straight unrolled code (generic
+// method calls go through runtime dictionaries and do not inline — a
+// ~2.5× tax on the hottest loop in the repository).  The Vec union is
+// closed, so this dispatch is exhaustive; it costs one type switch per
+// settle call, not per gate.
+func (e *Engine[V]) Settle() {
+	switch e := any(e).(type) {
+	case *Engine[V1]:
+		settle64(e)
+	case *Engine[V2]:
+		settle128(e)
+	case *Engine[V4]:
+		settle256(e)
+	}
+}
+
+// DetectVs returns the lanes whose primary outputs are definitely
+// different from the good response encoded as per-output definite
+// vectors (good1[j] bit l set: in lane l output j is definitely 1 in
+// the good machine).  A lane is reported only when some output has a
+// definite value opposite to a definite good value — detection
+// guaranteed under every delay assignment.
+func (e *Engine[V]) DetectVs(good1, good0 []V) V {
+	var det V
+	for j, sig := range e.c.Outputs {
+		f1 := e.p1[sig].AndNot(e.p0[sig])
+		f0 := e.p0[sig].AndNot(e.p1[sig])
+		det = det.Or(f1.And(good0[j])).Or(f0.And(good1[j]))
+	}
+	return det.And(e.all)
+}

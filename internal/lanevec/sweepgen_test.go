@@ -1,0 +1,25 @@
+package lanevec
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestGeneratedSweepInSync is the tripwire that replaces the old
+// "changes must be made in both files" comments: sweep_gen.go must be
+// exactly what the template in sweepgen.go renders.  If this fails,
+// run `go generate ./internal/lanevec` and commit the result.
+func TestGeneratedSweepInSync(t *testing.T) {
+	want, err := GenerateSweepSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("sweep_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("sweep_gen.go is stale: run `go generate ./internal/lanevec` and commit the result")
+	}
+}

@@ -4,46 +4,29 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/lanevec"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
 
-// Lanes is the machine-word width of the parallel fault simulator: up to
-// 64 faulty circuits are simulated simultaneously (Seshu-style parallel
+// Lanes is the lane width of the fault-parallel simulator: up to 64
+// faulty circuits are simulated simultaneously (Seshu-style parallel
 // simulation, §5.4), each in ternary logic.
-const Lanes = 64
+const Lanes = lanevec.Lanes1
 
 // Parallel simulates up to 64 faulty copies of one circuit in ternary
-// logic simultaneously.  Each signal is encoded as two 64-bit possibility
-// words: bit l of p1 set means "in lane l the signal may be 1", bit l of
-// p0 means "may be 0"; both set encodes Φ.  Lane l carries fault l of the
-// injected fault list.
+// logic simultaneously: lane l carries fault l of the injected fault
+// list, driven by one shared pattern per cycle.
 //
-// The pattern-parallel counterpart (one fault × 64 test sequences) is
-// fsim's machine, whose settle/evalGate mirror the ones here; changes
-// to the sweep semantics must be made in both files (see the note in
-// internal/fsim/machine.go).
+// The sweep core is lanevec.Engine — the same generic settle/evalGate
+// the pattern-parallel fsim engine instantiates; only the fault
+// injection differs (per-lane override masks here, an all-lane mask
+// there).
 type Parallel struct {
-	c   *netlist.Circuit
+	eng *lanevec.Engine[lanevec.V1]
 	fl  []faults.Fault
-	all uint64 // mask of lanes in use
 
-	inOv  [][]pinOverride // per gate: input-pin stuck-at overrides
-	outOv []outOverride   // per gate: output stuck-at overrides
-
-	p1, p0 []uint64 // current possibility words, indexed by signal
-	t1, t0 []uint64 // scratch for Jacobi sweeps
-}
-
-type pinOverride struct {
-	pin  int
-	mask uint64 // lanes where the override applies
-	one  bool   // stuck value
-}
-
-type outOverride struct {
-	m1 uint64 // lanes whose output is stuck at 1
-	m0 uint64 // lanes whose output is stuck at 0
+	g1, g0 []lanevec.V1 // scratch: good-response vectors for DetectedVs
 }
 
 // NewParallel builds a parallel simulator for the given fault list
@@ -53,33 +36,24 @@ func NewParallel(c *netlist.Circuit, fl []faults.Fault) *Parallel {
 		panic(fmt.Sprintf("sim: %d faults exceed %d lanes", len(fl), Lanes))
 	}
 	p := &Parallel{
-		c:     c,
-		fl:    append([]faults.Fault(nil), fl...),
-		inOv:  make([][]pinOverride, c.NumGates()),
-		outOv: make([]outOverride, c.NumGates()),
-		p1:    make([]uint64, c.NumSignals()),
-		p0:    make([]uint64, c.NumSignals()),
-		t1:    make([]uint64, c.NumSignals()),
-		t0:    make([]uint64, c.NumSignals()),
+		eng: lanevec.NewEngine[lanevec.V1](c),
+		fl:  append([]faults.Fault(nil), fl...),
+		g1:  make([]lanevec.V1, len(c.Outputs)),
+		g0:  make([]lanevec.V1, len(c.Outputs)),
 	}
-	if len(fl) == Lanes {
-		p.all = ^uint64(0)
-	} else {
-		p.all = 1<<uint(len(fl)) - 1
-	}
+	var zero lanevec.V1
+	p.eng.SetAll(zero.FirstN(len(fl)))
 	for l, f := range fl {
-		mask := uint64(1) << uint(l)
+		mask := zero.WithBit(l)
 		switch f.Type {
 		case faults.OutputSA:
 			if f.Value == logic.One {
-				p.outOv[f.Gate].m1 |= mask
+				p.eng.OrOutOverride(f.Gate, mask, zero)
 			} else {
-				p.outOv[f.Gate].m0 |= mask
+				p.eng.OrOutOverride(f.Gate, zero, mask)
 			}
 		case faults.InputSA:
-			p.inOv[f.Gate] = append(p.inOv[f.Gate], pinOverride{
-				pin: f.Pin, mask: mask, one: f.Value == logic.One,
-			})
+			p.eng.AddPinOverride(f.Gate, f.Pin, mask, f.Value == logic.One)
 		}
 	}
 	p.Reset()
@@ -94,170 +68,28 @@ func (p *Parallel) Faults() []faults.Fault { return p.fl }
 
 // Reset loads the circuit's initial state into every lane and settles
 // (a fault can destabilise the reset state).
-func (p *Parallel) Reset() {
-	init := p.c.InitState()
-	for s := 0; s < p.c.NumSignals(); s++ {
-		if init>>uint(s)&1 == 1 {
-			p.p1[s], p.p0[s] = p.all, 0
-		} else {
-			p.p1[s], p.p0[s] = 0, p.all
-		}
-	}
-	p.settle()
-}
+func (p *Parallel) Reset() { p.eng.Reset() }
 
 // Apply drives the primary-input rails to pattern in every lane and
 // settles: one synchronous test cycle for all faulty machines at once.
-func (p *Parallel) Apply(pattern uint64) {
-	for i := 0; i < p.c.NumInputs(); i++ {
-		if pattern>>uint(i)&1 == 1 {
-			p.p1[i], p.p0[i] = p.all, 0
-		} else {
-			p.p1[i], p.p0[i] = 0, p.all
-		}
-	}
-	p.settle()
-}
+func (p *Parallel) Apply(pattern uint64) { p.eng.ApplyUniform(pattern) }
 
 // DetectedVs returns the lanes whose primary outputs are definitely
 // different from the good-circuit response goodOut (output j at bit j).
 // A lane is reported only when some output has a definite value opposite
 // to the good value — detection guaranteed under every delay assignment.
 func (p *Parallel) DetectedVs(goodOut uint64) uint64 {
-	var det uint64
-	for j, sig := range p.c.Outputs {
-		def1 := p.p1[sig] &^ p.p0[sig]
-		def0 := p.p0[sig] &^ p.p1[sig]
+	all := p.eng.All()
+	var zero lanevec.V1
+	for j := range p.g1 {
 		if goodOut>>uint(j)&1 == 1 {
-			det |= def0
+			p.g1[j], p.g0[j] = all, zero
 		} else {
-			det |= def1
+			p.g1[j], p.g0[j] = zero, all
 		}
 	}
-	return det & p.all
+	return p.eng.DetectVs(p.g1, p.g0)[0]
 }
 
 // LaneState extracts the ternary state of one lane (for tests/debugging).
-func (p *Parallel) LaneState(lane int) logic.Vec {
-	st := make(logic.Vec, p.c.NumSignals())
-	bit := uint64(1) << uint(lane)
-	for s := range st {
-		one := p.p1[s]&bit != 0
-		zero := p.p0[s]&bit != 0
-		switch {
-		case one && zero:
-			st[s] = logic.X
-		case one:
-			st[s] = logic.One
-		default:
-			st[s] = logic.Zero
-		}
-	}
-	return st
-}
-
-// evalGate computes the possibility words of gate gi's function across
-// all lanes, applying pin and output overrides.
-func (p *Parallel) evalGate(gi int, p1, p0 []uint64) (can1, can0 uint64) {
-	g := &p.c.Gates[gi]
-	nf := len(g.Fanin)
-	ov := p.inOv[gi]
-	cube := func(m uint16) uint64 {
-		w := p.all
-		n := g.NLocal()
-		for j := 0; j < n && w != 0; j++ {
-			bitOne := m>>uint(j)&1 == 1
-			var sig netlist.SigID
-			if j < nf {
-				sig = g.Fanin[j]
-			} else {
-				sig = g.Out // self input of C gates
-			}
-			var poss uint64
-			if bitOne {
-				poss = p1[sig]
-			} else {
-				poss = p0[sig]
-			}
-			for _, o := range ov {
-				if o.pin == j {
-					if o.one == bitOne {
-						poss |= o.mask
-					} else {
-						poss &^= o.mask
-					}
-				}
-			}
-			w &= poss
-		}
-		return w
-	}
-	for _, m := range g.OnSet {
-		can1 |= cube(m)
-		if can1 == p.all {
-			break
-		}
-	}
-	for _, m := range g.OffSet {
-		can0 |= cube(m)
-		if can0 == p.all {
-			break
-		}
-	}
-	oo := p.outOv[gi]
-	can1 = can1&^oo.m0 | oo.m1
-	can0 = can0&^oo.m1 | oo.m0
-	return can1, can0
-}
-
-// settle runs parallel algorithm A (information-raising) then parallel
-// algorithm B (lowering), Jacobi sweeps, all lanes at once.
-func (p *Parallel) settle() {
-	maxSweeps := 2*p.c.NumSignals() + 4
-	// Algorithm A.
-	for sweep := 0; ; sweep++ {
-		if sweep > maxSweeps {
-			panic("sim: parallel algorithm A did not converge")
-		}
-		copy(p.t1, p.p1)
-		copy(p.t0, p.p0)
-		changed := false
-		for gi := 0; gi < p.c.NumGates(); gi++ {
-			out := p.c.Gates[gi].Out
-			e1, e0 := p.evalGate(gi, p.p1, p.p0)
-			n1 := p.p1[out] | e1
-			n0 := p.p0[out] | e0
-			if n1 != p.t1[out] || n0 != p.t0[out] {
-				p.t1[out], p.t0[out] = n1, n0
-				changed = true
-			}
-		}
-		p.p1, p.t1 = p.t1, p.p1
-		p.p0, p.t0 = p.t0, p.p0
-		if !changed {
-			break
-		}
-	}
-	// Algorithm B.
-	for sweep := 0; ; sweep++ {
-		if sweep > maxSweeps {
-			panic("sim: parallel algorithm B did not converge")
-		}
-		copy(p.t1, p.p1)
-		copy(p.t0, p.p0)
-		changed := false
-		for gi := 0; gi < p.c.NumGates(); gi++ {
-			out := p.c.Gates[gi].Out
-			e1, e0 := p.evalGate(gi, p.p1, p.p0)
-			if e1 != p.t1[out] || e0 != p.t0[out] {
-				p.t1[out], p.t0[out] = e1, e0
-				changed = true
-			}
-		}
-		p.p1, p.t1 = p.t1, p.p1
-		p.p0, p.t0 = p.t0, p.p0
-		if !changed {
-			break
-		}
-	}
-}
+func (p *Parallel) LaneState(lane int) logic.Vec { return p.eng.LaneState(lane) }

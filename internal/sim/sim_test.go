@@ -389,9 +389,9 @@ func TestFaultDescribe(t *testing.T) {
 
 func TestCollapseStats(t *testing.T) {
 	c := parseMust(t, fig1aSrc, "fig1a.ckt")
-	st := faults.Collapse(c, faults.InputUniverse(c))
-	if st.Total == 0 || st.EquivalentToOut == 0 {
-		t.Errorf("collapse stats empty: %+v", st)
+	cl := faults.Collapse(c, faults.InputUniverse(c))
+	if cl.Stats.Total == 0 || cl.Stats.EquivalentToOut == 0 {
+		t.Errorf("collapse stats empty: %+v", cl.Stats)
 	}
 }
 

@@ -27,17 +27,19 @@ func (s CoverageSummary) Coverage() float64 {
 
 // MeasureCoverage evaluates the stuck-at universe against the program
 // set with the bit-parallel fault simulator: programs ride the lanes of
-// each 64-wide batch, the fault list is sharded across workers, and
-// detected faults are dropped from later batches.  A fault counts as
+// each batch (64, 128 or 256 wide per `lanes`), one representative per
+// structural equivalence class is simulated, the class list is sharded
+// across workers, and detected faults are dropped from later batches.
+// A fault counts as
 // covered only when some cycle's (or the reset) response is guaranteed
 // to differ from the program's expected outputs — Expected per cycle,
 // ResetExpected before the first pattern, exactly what Simulate
 // compares — under every delay assignment; the same promise MonteCarlo
 // spot-checks on the timed model, established here exhaustively on the
 // untimed one.
-func MeasureCoverage(c *netlist.Circuit, progs []Program, universe []faults.Fault, workers int) (CoverageSummary, error) {
+func MeasureCoverage(c *netlist.Circuit, progs []Program, universe []faults.Fault, workers, lanes int) (CoverageSummary, error) {
 	start := time.Now()
-	sim, err := fsim.New(c, universe, fsim.Options{Workers: workers, CheckReset: true})
+	sim, err := fsim.New(c, universe, fsim.Options{Workers: workers, Lanes: lanes, CheckReset: true})
 	if err != nil {
 		return CoverageSummary{}, err
 	}

@@ -124,6 +124,11 @@ type Options struct {
 	// many goroutines (0: GOMAXPROCS).  It affects the ATPG random
 	// phase and the FaultSimBatch / coverage measurements.
 	FaultSimWorkers int
+	// FaultSimLanes selects the lane width of bit-parallel fault
+	// simulation: 64 (default, one word per signal), 128 or 256 test
+	// sequences per sweep.  Detected sets are identical across widths;
+	// wider lanes amortise each ternary sweep over more patterns.
+	FaultSimLanes int
 }
 
 func (o Options) coreOpts() core.Options { return core.Options{K: o.K} }
@@ -136,6 +141,7 @@ func (o Options) atpgOpts() atpg.Options {
 		SkipRandom:      o.SkipRandom,
 		SkipFaultSim:    o.SkipFaultSim,
 		FaultSimWorkers: o.FaultSimWorkers,
+		FaultSimLanes:   o.FaultSimLanes,
 	}
 }
 
@@ -199,18 +205,20 @@ func VerifyTest(g *CSSG, f Fault, t Test) bool {
 }
 
 // FaultSimBatch measures the guaranteed coverage of a test set over the
-// model's full fault universe with the bit-parallel (64 patterns per
-// word) fault simulator: tests ride the lanes of each batch, the fault
-// list is sharded across Options.FaultSimWorkers goroutines, and faults
-// are dropped from later batches once detected.
+// model's full fault universe with the bit-parallel fault simulator:
+// tests ride the lanes of each batch (Options.FaultSimLanes patterns
+// per sweep), only one representative per structural fault-equivalence
+// class is simulated (verdicts fan out to the whole universe), the
+// class list is sharded across Options.FaultSimWorkers goroutines, and
+// faults are dropped from later batches once detected.
 func FaultSimBatch(c *Circuit, model FaultModel, tests []Test, opts Options) (*CoverageReport, error) {
-	return atpg.CoverageOf(c, faults.Universe(c, model), tests, opts.FaultSimWorkers)
+	return atpg.CoverageOf(c, faults.Universe(c, model), tests, opts.FaultSimWorkers, opts.FaultSimLanes)
 }
 
 // MeasureProgramCoverage is FaultSimBatch for tester programs: the
 // stimulus/response view of the same measurement.
 func MeasureProgramCoverage(c *Circuit, progs []Program, model FaultModel, opts Options) (ProgramCoverageSummary, error) {
-	return tester.MeasureCoverage(c, progs, faults.Universe(c, model), opts.FaultSimWorkers)
+	return tester.MeasureCoverage(c, progs, faults.Universe(c, model), opts.FaultSimWorkers, opts.FaultSimLanes)
 }
 
 // Programs converts the result's tests into tester programs (stimulus

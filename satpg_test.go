@@ -178,6 +178,64 @@ func TestFacadeFaultSimBatch(t *testing.T) {
 	}
 }
 
+// TestFaultSimLaneWidthsAgreeOnSuite pins the multi-word lane engine to
+// the stacked 64-lane runs on the Table-1 benchmarks: for both fault
+// models, the per-fault verdicts of FaultSimBatch must be identical at
+// 64, 128 and 256 lanes, and the full ATPG flow must produce the same
+// result whichever width the random phase batches its walks at.
+func TestFaultSimLaneWidthsAgreeOnSuite(t *testing.T) {
+	suite := SpeedIndependentSuite()
+	if testing.Short() {
+		suite = suite[:3]
+	}
+	for _, bm := range suite {
+		g, res, err := GenerateForCircuit(bm.Circuit, InputStuckAt, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		for _, model := range []FaultModel{OutputStuckAt, InputStuckAt} {
+			base, err := FaultSimBatch(bm.Circuit, model, res.Tests, Options{FaultSimLanes: 64})
+			if err != nil {
+				t.Fatalf("%s: %v", bm.Name, err)
+			}
+			for _, lanes := range []int{128, 256} {
+				rep, err := FaultSimBatch(bm.Circuit, model, res.Tests, Options{FaultSimLanes: lanes})
+				if err != nil {
+					t.Fatalf("%s lanes=%d: %v", bm.Name, lanes, err)
+				}
+				for fi := range rep.PerFault {
+					if rep.PerFault[fi].Detected != base.PerFault[fi].Detected {
+						t.Errorf("%s %v lanes=%d: fault %s detected=%v, 64-lane says %v",
+							bm.Name, model, lanes, rep.PerFault[fi].Fault.Describe(bm.Circuit),
+							rep.PerFault[fi].Detected, base.PerFault[fi].Detected)
+					}
+				}
+			}
+		}
+		// The random phase batches its walks by lane width; the walks,
+		// their order, and the exact-machine confirmation are width
+		// independent, so the whole ATPG result must be too.
+		wide := Generate(g, InputStuckAt, Options{Seed: 1, FaultSimLanes: 256})
+		if wide.Covered != res.Covered || wide.Untestable != res.Untestable ||
+			len(wide.Tests) != len(res.Tests) {
+			t.Fatalf("%s: 256-lane ATPG diverged: cov %d vs %d, tests %d vs %d",
+				bm.Name, wide.Covered, res.Covered, len(wide.Tests), len(res.Tests))
+		}
+		for p, n := range res.ByPhase {
+			if wide.ByPhase[p] != n {
+				t.Errorf("%s: phase %v count %d vs %d", bm.Name, p, wide.ByPhase[p], n)
+			}
+		}
+		for i := range res.PerFault {
+			if wide.PerFault[i].Detected != res.PerFault[i].Detected ||
+				wide.PerFault[i].Phase != res.PerFault[i].Phase ||
+				wide.PerFault[i].TestIndex != res.PerFault[i].TestIndex {
+				t.Errorf("%s: fault %d verdict diverged across lane widths", bm.Name, i)
+			}
+		}
+	}
+}
+
 func TestFacadeSelfCheck(t *testing.T) {
 	spec, err := ParseSTGString(`
 .model celem
