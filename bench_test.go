@@ -150,18 +150,23 @@ func BenchmarkParallelVsSerialFaultSim(b *testing.B) {
 //   - serial-per-pattern: the scalar ternary machine, one fault × one
 //     sequence at a time (the pre-fsim baseline), on a 64-sequence
 //     batch;
-//   - bitparallel-1 / sharded-N: the lanevec-cored fsim engine on the
+//   - sweep-1 / sharded-N: the full-Jacobi-sweep fsim engine on the
 //     same 64-sequence batch, full universe (NoCollapse) so the number
 //     compares the sweep core itself against the pre-unification
 //     engine;
-//   - collapsed-1: the default configuration — representatives only,
-//     verdicts fanned out — on the same batch;
-//   - wide/lanes-64|128|256: a 256-sequence workload chunked by lane
-//     width, measuring the multi-word pattern throughput.
+//   - event-1: the event-driven cone-limited engine (the default) on
+//     the same batch — same detected set, a fraction of the gate
+//     evaluations;
+//   - collapsed-1: the default configuration — event engine,
+//     representatives only, verdicts fanned out — on the same batch;
+//   - wide/<engine>/lanes-64|128|256: a 256-sequence workload chunked
+//     by lane width, for both engines — the multi-word throughput and
+//     the convergence-coupling comparison.
 //
 // Every variant drops a fault at its first detection, and every variant
 // must report the same detected count — asserted against the scalar
-// reference, not merely reported.
+// reference, not merely reported.  fsim variants additionally report
+// patterns/sec and gate-evals/pattern.
 func BenchmarkFaultSimEngines(b *testing.B) {
 	c := benchRandCircuit(b)
 	universe := faults.InputUniverse(c)
@@ -188,6 +193,7 @@ func BenchmarkFaultSimEngines(b *testing.B) {
 	runEngine := func(b *testing.B, seqs [][]uint64, opts fsim.Options, want int) {
 		b.Helper()
 		var detected int
+		var stats fsim.Stats
 		for i := 0; i < b.N; i++ {
 			s, err := fsim.New(c, universe, opts)
 			if err != nil {
@@ -202,11 +208,16 @@ func BenchmarkFaultSimEngines(b *testing.B) {
 					detected++
 				}
 			}
+			stats = s.Stats()
 		}
 		if detected != want {
 			b.Fatalf("engine %+v found %d faults, scalar reference %d", opts, detected, want)
 		}
 		b.ReportMetric(float64(detected), "detected")
+		b.ReportMetric(stats.EvalsPerPattern(), "gate-evals/pattern")
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(stats.Patterns)*float64(b.N)/secs, "patterns/sec")
+		}
 	}
 
 	b.Run("serial-per-pattern", func(b *testing.B) {
@@ -227,33 +238,117 @@ func BenchmarkFaultSimEngines(b *testing.B) {
 		workers = append(workers, n)
 	}
 	for _, w := range workers {
-		name := "bitparallel-1"
+		name := "sweep-1"
 		if w != 1 {
 			name = "sharded-" + strconv.Itoa(w)
 		}
 		w := w
 		b.Run(name, func(b *testing.B) {
-			runEngine(b, seqs, fsim.Options{Workers: w, NoCollapse: true}, want)
+			runEngine(b, seqs, fsim.Options{Workers: w, Engine: fsim.EngineSweep, NoCollapse: true}, want)
 		})
 	}
+	b.Run("event-1", func(b *testing.B) {
+		runEngine(b, seqs, fsim.Options{Workers: 1, Engine: fsim.EngineEvent, NoCollapse: true}, want)
+	})
 	b.Run("collapsed-1", func(b *testing.B) {
 		runEngine(b, seqs, fsim.Options{Workers: 1}, want)
 	})
 
 	// Multi-word pattern throughput: the same fault universe against a
-	// 256-sequence workload, chunked by lane width.  Fewer, wider
-	// sweeps answer the same questions and amortise per-gate fixed
-	// costs, but a batch sweeps until its slowest lane settles, so the
-	// net is workload-dependent: expect ~1.6× at 256 lanes and roughly
-	// break-even at 128 on this circuit.
+	// 256-sequence workload, chunked by lane width, for both engines.
+	// A sweep batch settles until its slowest lane converges, which is
+	// why 128 sweep lanes were near break-even; the event engine only
+	// re-evaluates gates with active lanes, decoupling the batch from
+	// its slowest member.
 	wideSeqs := mkSeqs(256)
 	wideWant := serialFaultSim(c, universe, wideSeqs)
-	for _, lw := range []int{64, 128, 256} {
-		lw := lw
-		b.Run("wide/lanes-"+strconv.Itoa(lw), func(b *testing.B) {
-			runEngine(b, wideSeqs, fsim.Options{Workers: 1, Lanes: lw, NoCollapse: true}, wideWant)
-			b.ReportMetric(float64(lw), "lanes")
+	for _, eng := range []fsim.EngineKind{fsim.EngineSweep, fsim.EngineEvent} {
+		for _, lw := range []int{64, 128, 256} {
+			eng, lw := eng, lw
+			b.Run("wide/"+eng.String()+"/lanes-"+strconv.Itoa(lw), func(b *testing.B) {
+				runEngine(b, wideSeqs, fsim.Options{Workers: 1, Lanes: lw, Engine: eng, NoCollapse: true}, wideWant)
+				b.ReportMetric(float64(lw), "lanes")
+			})
+		}
+	}
+}
+
+// BenchmarkEventVsSweepTable1 measures both fault-simulation engines on
+// the Table-1 workload: every speed-independent benchmark circuit, a
+// 256-walk random-pattern set, both stuck-at models, at each lane
+// width.  Reported per variant: patterns/sec and gate-evals/pattern —
+// the event engine must detect exactly what the sweeps detect while
+// evaluating far fewer gates.
+func BenchmarkEventVsSweepTable1(b *testing.B) {
+	suite := SpeedIndependentSuite()
+	type workload struct {
+		c        *Circuit
+		universe []faults.Fault
+		seqs     [][]uint64
+	}
+	const nseq, cycles = 256, 16
+	rng := rand.New(rand.NewSource(13))
+	var work []workload
+	for _, bm := range suite {
+		m := bm.Circuit.NumInputs()
+		seqs := make([][]uint64, nseq)
+		for l := range seqs {
+			seq := make([]uint64, cycles)
+			for t := range seq {
+				seq[t] = rng.Uint64() & (1<<uint(m) - 1)
+			}
+			seqs[l] = seq
+		}
+		work = append(work, workload{
+			c:        bm.Circuit,
+			universe: faults.InputUniverse(bm.Circuit),
+			seqs:     seqs,
 		})
+	}
+	// detectedAt takes the calling (sub-)benchmark's b: b.Fatal must
+	// run on the goroutine of the benchmark it fails.
+	detectedAt := func(b *testing.B, eng fsim.EngineKind, lanes int) (int, fsim.Stats) {
+		b.Helper()
+		total := 0
+		var stats fsim.Stats
+		for _, w := range work {
+			s, err := fsim.New(w.c, w.universe, fsim.Options{Workers: 1, Lanes: lanes, Engine: eng})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.SimulateSequences(w.seqs, nil, nil, func(int, *fsim.BatchResult) {}); err != nil {
+				b.Fatal(err)
+			}
+			for fi := range w.universe {
+				if s.Detected(fi) {
+					total++
+				}
+			}
+			st := s.Stats()
+			stats.Patterns += st.Patterns
+			stats.GateEvals += st.GateEvals
+		}
+		return total, stats
+	}
+	for _, lanes := range []int{64, 128, 256} {
+		wantDet, _ := detectedAt(b, fsim.EngineSweep, lanes)
+		for _, eng := range []fsim.EngineKind{fsim.EngineSweep, fsim.EngineEvent} {
+			eng, lanes := eng, lanes
+			b.Run(eng.String()+"/lanes-"+strconv.Itoa(lanes), func(b *testing.B) {
+				var det int
+				var stats fsim.Stats
+				for i := 0; i < b.N; i++ {
+					det, stats = detectedAt(b, eng, lanes)
+				}
+				if det != wantDet {
+					b.Fatalf("%s at %d lanes detected %d faults, sweep oracle %d", eng, lanes, det, wantDet)
+				}
+				b.ReportMetric(stats.EvalsPerPattern(), "gate-evals/pattern")
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(stats.Patterns)*float64(b.N)/secs, "patterns/sec")
+				}
+			})
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 		fsimFlag    = flag.Bool("fsim", false, "re-measure coverage of the generated tests with the bit-parallel fault simulator")
 		fsimWorkers = flag.Int("fsim-workers", 0, "goroutines sharding the fault list (0: GOMAXPROCS)")
 		lanes       = flag.Int("lanes", 0, "fault-simulation lane width: 64 (default), 128 or 256 patterns per sweep")
+		fsimEngine  = flag.String("fsim-engine", "event", "fault-simulation engine: event (cone-limited, default) or sweep (full-Jacobi oracle)")
 		testsOut    = flag.String("tests", "", "write tester programs to this file")
 		validate    = flag.Int("validate", 0, "Monte-Carlo trials on the timed chip model (0: skip)")
 		perFault    = flag.Bool("per-fault", false, "print the verdict for every fault")
@@ -53,10 +54,19 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unsupported -lanes %d (want 64, 128 or 256)", *lanes))
 	}
+	var engine satpg.FaultSimEngine
+	switch *fsimEngine {
+	case "event":
+		engine = satpg.EventEngine
+	case "sweep":
+		engine = satpg.SweepEngine
+	default:
+		fatal(fmt.Errorf("unknown -fsim-engine %q (want event or sweep)", *fsimEngine))
+	}
 	opts := satpg.Options{
 		K: *k, Seed: *seed,
 		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
-		FaultSimWorkers: *fsimWorkers, FaultSimLanes: *lanes,
+		FaultSimWorkers: *fsimWorkers, FaultSimLanes: *lanes, FaultSimEngine: engine,
 	}
 	g, err := satpg.Abstract(c, opts)
 	if err != nil {

@@ -99,6 +99,10 @@ type Options struct {
 	// tests and per-fault verdicts are identical across widths; wider
 	// lanes amortise each sweep over more walks.
 	FaultSimLanes int
+	// FaultSimEngine selects the settling strategy of the bit-parallel
+	// fault simulation: event-driven cone-limited (default) or full
+	// Jacobi sweeps.  The results are identical either way.
+	FaultSimEngine fsim.EngineKind
 }
 
 func (o Options) withDefaults() Options {
@@ -235,7 +239,8 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 			walks[seq] = randomWalk(g, rng, opts.RandomLength)
 		}
 		fs, err := fsim.New(g.C, universe, fsim.Options{
-			Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes, NoDrop: true,
+			Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes,
+			Engine: opts.FaultSimEngine, NoDrop: true,
 		})
 		if err != nil {
 			// Unreachable: non-stuck-at models force SkipRandom above and
@@ -279,6 +284,35 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 					fs.Drop(fi)
 				}
 			}
+		}
+	}
+
+	// Phase 2+3 targeting order: dominated faults first.  A test
+	// generated for a dominated fault tends to detect its structural
+	// dominator too, and the collateral fault-simulation pass below
+	// confirms and drops it — so dominator classes go to the back of
+	// the queue and are usually never targeted directly.  Pure
+	// ordering heuristic: every claimed detection is still simulated
+	// and exactly confirmed, so coverage soundness is untouched.
+	if len(remaining) > 1 && !opts.SkipFaultSim {
+		cl := faults.Collapse(g.C, universe)
+		domClass := make(map[int]bool)
+		for _, j := range cl.DominatorOf {
+			if j >= 0 {
+				domClass[cl.Rep[j]] = true
+			}
+		}
+		if len(domClass) > 0 {
+			front := make([]int, 0, len(remaining))
+			var back []int
+			for _, fi := range remaining {
+				if domClass[cl.Rep[fi]] {
+					back = append(back, fi)
+				} else {
+					front = append(front, fi)
+				}
+			}
+			remaining = append(front, back...)
 		}
 	}
 

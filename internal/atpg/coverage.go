@@ -31,8 +31,10 @@ type CoverageReport struct {
 	Detected int
 	PerFault []FaultCoverage
 	Workers  int
-	Lanes    int // lane width the measurement ran at
-	Classes  int // simulated equivalence classes (≤ Total)
+	Lanes    int             // lane width the measurement ran at
+	Classes  int             // simulated equivalence classes (≤ Total)
+	Engine   fsim.EngineKind // settling strategy the measurement ran with
+	Stats    fsim.Stats      // applied patterns and gate evaluations
 	Elapsed  time.Duration
 }
 
@@ -46,9 +48,9 @@ func (r *CoverageReport) Coverage() float64 {
 
 // Summary renders a one-line report.
 func (r *CoverageReport) Summary() string {
-	return fmt.Sprintf("fsim cov=%d/%d (%.2f%%) classes=%d lanes=%d workers=%d elapsed=%v",
+	return fmt.Sprintf("fsim cov=%d/%d (%.2f%%) classes=%d lanes=%d workers=%d engine=%s gate-evals/pattern=%.1f elapsed=%v",
 		r.Detected, r.Total, 100*r.Coverage(), r.Classes, r.Lanes, r.Workers,
-		r.Elapsed.Round(time.Microsecond))
+		r.Engine, r.Stats.EvalsPerPattern(), r.Elapsed.Round(time.Microsecond))
 }
 
 // CoverageOf measures the guaranteed fault coverage of a test set with
@@ -61,9 +63,9 @@ func (r *CoverageReport) Summary() string {
 // opposite the expected response (or the reset response) under every
 // delay assignment.  Tests must carry their Expected outputs (every
 // Test built by this package does).
-func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, workers, lanes int) (*CoverageReport, error) {
+func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, workers, lanes int, engine fsim.EngineKind) (*CoverageReport, error) {
 	start := time.Now()
-	s, err := fsim.New(c, universe, fsim.Options{Workers: workers, Lanes: lanes, CheckReset: true})
+	s, err := fsim.New(c, universe, fsim.Options{Workers: workers, Lanes: lanes, Engine: engine, CheckReset: true})
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +75,7 @@ func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, worke
 		Workers:  workers,
 		Lanes:    s.Lanes(),
 		Classes:  s.NumClasses(),
+		Engine:   s.Engine(),
 	}
 	if rep.Workers <= 0 {
 		rep.Workers = runtime.GOMAXPROCS(0)
@@ -103,6 +106,7 @@ func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, worke
 	if err != nil {
 		return nil, err
 	}
+	rep.Stats = s.Stats()
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }

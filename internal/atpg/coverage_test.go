@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/fsim"
 )
 
 // The coverage of the full ATPG result, re-measured with the batched
@@ -16,7 +17,7 @@ func TestCoverageOfMatchesRun(t *testing.T) {
 	res := Run(g, faults.InputSA, Options{Seed: 1})
 	universe := faults.Universe(g.C, faults.InputSA)
 
-	rep, err := CoverageOf(g.C, universe, res.Tests, 2, 128)
+	rep, err := CoverageOf(g.C, universe, res.Tests, 2, 128, fsim.EngineEvent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestCoverageOfMatchesRun(t *testing.T) {
 func TestCoverageOfEmptyTestSet(t *testing.T) {
 	g := buildCSSG(t, invSrc, "inv")
 	universe := faults.Universe(g.C, faults.OutputSA)
-	rep, err := CoverageOf(g.C, universe, nil, 1, 0)
+	rep, err := CoverageOf(g.C, universe, nil, 1, 0, fsim.EngineEvent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestCoverageOfEmptyTestSet(t *testing.T) {
 
 func TestCoverageOfRejectsTransitionFaults(t *testing.T) {
 	g := buildCSSG(t, invSrc, "inv")
-	if _, err := CoverageOf(g.C, faults.Universe(g.C, faults.Transition), nil, 1, 0); err == nil {
+	if _, err := CoverageOf(g.C, faults.Universe(g.C, faults.Transition), nil, 1, 0, fsim.EngineEvent); err == nil {
 		t.Fatal("transition universe must be rejected")
 	}
 }

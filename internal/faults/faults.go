@@ -219,6 +219,13 @@ type CollapseStats struct {
 	Total            int
 	EquivalentToOut  int // input faults equivalent to an output fault
 	SingleFanoutPins int
+	// ConstantPins counts (pin, value) sites whose forcing makes the
+	// gate output constant — the AND/OR-style controlling-value
+	// equivalences found by the truth-table rule.
+	ConstantPins int
+	// DominancePairs counts input faults with a recorded structural
+	// dominator (see DominatorOf).
+	DominancePairs int
 }
 
 // Collapsed is a representative-fault mapping over a stuck-at universe:
@@ -234,6 +241,20 @@ type Collapsed struct {
 	Rep []int
 	// NumClasses is the number of distinct representatives.
 	NumClasses int
+	// DominatorOf maps each list index to the representative list
+	// index of a fault class that structurally dominates it — on a
+	// combinational propagation path, every test detecting fault i
+	// also detects DominatorOf[i] — or -1.  Dominance is NOT an
+	// equivalence: the dominator's detection lanes are not derivable
+	// from the dominated fault's, and classical dominance arguments
+	// are unsound across cycles of a sequential machine, so a
+	// simulator must never fan verdicts across a dominance edge (the
+	// collapse-vs-full differential tests stay bit-identical because
+	// only the equivalence classes drive verdict fan-out).  The ATPG
+	// uses it as a targeting heuristic: generate tests for dominated
+	// faults first, and the dominators tend to fall to the (fully
+	// verified) collateral fault simulation.
+	DominatorOf []int
 	// Stats carries the informational summary.
 	Stats CollapseStats
 }
@@ -261,15 +282,67 @@ func (cl Collapsed) Members() [][]int {
 	return out
 }
 
+// pinForcingKind classifies what forcing one local input pin does to a
+// gate's output function.
+type pinForcingKind uint8
+
+const (
+	forcingNeither  pinForcingKind = iota
+	forcingConstant                // output becomes the constant c: exact equivalence
+	forcingToC                     // output changes, and only ever to c: dominance
+)
+
+// pinForcing scans gate g's truth table with local input p forced to v
+// and reports whether the output becomes constant c (the AND/OR-style
+// controlling-value equivalence, generalised to arbitrary tables and
+// self-dependent gates — the self input participates in the scan, so
+// constancy holds regardless of the gate's own state) or merely
+// changes consistently to c (the classical dominance precondition).
+func pinForcing(g *netlist.Gate, p int, v bool) (c bool, kind pinForcingKind) {
+	force := func(idx int) int {
+		if v {
+			return idx | 1<<uint(p)
+		}
+		return idx &^ (1 << uint(p))
+	}
+	constant, consistent, changed := true, true, false
+	var first logic.V
+	haveFirst := false
+	for idx := range g.Tbl {
+		fv := g.Tbl[force(idx)]
+		if !haveFirst {
+			first, haveFirst = fv, true
+		} else if fv != first {
+			constant = false
+		}
+		if g.Tbl[idx] != fv {
+			if changed && logic.FromBool(c) != fv {
+				consistent = false
+			}
+			c, changed = fv == logic.One, true
+		}
+	}
+	switch {
+	case constant && haveFirst:
+		return first == logic.One, forcingConstant
+	case changed && consistent:
+		return c, forcingToC
+	}
+	return false, forcingNeither
+}
+
 // Collapse computes the structural equivalence classes of a stuck-at
 // fault list.  Two rules, both exact behavioural identities on the
 // primary outputs (ternary and binary semantics alike):
 //
-//  1. Unary gates: for a non-self-dependent gate d with a single fanin
-//     and output function f, the input fault d.pin0/SA-v forces the
-//     output to the constant f(v) exactly like the output fault
-//     d/SA-f(v) does — the two faulty circuits are identical on every
-//     signal.
+//  1. Constant-making pins: if forcing local input p of gate d to v
+//     makes the output function the constant c — true for any stuck
+//     controlling value of an AND/OR-like gate, and for every pin of a
+//     unary gate — then d.pinp/SA-v and d/SA-c are the *same* faulty
+//     circuit (both replace d by the constant c), so they are
+//     equivalent on every signal.  The truth-table scan covers the
+//     self input of state-holding gates, so the rule is exact for
+//     those too.
 //  2. Single-fanout nets: when gate d's output s is read by exactly one
 //     gate pin (g,p) and s is not a primary output, d/SA-v and
 //     g.pinp/SA-v differ only in the value of s itself, which nothing
@@ -281,6 +354,16 @@ func (cl Collapsed) Members() [][]int {
 // model too: the classes are the connected components over a virtual
 // node space of output and input stuck-at sites, and the list faults
 // that land in one component form one class.
+//
+// On top of the classes, Collapse records structural *dominance* for
+// pins inside fanout-free regions (see Collapsed.DominatorOf): when
+// forcing a pin changes the output only ever to c and the gate's
+// output is single-fanout and unobserved, any test that detects the
+// pin fault drives the gate output to c against a good value of ¬c and
+// propagates it through the same fanout-free path that d/SA-c would
+// use.  That is a test-generation ordering hint, not an equivalence —
+// sequential state can break the classical argument — so it never
+// merges classes.
 func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 	cl := Collapsed{Rep: make([]int, len(list))}
 	cl.Stats.Total = len(list)
@@ -334,16 +417,12 @@ func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 
 	for gi := 0; gi < c.NumGates(); gi++ {
 		g := &c.Gates[gi]
-		// Rule 1: unary non-self-dependent gates.
-		if len(g.Fanin) == 1 && !g.Kind.SelfDependent() {
+		// Rule 1: pins whose forcing makes the output constant.
+		for p := range g.Fanin {
 			for _, v := range []bool{false, true} {
-				idx := 0
-				if v {
-					idx = 1
-				}
-				fv := g.Tbl[idx]
-				if fv.IsDefinite() {
-					uf.union(inNode(gi, 0, v), outNode(gi, fv == logic.One))
+				if cv, kind := pinForcing(g, p, v); kind == forcingConstant {
+					cl.Stats.ConstantPins++
+					uf.union(inNode(gi, p, v), outNode(gi, cv))
 				}
 			}
 		}
@@ -385,6 +464,31 @@ func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 	for _, f := range list {
 		if f.Type == InputSA && pinCount[f.Site(c)] == 1 {
 			cl.Stats.EquivalentToOut++
+		}
+	}
+
+	// Dominance pass: only meaningful between distinct classes, and
+	// only recorded when the dominating output fault's class actually
+	// has a representative in the list.
+	cl.DominatorOf = make([]int, len(list))
+	for i := range cl.DominatorOf {
+		cl.DominatorOf[i] = -1
+	}
+	for i, f := range list {
+		if f.Type != InputSA {
+			continue
+		}
+		g := &c.Gates[f.Gate]
+		if pinCount[g.Out] != 1 || isPO[g.Out] {
+			continue // dominance argued inside fanout-free regions only
+		}
+		cv, kind := pinForcing(g, f.Pin, f.Value == logic.One)
+		if kind != forcingToC {
+			continue
+		}
+		if j, ok := repOf[uf.find(outNode(f.Gate, cv))]; ok && cl.Rep[i] != j {
+			cl.DominatorOf[i] = j
+			cl.Stats.DominancePairs++
 		}
 	}
 	return cl

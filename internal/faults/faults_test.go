@@ -247,3 +247,123 @@ func TestCollapseMergesMixedUniverse(t *testing.T) {
 // ternary machine) lives in internal/fsim's differential tests, next to
 // the collapse-vs-full detected-set check — the faults package cannot
 // import the simulators.
+
+// The truth-table rule must merge controlling-value input faults with
+// the matching output fault on multi-input gates: NAND pin SA0 forces
+// the output to the constant 1, i.e. the same faulty circuit as the
+// output SA1.
+func TestCollapseControllingValues(t *testing.T) {
+	c := parse(t)
+	universe := append(OutputUniverse(c), InputUniverse(c)...)
+	cl := Collapse(c, universe)
+	if cl.Stats.ConstantPins == 0 {
+		t.Fatal("no constant-making pins found on a circuit with a NAND and an OR")
+	}
+	nID, _ := c.SignalID("n") // NAND a b
+	nGate := c.GateOf(nID)
+	find := func(ft Type, pin int, v logic.V) int {
+		for i, f := range universe {
+			if f.Gate == nGate && f.Type == ft && f.Pin == pin && f.Value == v {
+				return i
+			}
+		}
+		t.Fatalf("fault not found: gate %d type %d pin %d", nGate, ft, pin)
+		return -1
+	}
+	outSA1 := find(OutputSA, -1, logic.One)
+	for pin := 0; pin < 2; pin++ {
+		inSA0 := find(InputSA, pin, logic.Zero)
+		if cl.Rep[inSA0] != cl.Rep[outSA1] {
+			t.Errorf("NAND pin%d/SA0 not merged with n/SA1: rep %d vs %d",
+				pin, cl.Rep[inSA0], cl.Rep[outSA1])
+		}
+		// The non-controlling value must NOT merge with an output fault
+		// of the NAND itself (it is not a constant function).
+		inSA1 := find(InputSA, pin, logic.One)
+		for _, v := range []logic.V{logic.Zero, logic.One} {
+			if cl.Rep[inSA1] == cl.Rep[find(OutputSA, -1, v)] {
+				t.Errorf("NAND pin%d/SA1 wrongly merged with n/SA%v", pin, v)
+			}
+		}
+	}
+}
+
+// pinForcing classifies AND-style tables: the controlling value is
+// constant-making, the non-controlling value changes only to the
+// non-controlled output.
+func TestPinForcingClassification(t *testing.T) {
+	c, err := netlist.ParseString(`
+circuit tiny
+input a b
+output z
+gate z AND a b
+init a=1 b=1 z=1
+`, "tiny.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zID, _ := c.SignalID("z")
+	g := &c.Gates[c.GateOf(zID)]
+	if cv, kind := pinForcing(g, 0, false); kind != forcingConstant || cv {
+		t.Errorf("AND pin0:=0: got kind %d c=%v, want constant 0", kind, cv)
+	}
+	if cv, kind := pinForcing(g, 0, true); kind != forcingToC || !cv {
+		t.Errorf("AND pin0:=1: got kind %d c=%v, want changes-to-1", kind, cv)
+	}
+}
+
+// Dominance is recorded only inside fanout-free regions, points at a
+// representative of a different class, and never merges classes.
+func TestCollapseDominance(t *testing.T) {
+	c, err := netlist.ParseString(`
+circuit ffr
+input a b
+output z
+gate g AND a b
+gate z BUF g
+init a=0 b=0 g=0 z=0
+`, "ffr.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := append(OutputUniverse(c), InputUniverse(c)...)
+	cl := Collapse(c, universe)
+	if len(cl.DominatorOf) != len(universe) {
+		t.Fatalf("DominatorOf length %d, want %d", len(cl.DominatorOf), len(universe))
+	}
+	gID, _ := c.SignalID("g")
+	gGate := c.GateOf(gID)
+	found := false
+	for i, f := range universe {
+		j := cl.DominatorOf[i]
+		if j < 0 {
+			continue
+		}
+		if cl.Rep[j] != j {
+			t.Errorf("dominator %d of fault %d is not a representative", j, i)
+		}
+		if cl.Rep[i] == cl.Rep[j] {
+			t.Errorf("dominance pair (%d, %d) inside one class", i, j)
+		}
+		// AND pin SA1 (g is single-fanout, feeds the buffer) must be
+		// dominated by the class of g/SA1.
+		if f.Gate == gGate && f.Type == InputSA && f.Value == logic.One {
+			found = true
+			want := -1
+			for k, d := range universe {
+				if d.Gate == gGate && d.Type == OutputSA && d.Value == logic.One {
+					want = cl.Rep[k]
+				}
+			}
+			if j != want {
+				t.Errorf("AND pin%d/SA1 dominator %d, want class of g/SA1 (%d)", f.Pin, j, want)
+			}
+		}
+	}
+	if !found {
+		t.Error("no dominance recorded for the AND gate's non-controlling pins")
+	}
+	if cl.Stats.DominancePairs == 0 {
+		t.Error("DominancePairs not counted")
+	}
+}

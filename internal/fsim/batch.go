@@ -2,6 +2,7 @@ package fsim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/lanevec"
 	"repro/internal/netlist"
@@ -173,9 +174,51 @@ func (pk *packedBatch[V]) traceFromResetExpected(c *netlist.Circuit, b *Batch) {
 // batch's rails: the cacheable part of a packedBatch.  good1/good0 stay
 // nil until some batch actually needs per-cycle good responses (a batch
 // that declares Expected only ever needs the reset pair).
+//
+// The event-driven engine additionally needs the good machine's FULL
+// state — every signal, not just the outputs — at both settling
+// fixpoints of every cycle: a faulty machine only re-simulates the
+// fanout cone of its fault, and the signals outside the cone are
+// served from these vectors.  Phase A of a cone settle must see the
+// out-of-cone signals at the good machine's raised (algorithm-A)
+// fixpoint and phase B at the settled (algorithm-B) fixpoint, or the
+// cone's own fixpoints would not match the full simulation's.  The
+// state trace is filled only when an event engine asks (runEvents);
+// stateB doubles as the source of good1/good0.
 type goodTrace[V lanevec.Vec[V]] struct {
 	reset1, reset0 []V
 	good1, good0   [][]V
+
+	resetA1, resetA0 []V // full state at the reset A fixpoint
+	resetB1, resetB0 []V // full state at the reset B fixpoint
+	stateA1, stateA0 [][]V // [cycle][signal], A fixpoint
+	stateB1, stateB0 [][]V // [cycle][signal], B fixpoint
+
+	diffsOnce sync.Once
+	df        *traceDiffs // lazily derived from the state trace
+}
+
+// diffs returns the per-cycle diff lists, computing them once per
+// trace (the trace is shared across Simulators via the cache, and the
+// diffs are a pure function of it).
+func (tr *goodTrace[V]) diffs(c *netlist.Circuit) *traceDiffs {
+	tr.diffsOnce.Do(func() { tr.df = computeDiffs(c, tr) })
+	return tr.df
+}
+
+// hasStates reports whether the full-state trace has been recorded.
+func (tr *goodTrace[V]) hasStates() bool { return tr.resetA1 != nil }
+
+// defOutputs extracts the definite output vectors from a full state.
+func defOutputs[V lanevec.Vec[V]](c *netlist.Circuit, p1, p0 []V) (d1, d0 []V) {
+	no := len(c.Outputs)
+	d1 = make([]V, no)
+	d0 = make([]V, no)
+	for j, sig := range c.Outputs {
+		d1[j] = p1[sig].AndNot(p0[sig])
+		d0[j] = p0[sig].AndNot(p1[sig])
+	}
+	return d1, d0
 }
 
 // run simulates the good machine over the rails, filling the reset pair
@@ -204,4 +247,96 @@ func (tr *goodTrace[V]) run(m *machine[V], pk *packedBatch[V], cycles bool) {
 		m.apply(pk.rails[t])
 		tr.good1[t], tr.good0[t] = def()
 	}
+}
+
+// runEvents simulates the good machine event-driven, recording the
+// full state at every phase fixpoint (reset and per cycle) alongside
+// the output trace.  The event settle is bit-identical to the sweeps
+// (both phases are confluent chaotic iterations), so a trace recorded
+// here serves sweep-engine batches too.
+func (tr *goodTrace[V]) runEvents(m *machine[V], pk *packedBatch[V], topo *netlist.Topology) {
+	e := m.eng
+	c := e.Circuit()
+	n := c.NumSignals()
+	snapshot := func() ([]V, []V) {
+		d1 := make([]V, n)
+		d0 := make([]V, n)
+		e.CopyState(d1, d0)
+		return d1, d0
+	}
+	m.setAll(pk.all)
+	e.InitEvents(topo)
+	e.ClearOverrides()
+	e.SetGateMask(^uint64(0))
+
+	e.LoadInit()
+	e.EnqueueMaskGates()
+	e.RunRaise()
+	tr.resetA1, tr.resetA0 = snapshot()
+	e.EnqueueMaskGates()
+	e.RunLower()
+	tr.resetB1, tr.resetB0 = snapshot()
+	tr.reset1, tr.reset0 = defOutputs(c, tr.resetB1, tr.resetB0)
+
+	all := e.All()
+	tr.good1 = make([][]V, pk.cycles)
+	tr.good0 = make([][]V, pk.cycles)
+	tr.stateA1 = make([][]V, pk.cycles)
+	tr.stateA0 = make([][]V, pk.cycles)
+	tr.stateB1 = make([][]V, pk.cycles)
+	tr.stateB0 = make([][]V, pk.cycles)
+	for t := 0; t < pk.cycles; t++ {
+		e.ClearActivity()
+		for i := 0; i < c.NumInputs(); i++ {
+			w := pk.rails[t][i].And(all)
+			e.MarkSignal(netlist.SigID(i), w, all.AndNot(w))
+		}
+		e.SeedFromActivity()
+		e.RunRaise()
+		tr.stateA1[t], tr.stateA0[t] = snapshot()
+		e.SeedFromActivity()
+		e.RunLower()
+		tr.stateB1[t], tr.stateB0[t] = snapshot()
+		tr.good1[t], tr.good0[t] = defOutputs(c, tr.stateB1[t], tr.stateB0[t])
+	}
+}
+
+// traceDiffs indexes, per cycle, the signals whose good-trace value
+// changes at each phase boundary: a[t] lists signals whose A-fixpoint
+// state differs from the previous cycle's B fixpoint (reset for t=0),
+// b[t] those whose B fixpoint differs from the same cycle's A
+// fixpoint, and rb those differing between the two reset fixpoints.
+// They are fault-independent, computed once per batch, and are what
+// each cone-limited fault run swaps (minus its own cone) instead of
+// re-simulating the whole circuit.
+type traceDiffs struct {
+	rb []netlist.SigID
+	a  [][]netlist.SigID
+	b  [][]netlist.SigID
+}
+
+func diffStates[V lanevec.Vec[V]](n int, a1, a0, b1, b0 []V) []netlist.SigID {
+	var out []netlist.SigID
+	for s := 0; s < n; s++ {
+		if !a1[s].Eq(b1[s]) || !a0[s].Eq(b0[s]) {
+			out = append(out, netlist.SigID(s))
+		}
+	}
+	return out
+}
+
+func computeDiffs[V lanevec.Vec[V]](c *netlist.Circuit, tr *goodTrace[V]) *traceDiffs {
+	n := c.NumSignals()
+	df := &traceDiffs{
+		rb: diffStates(n, tr.resetB1, tr.resetB0, tr.resetA1, tr.resetA0),
+		a:  make([][]netlist.SigID, len(tr.stateA1)),
+		b:  make([][]netlist.SigID, len(tr.stateA1)),
+	}
+	prev1, prev0 := tr.resetB1, tr.resetB0
+	for t := range tr.stateA1 {
+		df.a[t] = diffStates(n, tr.stateA1[t], tr.stateA0[t], prev1, prev0)
+		df.b[t] = diffStates(n, tr.stateB1[t], tr.stateB0[t], tr.stateA1[t], tr.stateA0[t])
+		prev1, prev0 = tr.stateB1[t], tr.stateB0[t]
+	}
+	return df
 }

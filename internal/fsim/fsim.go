@@ -43,12 +43,43 @@ import (
 	"repro/internal/netlist"
 )
 
+// EngineKind selects the settling strategy of the fault machines.
+type EngineKind uint8
+
+// Engine kinds.  Both produce bit-identical detected sets (the
+// differential tests assert it); they differ only in how much work a
+// fault costs.
+const (
+	// EngineEvent (the default) is the event-driven cone-limited
+	// engine: each fault re-simulates only the gates in its fanout
+	// cone whose inputs actually changed relative to the cached good
+	// trace, with per-lane activity masks deciding what "changed"
+	// means.  Signals outside the cone provably track the good machine
+	// and are served from the trace.
+	EngineEvent EngineKind = iota
+	// EngineSweep is the full-Jacobi-sweep engine: every fault settles
+	// the whole circuit every cycle.  It is kept as the differential
+	// oracle for the event engine and for measuring the win.
+	EngineSweep
+)
+
+// String names the engine kind as the CLI spells it.
+func (k EngineKind) String() string {
+	if k == EngineSweep {
+		return "sweep"
+	}
+	return "event"
+}
+
 // Options tunes the engine.
 type Options struct {
 	// Workers is the number of goroutines the fault list is sharded
 	// across (0: GOMAXPROCS).  The shard assignment is fixed at New and
 	// each worker keeps its lane machine across batches.
 	Workers int
+	// Engine selects event-driven cone-limited settling (default) or
+	// the full-sweep oracle.  Detected sets are identical either way.
+	Engine EngineKind
 	// Lanes is the number of test sequences simulated per sweep: 64
 	// (default), 128 or 256.  Wider lanes trade more work per gate
 	// evaluation for fewer sweeps per batch; the detected sets are
@@ -164,6 +195,27 @@ type BatchResult struct {
 // per-fault hot paths stay monomorphic.
 type laneRunner interface {
 	run(b *Batch) (*BatchResult, error)
+	gateEvals() int64
+}
+
+// Stats reports the cumulative work counters of a Simulator.
+type Stats struct {
+	// Patterns is the number of test patterns applied so far, summed
+	// over lanes (each sequence cycle of each lane counts once).
+	Patterns int64
+	// GateEvals is the number of gate evaluations performed across the
+	// good machine and every fault machine — the work the event-driven
+	// engine exists to shrink.  Good runs served from the shared trace
+	// cache cost nothing, as they should.
+	GateEvals int64
+}
+
+// EvalsPerPattern returns GateEvals/Patterns (0 when nothing ran).
+func (st Stats) EvalsPerPattern() float64 {
+	if st.Patterns == 0 {
+		return 0
+	}
+	return float64(st.GateEvals) / float64(st.Patterns)
 }
 
 // Simulator carries a fault universe across batches, dropping detected
@@ -188,6 +240,8 @@ type Simulator struct {
 	dropped  []bool // no longer simulated (detected, unless NoDrop)
 	detected []bool // ever detected
 	ndet     int
+
+	patterns int64 // applied patterns, summed over lanes
 }
 
 // New builds a simulator for the fault universe.  Only stuck-at faults
@@ -255,6 +309,14 @@ func New(c *netlist.Circuit, universe []faults.Fault, opts Options) (*Simulator,
 // NumFaults returns the universe size.
 func (s *Simulator) NumFaults() int { return len(s.universe) }
 
+// Engine returns the configured engine kind.
+func (s *Simulator) Engine() EngineKind { return s.opts.Engine }
+
+// Stats returns the cumulative work counters.
+func (s *Simulator) Stats() Stats {
+	return Stats{Patterns: s.patterns, GateEvals: s.runner.gateEvals()}
+}
+
 // Lanes returns the configured lane width (sequences per batch).
 func (s *Simulator) Lanes() int { return s.lanes }
 
@@ -318,6 +380,9 @@ func (s *Simulator) SimulateBatch(b Batch) (*BatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, seq := range b.Seqs {
+		s.patterns += int64(len(seq))
+	}
 	for _, d := range res.Detections {
 		if !s.opts.NoDrop {
 			s.dropped[d.Fault] = true
@@ -366,14 +431,46 @@ func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected [
 // engine is the width-specialised runner: it owns the sticky good
 // machine and per-worker machines, so allocations and cache-warm state
 // survive across batches.
+//
+// In event mode (the default) each fault is simulated cone-limited:
+// the cone theorem says a fault at gate g can only ever disturb the
+// signals in Topology().Cone[g.Out] — every gate outside that cone has
+// unmodified function and (by cone closure) reads only out-of-cone
+// signals, so by induction over cycles and over each settling phase's
+// confluent iteration its value equals the good machine's, lane for
+// lane.  The fault machines therefore admit only cone gates to their
+// event queues and serve everything else from the cached good-state
+// trace, which also means DetectVs sees exactly the values the full
+// simulation would produce: bit-identical detection, a fraction of the
+// gate evaluations.
 type engine[V lanevec.Vec[V]] struct {
 	s       *Simulator
-	good    *machine[V]   // built on first use, reused for good runs
-	workers []*machine[V] // sticky per-shard machines
+	mode    EngineKind
+	topo    *netlist.Topology // cone index; event mode only
+	good    *machine[V]       // built on first use, reused for good runs
+	workers []*machine[V]     // sticky per-shard machines
 }
 
 func newEngine[V lanevec.Vec[V]](s *Simulator) *engine[V] {
-	return &engine[V]{s: s, workers: make([]*machine[V], len(s.shards))}
+	e := &engine[V]{s: s, mode: s.opts.Engine, workers: make([]*machine[V], len(s.shards))}
+	if e.mode == EngineEvent {
+		e.topo = s.c.Topology()
+	}
+	return e
+}
+
+// gateEvals sums the gate evaluations across the engine's machines.
+func (e *engine[V]) gateEvals() int64 {
+	var n int64
+	if e.good != nil {
+		n += e.good.eng.GateEvals()
+	}
+	for _, m := range e.workers {
+		if m != nil {
+			n += m.eng.GateEvals()
+		}
+	}
+	return n
 }
 
 func (e *engine[V]) goodMachine() *machine[V] {
@@ -387,23 +484,28 @@ func (e *engine[V]) goodMachine() *machine[V] {
 // it from the shared cache when the same sequence set was simulated
 // before (by this or any other Simulator) and computing+publishing it
 // otherwise.  needCycles requests the per-cycle output trace on top of
-// the reset response.
-func (e *engine[V]) goodTraceFor(b *Batch, pk *packedBatch[V], needCycles bool) *goodTrace[V] {
+// the reset response; needStates additionally requests the full-state
+// fixpoint trace the cone-limited engine consumes.
+func (e *engine[V]) goodTraceFor(b *Batch, pk *packedBatch[V], needCycles, needStates bool) *goodTrace[V] {
 	var zero V
 	key := traceKey{c: e.s.c, width: zero.Size(), hash: hashSeqs(b.Seqs)}
 	if cached := lookupTrace(key, b.Seqs); cached != nil {
 		tr := cached.(*goodTrace[V])
-		if tr.good1 != nil || !needCycles {
+		if (tr.good1 != nil || !needCycles) && (tr.hasStates() || !needStates) {
 			return tr
 		}
 	}
 	tr := &goodTrace[V]{}
-	tr.run(e.goodMachine(), pk, needCycles)
+	if needStates {
+		tr.runEvents(e.goodMachine(), pk, e.topo)
+	} else {
+		tr.run(e.goodMachine(), pk, needCycles)
+	}
 	storeTrace(key, b.Seqs, tr)
 	return tr
 }
 
-// run simulates one batch: pack, fill the response trace, then sweep
+// run simulates one batch: pack, fill the response trace, then settle
 // every live fault class over its sticky shard.
 func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 	s := e.s
@@ -417,21 +519,6 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 	if b.ResetExpected != nil {
 		pk.traceFromResetExpected(s.c, b)
 	}
-	// The reset trace is only consulted under CheckReset, so a batch
-	// that declares its Expected responses and doesn't check reset
-	// needs no good run at all.
-	needReset := s.opts.CheckReset && b.ResetExpected == nil
-	needCycles := pk.good1 == nil
-	if needReset || needCycles {
-		tr := e.goodTraceFor(b, pk, needCycles)
-		if pk.reset1 == nil {
-			pk.reset1, pk.reset0 = tr.reset1, tr.reset0
-		}
-		if needCycles {
-			pk.good1, pk.good0 = tr.good1, tr.good0
-		}
-	}
-
 	res := &BatchResult{Lanes: make([]LaneMask, len(s.universe))}
 	live := make([][]int, len(s.shards))
 	active := 0
@@ -446,16 +533,43 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 		}
 	}
 	if active == 0 {
+		// Nothing left to simulate: skip the good run entirely.
 		return res, nil
 	}
 
+	// The reset trace is only consulted under CheckReset, so a batch
+	// that declares its Expected responses and doesn't check reset
+	// needs no good run for the sweep engine; the event engine always
+	// needs the good machine's state trace to seed its cones (one good
+	// run buys every fault a cone-limited ride, and the trace cache
+	// often buys it back entirely).
+	needReset := s.opts.CheckReset && b.ResetExpected == nil
+	needCycles := pk.good1 == nil
+	var tr *goodTrace[V]
+	var df *traceDiffs
+	if e.mode == EngineEvent {
+		tr = e.goodTraceFor(b, pk, true, true)
+		df = tr.diffs(s.c)
+	} else if needReset || needCycles {
+		tr = e.goodTraceFor(b, pk, needCycles, false)
+	}
+	if tr != nil {
+		if pk.reset1 == nil {
+			pk.reset1, pk.reset0 = tr.reset1, tr.reset0
+		}
+		if needCycles {
+			pk.good1, pk.good0 = tr.good1, tr.good0
+		}
+	}
+
 	// Class members are disjoint, so workers write disjoint res.Lanes
-	// entries and no synchronisation is needed beyond the join.
+	// entries and no synchronisation is needed beyond the join (the
+	// trace and diffs are shared read-only).
 	found := make([][]Detection, len(s.shards))
 	if active == 1 {
 		for w := range live {
 			if len(live[w]) > 0 {
-				found[w] = e.runShard(w, pk, live[w], res.Lanes)
+				found[w] = e.runShard(w, pk, tr, df, live[w], res.Lanes)
 			}
 		}
 	} else {
@@ -467,7 +581,7 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				found[w] = e.runShard(w, pk, live[w], res.Lanes)
+				found[w] = e.runShard(w, pk, tr, df, live[w], res.Lanes)
 			}(w)
 		}
 		wg.Wait()
@@ -483,7 +597,7 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 
 // runShard simulates the live representatives of one shard on its
 // sticky machine and fans each verdict out to the class members.
-func (e *engine[V]) runShard(w int, pk *packedBatch[V], shard []int, lanes []LaneMask) []Detection {
+func (e *engine[V]) runShard(w int, pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, shard []int, lanes []LaneMask) []Detection {
 	s := e.s
 	m := e.workers[w]
 	if m == nil {
@@ -492,7 +606,7 @@ func (e *engine[V]) runShard(w int, pk *packedBatch[V], shard []int, lanes []Lan
 	}
 	var found []Detection
 	for _, fi := range shard {
-		mask, lane, cycle, ok := e.runFault(m, pk, fi)
+		mask, lane, cycle, ok := e.runFault(m, pk, tr, df, fi)
 		if !ok {
 			continue
 		}
@@ -509,12 +623,21 @@ func (e *engine[V]) runShard(w int, pk *packedBatch[V], shard []int, lanes []Lan
 }
 
 // runFault evaluates one fault against the whole batch, stopping at the
-// first detection unless NoDrop.
-func (e *engine[V]) runFault(m *machine[V], pk *packedBatch[V], fi int) (mask V, lane, cycle int, ok bool) {
+// first detection unless NoDrop.  Event mode settles cone-limited
+// against the good trace; sweep mode settles the whole circuit.
+func (e *engine[V]) runFault(m *machine[V], pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, fi int) (mask V, lane, cycle int, ok bool) {
 	s := e.s
+	event := e.mode == EngineEvent
+	var cone uint64
 	m.setAll(pk.all)
-	m.inject(&s.universe[fi])
-	m.reset()
+	if event {
+		f := &s.universe[fi]
+		cone = e.topo.Cone[s.c.Gates[f.Gate].Out]
+		m.eventReset(f, cone, e.topo, tr, df)
+	} else {
+		m.inject(&s.universe[fi])
+		m.reset()
+	}
 	lane, cycle = -1, -1
 	if s.opts.CheckReset {
 		if d := m.detectVs(pk.reset1, pk.reset0); !d.IsZero() {
@@ -531,7 +654,11 @@ func (e *engine[V]) runFault(m *machine[V], pk *packedBatch[V], fi int) (mask V,
 		}
 	}
 	for t := 0; t < pk.cycles; t++ {
-		m.apply(pk.rails[t])
+		if event {
+			m.eventApply(t, cone, tr, df)
+		} else {
+			m.apply(pk.rails[t])
+		}
 		d := m.detectVs(pk.good1[t], pk.good0[t]).And(pk.live[t])
 		if d.IsZero() {
 			continue

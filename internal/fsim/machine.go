@@ -63,3 +63,75 @@ func (m *machine[V]) detectVs(good1, good0 []V) V { return m.eng.DetectVs(good1,
 
 // laneState extracts the ternary state of one lane (tests/debugging).
 func (m *machine[V]) laneState(lane int) logic.Vec { return m.eng.LaneState(lane) }
+
+// eventReset prepares the machine for a cone-limited event-driven run
+// of fault f, whose faulty gate's output cone is `cone` (a signal
+// bitset from the circuit topology): inject the fault, admit only the
+// cone's gates, load the good machine's raised reset state with the
+// cone rewound to the declared initial values, and settle the cone.
+//
+// Correctness rests on the cone theorem (see the engine in fsim.go):
+// signals outside the cone are bit-identical to the good machine at
+// every phase fixpoint, so loading them from the cached trace and
+// evaluating only cone gates reproduces the full simulation exactly.
+func (m *machine[V]) eventReset(f *faults.Fault, cone uint64, topo *netlist.Topology, tr *goodTrace[V], df *traceDiffs) {
+	e := m.eng
+	c := e.Circuit()
+	e.InitEvents(topo)
+	m.inject(f)
+	e.SetGateMask(topo.GateMask(cone))
+
+	// Phase A: out-of-cone signals at the good A fixpoint, cone signals
+	// back at the declared reset values, every cone gate seeded (the
+	// good machine may legitimately move cone signals during reset, so
+	// no cheaper seed set exists here).
+	e.LoadState(tr.resetA1, tr.resetA0)
+	init := c.InitState()
+	all := e.All()
+	var zero V
+	for s := 0; s < c.NumSignals(); s++ {
+		if cone>>uint(s)&1 == 0 {
+			continue
+		}
+		if init>>uint(s)&1 == 1 {
+			e.SetSignal(netlist.SigID(s), all, zero)
+		} else {
+			e.SetSignal(netlist.SigID(s), zero, all)
+		}
+	}
+	e.EnqueueMaskGates()
+	e.RunRaise()
+
+	// Phase B: out-of-cone signals drop to the good B fixpoint.
+	for _, s := range df.rb {
+		if cone>>uint(s)&1 == 0 {
+			e.SetSignal(s, tr.resetB1[s], tr.resetB0[s])
+		}
+	}
+	e.EnqueueMaskGates()
+	e.RunLower()
+}
+
+// eventApply advances one test cycle on a cone-limited machine: swap
+// the out-of-cone signals (rails included) to the good trace's A
+// fixpoint, raise the cone, swap to the B fixpoint, lower the cone.
+// Only gates whose inputs actually changed — tracked lanewise by the
+// activity masks — are evaluated.
+func (m *machine[V]) eventApply(t int, cone uint64, tr *goodTrace[V], df *traceDiffs) {
+	e := m.eng
+	e.ClearActivity()
+	for _, s := range df.a[t] {
+		if cone>>uint(s)&1 == 0 {
+			e.MarkSignal(s, tr.stateA1[t][s], tr.stateA0[t][s])
+		}
+	}
+	e.SeedFromActivity()
+	e.RunRaise()
+	for _, s := range df.b[t] {
+		if cone>>uint(s)&1 == 0 {
+			e.MarkSignal(s, tr.stateB1[t][s], tr.stateB0[t][s])
+		}
+	}
+	e.SeedFromActivity()
+	e.RunLower()
+}

@@ -39,11 +39,25 @@ type Engine[V Vec[V]] struct {
 
 	inOv  [][]PinOverride[V] // per gate: input-pin stuck-at overrides
 	outOv []outOverride[V]   // per gate: output stuck-at overrides
-	hasOv []bool             // per gate: any override set (sweep fast-path test)
-	dirty []int              // gates with any override set
+	hasOv []bool             // per gate: any override set
+	dirty []int              // gates with any override set (the overridden partition)
+
+	// clean is the complement of dirty: the gates evaluated by the
+	// pure kernels.  The sweep and event kernels dispatch off this
+	// partition instead of testing hasOv per gate per sweep; it is
+	// rebuilt lazily (cleanStale) when the override set changes.
+	clean      []int
+	cleanStale bool
 
 	p1, p0 []V // current possibility vectors, indexed by signal
 	t1, t0 []V // scratch for Jacobi sweeps
+
+	// Event-driven settling state (nil until InitEvents); chg holds the
+	// per-lane activity mask accumulated per signal since ClearActivity.
+	ev  *eventState
+	chg []V
+
+	evals int64 // cumulative gate evaluations (sweep + event kernels)
 }
 
 // NewEngine builds an engine for the circuit with no lanes active and
@@ -51,14 +65,16 @@ type Engine[V Vec[V]] struct {
 func NewEngine[V Vec[V]](c *netlist.Circuit) *Engine[V] {
 	n := c.NumSignals()
 	return &Engine[V]{
-		c:     c,
-		inOv:  make([][]PinOverride[V], c.NumGates()),
-		outOv: make([]outOverride[V], c.NumGates()),
-		hasOv: make([]bool, c.NumGates()),
-		p1:    make([]V, n),
-		p0:    make([]V, n),
-		t1:    make([]V, n),
-		t0:    make([]V, n),
+		c:          c,
+		inOv:       make([][]PinOverride[V], c.NumGates()),
+		outOv:      make([]outOverride[V], c.NumGates()),
+		hasOv:      make([]bool, c.NumGates()),
+		clean:      make([]int, 0, c.NumGates()),
+		cleanStale: true,
+		p1:         make([]V, n),
+		p0:         make([]V, n),
+		t1:         make([]V, n),
+		t0:         make([]V, n),
 	}
 }
 
@@ -92,6 +108,7 @@ func (e *Engine[V]) markDirty(gi int) {
 	}
 	e.hasOv[gi] = true
 	e.dirty = append(e.dirty, gi)
+	e.cleanStale = true
 }
 
 // ClearOverrides removes every override in O(overridden gates), so a
@@ -103,12 +120,38 @@ func (e *Engine[V]) ClearOverrides() {
 		e.outOv[gi] = zero
 		e.hasOv[gi] = false
 	}
+	if len(e.dirty) > 0 {
+		e.cleanStale = true
+	}
 	e.dirty = e.dirty[:0]
 }
 
-// Reset loads the circuit's declared initial state into every active
-// lane and settles (a fault can destabilise the reset state).
-func (e *Engine[V]) Reset() {
+// partition rebuilds the clean gate list after the override set
+// changed.  Gate order within a partition is irrelevant: the sweeps are
+// Jacobi (double-buffered) and the event phases are confluent, so the
+// settled state is identical to the old per-gate hasOv dispatch.
+func (e *Engine[V]) partition() {
+	if !e.cleanStale {
+		return
+	}
+	e.cleanStale = false
+	e.clean = e.clean[:0]
+	for gi := 0; gi < e.c.NumGates(); gi++ {
+		if !e.hasOv[gi] {
+			e.clean = append(e.clean, gi)
+		}
+	}
+}
+
+// GateEvals returns the cumulative number of gate evaluations this
+// engine has performed (sweep and event kernels alike) — the work
+// metric the event-driven engine exists to shrink.
+func (e *Engine[V]) GateEvals() int64 { return e.evals }
+
+// LoadInit loads the circuit's declared initial state into every
+// active lane without settling — event-driven callers seed the queue
+// and run the phases themselves.
+func (e *Engine[V]) LoadInit() {
 	init := e.c.InitState()
 	var zero V
 	for s := 0; s < e.c.NumSignals(); s++ {
@@ -118,6 +161,12 @@ func (e *Engine[V]) Reset() {
 			e.p1[s], e.p0[s] = zero, e.all
 		}
 	}
+}
+
+// Reset loads the circuit's declared initial state into every active
+// lane and settles (a fault can destabilise the reset state).
+func (e *Engine[V]) Reset() {
+	e.LoadInit()
 	e.Settle()
 }
 
@@ -185,6 +234,7 @@ func (e *Engine[V]) LaneState(lane int) logic.Vec {
 // closed, so this dispatch is exhaustive; it costs one type switch per
 // settle call, not per gate.
 func (e *Engine[V]) Settle() {
+	e.partition()
 	switch e := any(e).(type) {
 	case *Engine[V1]:
 		settle64(e)

@@ -62,6 +62,8 @@ type Vec[V any] interface {
 	Or(o V) V
 	// AndNot returns v &^ o.
 	AndNot(o V) V
+	// Xor returns the lanewise difference v ^ o.
+	Xor(o V) V
 	// IsZero reports whether no lane bit is set.
 	IsZero() bool
 	// Eq reports lanewise equality with o.
@@ -92,6 +94,9 @@ func (v V1) Or(o V1) V1 { return V1{v[0] | o[0]} }
 
 // AndNot returns v &^ o.
 func (v V1) AndNot(o V1) V1 { return V1{v[0] &^ o[0]} }
+
+// Xor returns v ^ o.
+func (v V1) Xor(o V1) V1 { return V1{v[0] ^ o[0]} }
 
 // IsZero reports whether no lane bit is set.
 func (v V1) IsZero() bool { return v[0] == 0 }
@@ -133,6 +138,9 @@ func (v V2) Or(o V2) V2 { return V2{v[0] | o[0], v[1] | o[1]} }
 
 // AndNot returns v &^ o.
 func (v V2) AndNot(o V2) V2 { return V2{v[0] &^ o[0], v[1] &^ o[1]} }
+
+// Xor returns v ^ o.
+func (v V2) Xor(o V2) V2 { return V2{v[0] ^ o[0], v[1] ^ o[1]} }
 
 // IsZero reports whether no lane bit is set.
 func (v V2) IsZero() bool { return v[0]|v[1] == 0 }
@@ -193,6 +201,11 @@ func (v V4) Or(o V4) V4 {
 // AndNot returns v &^ o.
 func (v V4) AndNot(o V4) V4 {
 	return V4{v[0] &^ o[0], v[1] &^ o[1], v[2] &^ o[2], v[3] &^ o[3]}
+}
+
+// Xor returns v ^ o.
+func (v V4) Xor(o V4) V4 {
+	return V4{v[0] ^ o[0], v[1] ^ o[1], v[2] ^ o[2], v[3] ^ o[3]}
 }
 
 // IsZero reports whether no lane bit is set.

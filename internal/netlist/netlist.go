@@ -123,6 +123,8 @@ type Circuit struct {
 	names   []string // signal names by SigID (rails use "name@in")
 	byName  map[string]SigID
 	fanouts [][]int // per signal: indices of gates reading it
+
+	topoState // lazily-built structural index (see Topology)
 }
 
 // NumInputs returns the number of primary inputs m.

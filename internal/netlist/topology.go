@@ -1,0 +1,148 @@
+package netlist
+
+import "sync"
+
+// Topology is the persistent structural index of a circuit, computed
+// once per Circuit (lazily, on first use) and shared by every engine
+// that simulates it.  It is what makes event-driven selective
+// re-simulation cheap: the reader adjacency says which gates must be
+// re-evaluated when a signal changes, the levelization orders those
+// evaluations so most events are processed exactly once per settling
+// phase, and the fanout-cone bitsets bound the set of signals a fault
+// can ever disturb relative to the fault-free circuit.
+//
+// The packed-state engines cap circuits at 64 signals (Validate
+// enforces it), so every signal set in this index — one cone per
+// signal — fits a single machine word.
+type Topology struct {
+	// NumInputs is the circuit's primary-input count m; gate gi drives
+	// signal m+gi, so a signal-set word shifted right by m is the
+	// corresponding gate-set word.
+	NumInputs int
+
+	// Readers lists, per signal, the indices of the gates that must be
+	// re-evaluated when the signal changes: the gates reading it as a
+	// fanin plus — unlike Circuit.Fanouts — the driving gate itself when
+	// it is self-dependent (a C gate re-reads its own output, so an
+	// output change re-excites it).
+	Readers [][]int
+
+	// Level assigns each gate an event-scheduling level: 1 + the
+	// maximum level of its fanin drivers along a spanning DFS, with
+	// feedback (back) edges contributing nothing.  Levels only order
+	// evaluations — correctness never depends on them (the settling
+	// phases are confluent) — but processing events in level order
+	// makes a single pass suffice on feedback-free regions.
+	Level []int
+
+	// MaxLevel is the largest value in Level.
+	MaxLevel int
+
+	// Cone holds, per signal, the bitset of signals in its fanout cone:
+	// every signal reachable from it through the reader adjacency,
+	// including itself.  A fault whose faulty gate drives signal s can
+	// only ever make the circuit differ from the fault-free machine on
+	// the signals of Cone[s]; everything outside the cone provably
+	// tracks the good machine bit for bit, which is what lets a
+	// fault simulation re-evaluate cone gates only.
+	Cone []uint64
+}
+
+// GateMask converts a signal-set word (such as a Cone entry) into the
+// set of gates driving those signals, as a gate-index bitset.
+func (t *Topology) GateMask(signals uint64) uint64 { return signals >> uint(t.NumInputs) }
+
+// Topology returns the circuit's structural index, computing it on
+// first use.  The result is immutable and safe for concurrent use;
+// Clone copies share nothing (the copy rebuilds its own index).
+func (c *Circuit) Topology() *Topology {
+	c.topoOnce.Do(func() { c.topo = buildTopology(c) })
+	return c.topo
+}
+
+// topoState is the lazily-built Topology cache embedded in Circuit.
+type topoState struct {
+	topoOnce sync.Once
+	topo     *Topology
+}
+
+func buildTopology(c *Circuit) *Topology {
+	m := len(c.Inputs)
+	n := c.NumSignals()
+	t := &Topology{
+		NumInputs: m,
+		Readers:   make([][]int, n),
+		Level:     make([]int, c.NumGates()),
+		Cone:      make([]uint64, n),
+	}
+	for s := 0; s < n; s++ {
+		t.Readers[s] = append(t.Readers[s], c.fanouts[s]...)
+	}
+	for gi := range c.Gates {
+		if c.Gates[gi].Kind.SelfDependent() {
+			out := c.Gates[gi].Out
+			t.Readers[out] = append(t.Readers[out], gi)
+		}
+	}
+
+	// Levelization: DFS over the fanin graph, memoised; an edge into a
+	// gate currently on the stack is a feedback edge and contributes
+	// level 0, which breaks every cycle deterministically.
+	const (
+		unvisited = iota
+		onStack
+		done
+	)
+	state := make([]int, c.NumGates())
+	var visit func(gi int) int
+	visit = func(gi int) int {
+		switch state[gi] {
+		case done:
+			return t.Level[gi]
+		case onStack:
+			return -1 // feedback edge
+		}
+		state[gi] = onStack
+		lvl := 0
+		for _, f := range c.Gates[gi].Fanin {
+			d := c.GateOf(f)
+			if d < 0 {
+				continue // rail: level 0 source
+			}
+			if dl := visit(d); dl >= lvl {
+				lvl = dl + 1
+			}
+		}
+		state[gi] = done
+		t.Level[gi] = lvl
+		if lvl > t.MaxLevel {
+			t.MaxLevel = lvl
+		}
+		return lvl
+	}
+	for gi := range c.Gates {
+		visit(gi)
+	}
+
+	// Fanout cones: the transitive closure of signal → reader-gate
+	// output, iterated to a fixpoint so feedback loops close properly.
+	// With one word per signal and ≤64 signals this is at worst a few
+	// thousand word operations, once per circuit.
+	for s := 0; s < n; s++ {
+		t.Cone[s] = 1 << uint(s)
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			w := t.Cone[s]
+			for _, gi := range t.Readers[s] {
+				w |= t.Cone[c.Gates[gi].Out]
+			}
+			if w != t.Cone[s] {
+				t.Cone[s] = w
+				changed = true
+			}
+		}
+	}
+	return t
+}

@@ -13,7 +13,8 @@ import (
 type CoverageSummary struct {
 	Total    int
 	Detected int
-	PerFault []bool // indexed like the universe passed in
+	PerFault []bool     // indexed like the universe passed in
+	Stats    fsim.Stats // applied patterns and gate evaluations
 	Elapsed  time.Duration
 }
 
@@ -37,9 +38,9 @@ func (s CoverageSummary) Coverage() float64 {
 // compares — under every delay assignment; the same promise MonteCarlo
 // spot-checks on the timed model, established here exhaustively on the
 // untimed one.
-func MeasureCoverage(c *netlist.Circuit, progs []Program, universe []faults.Fault, workers, lanes int) (CoverageSummary, error) {
+func MeasureCoverage(c *netlist.Circuit, progs []Program, universe []faults.Fault, workers, lanes int, engine fsim.EngineKind) (CoverageSummary, error) {
 	start := time.Now()
-	sim, err := fsim.New(c, universe, fsim.Options{Workers: workers, Lanes: lanes, CheckReset: true})
+	sim, err := fsim.New(c, universe, fsim.Options{Workers: workers, Lanes: lanes, Engine: engine, CheckReset: true})
 	if err != nil {
 		return CoverageSummary{}, err
 	}
@@ -63,6 +64,7 @@ func MeasureCoverage(c *netlist.Circuit, progs []Program, universe []faults.Faul
 	if err != nil {
 		return CoverageSummary{}, err
 	}
+	sum.Stats = sim.Stats()
 	sum.Elapsed = time.Since(start)
 	return sum, nil
 }

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dft"
 	"repro/internal/faults"
+	"repro/internal/fsim"
 	"repro/internal/netlist"
 	"repro/internal/stg"
 	"repro/internal/tester"
@@ -83,6 +84,19 @@ type (
 	FaultCoverage = atpg.FaultCoverage
 	// ProgramCoverageSummary is the tester-side coverage measurement.
 	ProgramCoverageSummary = tester.CoverageSummary
+	// FaultSimEngine selects the fault-simulation settling strategy.
+	FaultSimEngine = fsim.EngineKind
+	// FaultSimStats reports fault-simulation work counters.
+	FaultSimStats = fsim.Stats
+)
+
+// Fault-simulation engines.  EventEngine (the default) re-simulates
+// only each fault's fanout cone against the cached good trace;
+// SweepEngine settles the whole circuit with full Jacobi sweeps and is
+// kept as the differential oracle.  Detected sets are bit-identical.
+const (
+	EventEngine = fsim.EngineEvent
+	SweepEngine = fsim.EngineSweep
 )
 
 // Test-point kinds.
@@ -129,6 +143,10 @@ type Options struct {
 	// sequences per sweep.  Detected sets are identical across widths;
 	// wider lanes amortise each ternary sweep over more patterns.
 	FaultSimLanes int
+	// FaultSimEngine selects event-driven cone-limited settling
+	// (EventEngine, the default) or the full-sweep oracle
+	// (SweepEngine).  Detected sets are identical either way.
+	FaultSimEngine FaultSimEngine
 }
 
 func (o Options) coreOpts() core.Options { return core.Options{K: o.K} }
@@ -142,6 +160,7 @@ func (o Options) atpgOpts() atpg.Options {
 		SkipFaultSim:    o.SkipFaultSim,
 		FaultSimWorkers: o.FaultSimWorkers,
 		FaultSimLanes:   o.FaultSimLanes,
+		FaultSimEngine:  o.FaultSimEngine,
 	}
 }
 
@@ -212,13 +231,13 @@ func VerifyTest(g *CSSG, f Fault, t Test) bool {
 // class list is sharded across Options.FaultSimWorkers goroutines, and
 // faults are dropped from later batches once detected.
 func FaultSimBatch(c *Circuit, model FaultModel, tests []Test, opts Options) (*CoverageReport, error) {
-	return atpg.CoverageOf(c, faults.Universe(c, model), tests, opts.FaultSimWorkers, opts.FaultSimLanes)
+	return atpg.CoverageOf(c, faults.Universe(c, model), tests, opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
 }
 
 // MeasureProgramCoverage is FaultSimBatch for tester programs: the
 // stimulus/response view of the same measurement.
 func MeasureProgramCoverage(c *Circuit, progs []Program, model FaultModel, opts Options) (ProgramCoverageSummary, error) {
-	return tester.MeasureCoverage(c, progs, faults.Universe(c, model), opts.FaultSimWorkers, opts.FaultSimLanes)
+	return tester.MeasureCoverage(c, progs, faults.Universe(c, model), opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
 }
 
 // Programs converts the result's tests into tester programs (stimulus
