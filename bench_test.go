@@ -275,10 +275,13 @@ func BenchmarkFaultSimEngines(b *testing.B) {
 
 // BenchmarkEventVsSweepTable1 measures both fault-simulation engines on
 // the Table-1 workload: every speed-independent benchmark circuit, a
-// 256-walk random-pattern set, both stuck-at models, at each lane
-// width.  Reported per variant: patterns/sec and gate-evals/pattern —
-// the event engine must detect exactly what the sweeps detect while
-// evaluating far fewer gates.
+// 256-walk random-pattern set, per fault model (input stuck-at, the
+// transition universe, and their union), at each lane width.  Reported
+// per variant: patterns/sec and gate-evals/pattern — the event engine
+// must detect exactly what the sweeps detect while evaluating far
+// fewer gates, on the combined universe included.  Sub-benchmark names
+// are model/engine/lanes-N, which is the shape cmd/benchjson parses
+// into the BENCH_*.json CI artifact.
 func BenchmarkEventVsSweepTable1(b *testing.B) {
 	suite := SpeedIndependentSuite()
 	type workload struct {
@@ -287,67 +290,83 @@ func BenchmarkEventVsSweepTable1(b *testing.B) {
 		seqs     [][]uint64
 	}
 	const nseq, cycles = 256, 16
-	rng := rand.New(rand.NewSource(13))
-	var work []workload
-	for _, bm := range suite {
-		m := bm.Circuit.NumInputs()
-		seqs := make([][]uint64, nseq)
-		for l := range seqs {
-			seq := make([]uint64, cycles)
-			for t := range seq {
-				seq[t] = rng.Uint64() & (1<<uint(m) - 1)
-			}
-			seqs[l] = seq
-		}
-		work = append(work, workload{
-			c:        bm.Circuit,
-			universe: faults.InputUniverse(bm.Circuit),
-			seqs:     seqs,
-		})
+	models := []struct {
+		name     string
+		universe func(c *Circuit) []faults.Fault
+	}{
+		{"input-sa", faults.InputUniverse},
+		{"transition", faults.TransitionUniverse},
+		{"both", func(c *Circuit) []faults.Fault {
+			return append(faults.InputUniverse(c), faults.TransitionUniverse(c)...)
+		}},
 	}
-	// detectedAt takes the calling (sub-)benchmark's b: b.Fatal must
-	// run on the goroutine of the benchmark it fails.
-	detectedAt := func(b *testing.B, eng fsim.EngineKind, lanes int) (int, fsim.Stats) {
-		b.Helper()
-		total := 0
-		var stats fsim.Stats
-		for _, w := range work {
-			s, err := fsim.New(w.c, w.universe, fsim.Options{Workers: 1, Lanes: lanes, Engine: eng})
-			if err != nil {
-				b.Fatal(err)
+	for _, model := range models {
+		// A fresh rng per model keeps the sequence sets identical across
+		// models, so only the universe varies between variants.
+		rng := rand.New(rand.NewSource(13))
+		var work []workload
+		for _, bm := range suite {
+			m := bm.Circuit.NumInputs()
+			seqs := make([][]uint64, nseq)
+			for l := range seqs {
+				seq := make([]uint64, cycles)
+				for t := range seq {
+					seq[t] = rng.Uint64() & (1<<uint(m) - 1)
+				}
+				seqs[l] = seq
 			}
-			if err := s.SimulateSequences(w.seqs, nil, nil, func(int, *fsim.BatchResult) {}); err != nil {
-				b.Fatal(err)
-			}
-			for fi := range w.universe {
-				if s.Detected(fi) {
-					total++
-				}
-			}
-			st := s.Stats()
-			stats.Patterns += st.Patterns
-			stats.GateEvals += st.GateEvals
-		}
-		return total, stats
-	}
-	for _, lanes := range []int{64, 128, 256} {
-		wantDet, _ := detectedAt(b, fsim.EngineSweep, lanes)
-		for _, eng := range []fsim.EngineKind{fsim.EngineSweep, fsim.EngineEvent} {
-			eng, lanes := eng, lanes
-			b.Run(eng.String()+"/lanes-"+strconv.Itoa(lanes), func(b *testing.B) {
-				var det int
-				var stats fsim.Stats
-				for i := 0; i < b.N; i++ {
-					det, stats = detectedAt(b, eng, lanes)
-				}
-				if det != wantDet {
-					b.Fatalf("%s at %d lanes detected %d faults, sweep oracle %d", eng, lanes, det, wantDet)
-				}
-				b.ReportMetric(stats.EvalsPerPattern(), "gate-evals/pattern")
-				if secs := b.Elapsed().Seconds(); secs > 0 {
-					b.ReportMetric(float64(stats.Patterns)*float64(b.N)/secs, "patterns/sec")
-				}
+			work = append(work, workload{
+				c:        bm.Circuit,
+				universe: model.universe(bm.Circuit),
+				seqs:     seqs,
 			})
+		}
+		// detectedAt takes the calling (sub-)benchmark's b: b.Fatal must
+		// run on the goroutine of the benchmark it fails.
+		detectedAt := func(b *testing.B, eng fsim.EngineKind, lanes int) (int, fsim.Stats) {
+			b.Helper()
+			total := 0
+			var stats fsim.Stats
+			for _, w := range work {
+				s, err := fsim.New(w.c, w.universe, fsim.Options{Workers: 1, Lanes: lanes, Engine: eng})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.SimulateSequences(w.seqs, nil, nil, func(int, *fsim.BatchResult) {}); err != nil {
+					b.Fatal(err)
+				}
+				for fi := range w.universe {
+					if s.Detected(fi) {
+						total++
+					}
+				}
+				st := s.Stats()
+				stats.Patterns += st.Patterns
+				stats.GateEvals += st.GateEvals
+			}
+			return total, stats
+		}
+		for _, lanes := range []int{64, 128, 256} {
+			wantDet, _ := detectedAt(b, fsim.EngineSweep, lanes)
+			for _, eng := range []fsim.EngineKind{fsim.EngineSweep, fsim.EngineEvent} {
+				eng, lanes := eng, lanes
+				b.Run(model.name+"/"+eng.String()+"/lanes-"+strconv.Itoa(lanes), func(b *testing.B) {
+					var det int
+					var stats fsim.Stats
+					for i := 0; i < b.N; i++ {
+						det, stats = detectedAt(b, eng, lanes)
+					}
+					if det != wantDet {
+						b.Fatalf("%s %s at %d lanes detected %d faults, sweep oracle %d",
+							model.name, eng, lanes, det, wantDet)
+					}
+					b.ReportMetric(float64(det), "detected")
+					b.ReportMetric(stats.EvalsPerPattern(), "gate-evals/pattern")
+					if secs := b.Elapsed().Seconds(); secs > 0 {
+						b.ReportMetric(float64(stats.Patterns)*float64(b.N)/secs, "patterns/sec")
+					}
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,222 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON report, so CI can upload the perf trajectory
+// as an artifact instead of leaving it buried in job logs.
+//
+// It parses the standard benchmark result lines — including -benchmem
+// columns and every custom testing.B.ReportMetric value, such as the
+// engine benchmarks' patterns/sec and gate-evals/pattern — and, where
+// a sub-benchmark path encodes them, lifts the fault model, engine and
+// lane width into dedicated fields (the model/engine/lanes-N naming of
+// BenchmarkEventVsSweepTable1 and the engine shapes of
+// BenchmarkFaultSimEngines).
+//
+// Usage:
+//
+//	go test -bench='...' -benchmem -benchtime=1x -run '^$' . | benchjson -out BENCH_pr4.json
+//	benchjson -in bench.txt -out BENCH_pr4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	// Name is the full benchmark path with the trailing -GOMAXPROCS
+	// suffix stripped.
+	Name string `json:"name"`
+	// Model, Engine and Lanes are lifted from the path segments when
+	// present (e.g. EventVsSweepTable1/both/event/lanes-128).
+	Model      string             `json:"model,omitempty"`
+	Engine     string             `json:"engine,omitempty"`
+	Lanes      int                `json:"lanes,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact layout: run metadata plus every parsed entry.
+type Report struct {
+	GoOS    string  `json:"goos,omitempty"`
+	GoArch  string  `json:"goarch,omitempty"`
+	Pkg     string  `json:"pkg,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Results []Entry `json:"results"`
+}
+
+var engineNames = map[string]bool{
+	"event": true, "sweep": true,
+	"serial-per-pattern": true, "sweep-1": true, "event-1": true, "collapsed-1": true,
+}
+
+var modelNames = map[string]bool{
+	"input-sa": true, "output-sa": true, "sa": true, "transition": true, "both": true,
+}
+
+// parseLine parses one benchmark output line, reporting ok=false for
+// non-benchmark lines.  The name is kept raw; procs-suffix stripping
+// and dimension lifting happen in finish, once the whole transcript's
+// common suffix is known.
+func parseLine(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[f[i+1]] = v
+	}
+	return e, true
+}
+
+// numericSuffix returns the trailing "-N" of a name, or "".
+func numericSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}
+
+// finish strips the -GOMAXPROCS suffix and lifts the model / engine /
+// lanes dimensions out of the name segments.  go test appends the
+// suffix only when GOMAXPROCS > 1, and then to every line, so it is
+// stripped only when every entry carries the same trailing "-N" —
+// otherwise a variant name like lanes-64 would lose its own number on
+// a single-CPU runner.
+func finish(entries []Entry) []Entry {
+	common := ""
+	for i, e := range entries {
+		s := numericSuffix(e.Name)
+		if i == 0 {
+			common = s
+		} else if s != common {
+			common = ""
+		}
+		if common == "" {
+			break
+		}
+	}
+	// A shared suffix that is really a variant's own number (a filtered
+	// single-CPU transcript where every name ends in the same lane
+	// width) would strip a lanes-N segment down to a bare "lanes";
+	// refuse the strip in that case — go test's real procs suffix sits
+	// after the width, so legitimate strips never produce it.
+	if common != "" {
+		for _, e := range entries {
+			trimmed := strings.TrimSuffix(e.Name, common)
+			if seg := trimmed[strings.LastIndex(trimmed, "/")+1:]; seg == "lanes" {
+				common = ""
+				break
+			}
+		}
+	}
+	for i := range entries {
+		e := &entries[i]
+		if common != "" {
+			e.Name = strings.TrimSuffix(e.Name, common)
+		}
+		for _, seg := range strings.Split(e.Name, "/") {
+			switch {
+			case engineNames[seg]:
+				e.Engine = strings.TrimSuffix(seg, "-1")
+				if seg == "serial-per-pattern" {
+					e.Engine = "serial"
+				}
+			case modelNames[seg]:
+				e.Model = seg
+			case strings.HasPrefix(seg, "lanes-"):
+				if n, err := strconv.Atoi(seg[len("lanes-"):]); err == nil {
+					e.Lanes = n
+				}
+			case strings.HasPrefix(seg, "sharded-"):
+				e.Engine = "sweep"
+			}
+		}
+	}
+	return entries
+}
+
+// parse reads a whole `go test -bench` transcript.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if e, ok := parseLine(line); ok {
+				rep.Results = append(rep.Results, e)
+			}
+		}
+	}
+	rep.Results = finish(rep.Results)
+	return rep, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark transcript to read (default: stdin)")
+	out := flag.String("out", "", "JSON file to write (default: stdout)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found"))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(rep.Results), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEventVsSweepTable1/both/event/lanes-128-4         	       1	 119573698 ns/op	      1913 detected	         4.071 gate-evals/pattern	    822125 patterns/sec
+BenchmarkFaultSimEngines/serial-per-pattern-4              	       1	 251202251 ns/op	       110.0 detected
+BenchmarkFaultSimEngines/sharded-4-4                       	       2	  12000000 ns/op	       110.0 detected	        10.00 gate-evals/pattern
+not a benchmark line
+PASS
+ok  	repro	4.885s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "repro" || rep.CPU == "" {
+		t.Fatalf("header metadata wrong: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	}
+
+	e := rep.Results[0]
+	if e.Name != "BenchmarkEventVsSweepTable1/both/event/lanes-128" {
+		t.Errorf("name %q (the -procs suffix must be stripped)", e.Name)
+	}
+	if e.Model != "both" || e.Engine != "event" || e.Lanes != 128 {
+		t.Errorf("dimension lifting wrong: model=%q engine=%q lanes=%d", e.Model, e.Engine, e.Lanes)
+	}
+	if e.Iterations != 1 {
+		t.Errorf("iterations %d", e.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 119573698, "detected": 1913,
+		"gate-evals/pattern": 4.071, "patterns/sec": 822125,
+	} {
+		if got := e.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+
+	if s := rep.Results[1]; s.Engine != "serial" {
+		t.Errorf("serial-per-pattern engine %q", s.Engine)
+	}
+	if s := rep.Results[2]; s.Engine != "sweep" {
+		t.Errorf("sharded engine %q, want sweep", s.Engine)
+	}
+}
+
+func TestParseRejectsGarbageValues(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkX 1 notanumber ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("garbage line parsed: %+v", rep.Results)
+	}
+}
+
+// On a single-CPU runner go test appends no -procs suffix; the parser
+// must then leave names alone, so lanes-64 keeps its width.
+func TestParseSingleCPUNames(t *testing.T) {
+	const singleCPU = `BenchmarkEventVsSweepTable1/transition/event/lanes-64   1  100 ns/op  200 patterns/sec
+BenchmarkEventVsSweepTable1/transition/event/lanes-256   1  100 ns/op  300 patterns/sec
+`
+	rep, err := parse(strings.NewReader(singleCPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("parsed %d results", len(rep.Results))
+	}
+	if rep.Results[0].Lanes != 64 || rep.Results[1].Lanes != 256 {
+		t.Errorf("lanes lost without a procs suffix: %d, %d", rep.Results[0].Lanes, rep.Results[1].Lanes)
+	}
+	if !strings.HasSuffix(rep.Results[0].Name, "lanes-64") {
+		t.Errorf("name mangled: %q", rep.Results[0].Name)
+	}
+	if rep.Results[0].Model != "transition" || rep.Results[0].Engine != "event" {
+		t.Errorf("dimensions wrong: %+v", rep.Results[0])
+	}
+}
+
+// A filtered transcript where every name ends in the same lane width
+// must not have that width mistaken for a procs suffix.
+func TestParseUniformLaneSuffixNotStripped(t *testing.T) {
+	const uniform = `BenchmarkEventVsSweepTable1/transition/event/lanes-64   1  100 ns/op
+BenchmarkEventVsSweepTable1/transition/sweep/lanes-64   1  200 ns/op
+`
+	rep, err := parse(strings.NewReader(uniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Results {
+		if e.Lanes != 64 {
+			t.Errorf("%s: lanes %d, want 64", e.Name, e.Lanes)
+		}
+	}
+}

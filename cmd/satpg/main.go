@@ -5,6 +5,7 @@
 // Usage:
 //
 //	satpg -bench si/chu150 -model input -seed 1
+//	satpg -bench si/chu150 -faults both -fsim
 //	satpg -circuit my.ckt -model output -tests tests.txt -validate 20
 package main
 
@@ -20,7 +21,8 @@ func main() {
 	var (
 		circuitFile = flag.String("circuit", "", "path to a .ckt circuit file")
 		benchRef    = flag.String("bench", "", "bundled benchmark (si/<name>, hf/<name>, fig1a, fig1b)")
-		model       = flag.String("model", "input", "fault model: input or output stuck-at")
+		model       = flag.String("model", "input", "stuck-at fault model: input or output")
+		faultsSel   = flag.String("faults", "sa", "fault universes to target: sa (the -model universe), transition (gross gate-delay), or both")
 		k           = flag.Int("k", 0, "test-cycle length in transitions (0: 4×signals)")
 		seed        = flag.Int64("seed", 1, "random TPG seed")
 		seqs        = flag.Int("random-seqs", 0, "random walks (0: default 256)")
@@ -49,6 +51,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown model %q (want input or output)", *model))
 	}
+	sel, ok := satpg.ParseFaultSelection(*faultsSel)
+	if !ok {
+		fatal(fmt.Errorf("unknown -faults %q (want sa, transition or both)", *faultsSel))
+	}
 	switch *lanes {
 	case 0, 64, 128, 256:
 	default:
@@ -67,6 +73,7 @@ func main() {
 		K: *k, Seed: *seed,
 		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
 		FaultSimWorkers: *fsimWorkers, FaultSimLanes: *lanes, FaultSimEngine: engine,
+		Faults: sel,
 	}
 	g, err := satpg.Abstract(c, opts)
 	if err != nil {

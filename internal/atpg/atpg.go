@@ -161,20 +161,24 @@ func (r *Result) Summary() string {
 
 // Run executes the full flow (random TPG, then three-phase ATPG with
 // fault simulation) for the given fault model over a prebuilt CSSG.
-//
-// For the Transition (gross gate-delay) model the parallel ternary
-// simulator cannot inject the directional behaviour, so the random
-// phase is skipped and collateral fault dropping uses the exact
-// verifier instead — the 3-phase search carries the whole load, which
-// is also how the paper envisages extending the method to delay faults.
+// Every model — the stuck-at pair and the Transition gross gate-delay
+// extension — rides the same flow: the bit-parallel simulators inject
+// transition faults as directional override masks, so the random phase
+// and collateral fault dropping apply to them exactly as to stuck-at
+// faults, with the exact set-semantics machine confirming every
+// claimed detection either way.
 func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
+	return RunUniverse(g, model, faults.Universe(g.C, model), opts)
+}
+
+// RunUniverse is Run over an explicit fault universe — the entry point
+// for combined universes (stuck-at ∪ transition, see
+// faults.SelectUniverse).  model is recorded in the Result and names
+// the stuck-at flavour of a mixed list; the universe itself decides
+// what is simulated.
+func RunUniverse(g *core.CSSG, model faults.Type, universe []faults.Fault, opts Options) *Result {
 	opts = opts.withDefaults()
 	start := time.Now()
-	universe := faults.Universe(g.C, model)
-	transition := model == faults.Transition || model == faults.SlowRise || model == faults.SlowFall
-	if transition {
-		opts.SkipRandom = true
-	}
 	res := &Result{
 		Model:    model,
 		Total:    len(universe),
@@ -205,19 +209,11 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 		}
 		return out
 	}
-	// collateral finds the remaining faults a new test also covers.
+	// collateral finds the remaining faults a new test also covers: the
+	// 64-way fault-parallel ternary screen (which injects stuck-at and
+	// transition faults alike) proposes candidates, the exact machine
+	// confirms them.
 	collateral := func(test Test) []int {
-		if transition {
-			// Exact dropping: replay the test against every remaining
-			// transition fault (the universes are small).
-			var det []int
-			for _, fi := range remaining {
-				if Verify(g, universe[fi], test, opts) {
-					det = append(det, fi)
-				}
-			}
-			return det
-		}
 		return confirm(test, simulateTest(g, test, universe, remaining))
 	}
 
@@ -243,8 +239,8 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 			Engine: opts.FaultSimEngine, NoDrop: true,
 		})
 		if err != nil {
-			// Unreachable: non-stuck-at models force SkipRandom above and
-			// withDefaults normalises FaultSimLanes.
+			// Unreachable: faults.Universe never emits the Transition
+			// selector and withDefaults normalises FaultSimLanes.
 			panic("atpg: " + err.Error())
 		}
 		width := fs.Lanes()

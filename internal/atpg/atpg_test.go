@@ -260,8 +260,8 @@ func TestRandomWalkValidity(t *testing.T) {
 func TestTransitionFaultsInverter(t *testing.T) {
 	g := buildCSSG(t, invSrc, "inv")
 	res := Run(g, faults.Transition, Options{Seed: 1})
-	if res.ByPhase[PhaseRandom] != 0 {
-		t.Error("transition model cannot use the parallel random phase")
+	if res.ByPhase[PhaseRandom]+res.ByPhase[PhaseThree]+res.ByPhase[PhaseSim] != res.Covered {
+		t.Errorf("phase accounting broken: %s", res.Summary())
 	}
 	if res.Coverage() != 1 {
 		t.Fatalf("all inverter transition faults are testable: %s", res.Summary())

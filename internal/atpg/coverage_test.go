@@ -80,10 +80,24 @@ func TestCoverageOfEmptyTestSet(t *testing.T) {
 	}
 }
 
-func TestCoverageOfRejectsTransitionFaults(t *testing.T) {
+// The transition universe rides the batched simulator via directional
+// overrides; CoverageOf must accept it and agree with the exact
+// machine on the reset-only verdicts.
+func TestCoverageOfAcceptsTransitionFaults(t *testing.T) {
 	g := buildCSSG(t, invSrc, "inv")
-	if _, err := CoverageOf(g.C, faults.Universe(g.C, faults.Transition), nil, 1, 0, fsim.EngineEvent); err == nil {
-		t.Fatal("transition universe must be rejected")
+	universe := faults.Universe(g.C, faults.Transition)
+	rep, err := CoverageOf(g.C, universe, nil, 1, 0, fsim.EngineEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != len(universe) {
+		t.Fatalf("total %d, want %d", rep.Total, len(universe))
+	}
+	for fi, fc := range rep.PerFault {
+		if fc.Detected != Verify(g, universe[fi], Test{}, Options{}) {
+			t.Errorf("%s: reset-only verdict %v disagrees with exact machine",
+				universe[fi].Describe(g.C), fc.Detected)
+		}
 	}
 }
 

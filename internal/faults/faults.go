@@ -52,6 +52,10 @@ func (f Fault) Describe(c *netlist.Circuit) string {
 		return fmt.Sprintf("%s/STR", g.Name)
 	case SlowFall:
 		return fmt.Sprintf("%s/STF", g.Name)
+	case Transition:
+		// The model selector is not a concrete fault; render it
+		// readably anyway (error paths describe rejected entries).
+		return fmt.Sprintf("%s/TRANSITION", g.Name)
 	}
 	sa := "SA0"
 	if f.Value == logic.One {
@@ -211,6 +215,57 @@ func Universe(c *netlist.Circuit, t Type) []Fault {
 	return nil
 }
 
+// Selection names which fault universes a flow targets: the stuck-at
+// model alone (the paper's experiments), the transition universe alone
+// (the §7 gross gate-delay extension), or their union.  It is the
+// library form of the CLI's -faults sa|transition|both flag.
+type Selection uint8
+
+// Universe selections.
+const (
+	SelStuckAt     Selection = iota // the chosen stuck-at model only
+	SelTransition                   // the SlowRise ∪ SlowFall universe only
+	SelBoth                         // stuck-at followed by transition
+)
+
+// String names the selection as the CLI spells it.
+func (s Selection) String() string {
+	switch s {
+	case SelTransition:
+		return "transition"
+	case SelBoth:
+		return "both"
+	}
+	return "sa"
+}
+
+// ParseSelection resolves a CLI keyword ("sa", "transition", "both").
+func ParseSelection(s string) (Selection, bool) {
+	switch s {
+	case "sa":
+		return SelStuckAt, true
+	case "transition":
+		return SelTransition, true
+	case "both":
+		return SelBoth, true
+	}
+	return SelStuckAt, false
+}
+
+// SelectUniverse returns the fault list of the selection: the stuck-at
+// universe of model sa (OutputSA or InputSA), the transition universe,
+// or their concatenation (stuck-at first, so stuck-at fault indices are
+// stable across SelStuckAt and SelBoth).
+func SelectUniverse(c *netlist.Circuit, sa Type, sel Selection) []Fault {
+	switch sel {
+	case SelTransition:
+		return TransitionUniverse(c)
+	case SelBoth:
+		return append(Universe(c, sa), TransitionUniverse(c)...)
+	}
+	return Universe(c, sa)
+}
+
 // CollapseStats summarises the cheap structural equivalences found in a
 // fault list.  The paper reports uncollapsed totals, and so do we: the
 // collapsing below shrinks only the *simulated* universe — every fault
@@ -226,6 +281,9 @@ type CollapseStats struct {
 	// DominancePairs counts input faults with a recorded structural
 	// dominator (see DominatorOf).
 	DominancePairs int
+	// TransitionChains counts gate pairs whose transition faults were
+	// merged by the unary-buffer rule (rule 3 below).
+	TransitionChains int
 }
 
 // Collapsed is a representative-fault mapping over a stuck-at universe:
@@ -236,8 +294,10 @@ type CollapseStats struct {
 type Collapsed struct {
 	// Rep maps each index of the collapsed list to the index of its
 	// class representative (the lowest list index of the class;
-	// Rep[r] == r for representatives).  Faults the collapsing does not
-	// understand (e.g. transition faults) are their own representative.
+	// Rep[r] == r for representatives).  Stuck-at faults collapse by
+	// rules 1–2, transition faults by rule 3 (unary-buffer chains);
+	// anything else — only the Transition model selector, which is not
+	// a concrete fault — is its own representative.
 	Rep []int
 	// NumClasses is the number of distinct representatives.
 	NumClasses int
@@ -350,10 +410,34 @@ func pinForcing(g *netlist.Gate, p int, v bool) (c bool, kind pinForcingKind) {
 //     all primary outputs.  (Self-dependent d is fine: s's private
 //     feedback never escapes.)
 //
+// Transition faults get one rule of their own:
+//
+//  3. Unary-buffer chains: when gate d's output s feeds exactly one
+//     pin, that pin is the single input of a BUF gate b, s is not a
+//     primary output, and d is not self-dependent, then d/STR ≡ b/STR
+//     and d/STF ≡ b/STF.  Proof sketch (slow-to-rise; slow-to-fall is
+//     dual): induct over Jacobi sweeps with the coupled invariant
+//     p1(s)ᵈ = p1(s)ᵇ ∧ p1(b) and p0(s)ᵈ = p0(s)ᵇ ∨ p0(b) — where
+//     superscripts name which gate carries the fault — plus equality
+//     on every other signal.  Each phase-A and phase-B update step
+//     preserves the invariant (the buffer's identity function makes
+//     the masked conjunction commute with the assignment), both start
+//     from the stable declared reset where s = b, and s itself is
+//     unobserved, so the machines agree on every primary output at
+//     every phase fixpoint of every cycle.  The argument needs d's
+//     evaluation to be independent of s, hence the self-dependence
+//     exclusion (a C gate re-reads s, and the two machines hold
+//     different s possibilities mid-settle); it also needs b to be an
+//     identity reader, so inverters and wider gates stay uncollapsed.
+//     The transition differential tests assert the rule bit-exactly
+//     against uncollapsed runs.
+//
 // Chaining the rules collapses buffer/inverter chains within a single
 // model too: the classes are the connected components over a virtual
-// node space of output and input stuck-at sites, and the list faults
-// that land in one component form one class.
+// node space of output, input and transition fault sites, and the list
+// faults that land in one component form one class.  Stuck-at and
+// transition nodes live in disjoint spaces — a slow-to-rise gate is
+// not a stuck-at-0 gate, so the models never merge.
 //
 // On top of the classes, Collapse records structural *dominance* for
 // pins inside fanout-free regions (see Collapsed.DominatorOf): when
@@ -414,6 +498,20 @@ func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 		inNodes[key] = n
 		return n
 	}
+	trNodes := make(map[[2]int]int) // (gate, slowRise) → node, disjoint from stuck-at space
+	trNode := func(gi int, slowRise bool) int {
+		v := 0
+		if slowRise {
+			v = 1
+		}
+		key := [2]int{gi, v}
+		if n, ok := trNodes[key]; ok {
+			return n
+		}
+		n := uf.add()
+		trNodes[key] = n
+		return n
+	}
 
 	for gi := 0; gi < c.NumGates(); gi++ {
 		g := &c.Gates[gi]
@@ -434,6 +532,16 @@ func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 			for _, v := range []bool{false, true} {
 				uf.union(outNode(gi, v), inNode(r.gate, r.pin, v))
 			}
+			// Rule 3: transition faults ride unary buffers.  The reader
+			// must be a BUF on its only pin, this gate must not re-read
+			// its own output, and the reader must be a different gate (a
+			// self-looped buffer reads its own output, not s).
+			rb := &c.Gates[r.gate]
+			if r.gate != gi && rb.Kind == netlist.Buf && len(rb.Fanin) == 1 && !g.Kind.SelfDependent() {
+				uf.union(trNode(gi, true), trNode(r.gate, true))
+				uf.union(trNode(gi, false), trNode(r.gate, false))
+				cl.Stats.TransitionChains++
+			}
 		}
 	}
 
@@ -446,8 +554,13 @@ func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 			n = outNode(f.Gate, f.Value == logic.One)
 		case InputSA:
 			n = inNode(f.Gate, f.Pin, f.Value == logic.One)
+		case SlowRise:
+			n = trNode(f.Gate, true)
+		case SlowFall:
+			n = trNode(f.Gate, false)
 		default:
-			// Transition faults collapse with nothing.
+			// Only the Transition model selector lands here; it names a
+			// universe, not a concrete fault, and collapses with nothing.
 			cl.Rep[i] = i
 			cl.NumClasses++
 			continue

@@ -1,0 +1,169 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// classOf returns the representative index of fault f in the list.
+func classOf(t *testing.T, cl Collapsed, list []Fault, f Fault) int {
+	t.Helper()
+	for i, g := range list {
+		if g == f {
+			return cl.Rep[i]
+		}
+	}
+	t.Fatalf("fault %+v not in list", f)
+	return -1
+}
+
+// TestTransitionCollapseBufferChain: rule 3 merges a gate's transition
+// faults with those of the unary buffers chained off its fanout-free
+// output, direction for direction, and never across directions or
+// models.
+func TestTransitionCollapseBufferChain(t *testing.T) {
+	c, err := netlist.ParseString(`
+circuit chain3
+input a b
+output z
+gate d AND a b
+gate b1 BUF d
+gate b2 BUF b1
+gate z OR b2 a
+init a=0 b=0 d=0 b1=0 b2=0 z=0
+`, "chain3.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := append(TransitionUniverse(c), OutputUniverse(c)...)
+	cl := Collapse(c, list)
+	gi := func(name string) int {
+		id, ok := c.SignalID(name)
+		if !ok {
+			t.Fatalf("no signal %s", name)
+		}
+		return c.GateOf(id)
+	}
+	str := func(name string) Fault { return Fault{Type: SlowRise, Gate: gi(name), Pin: -1} }
+	stf := func(name string) Fault { return Fault{Type: SlowFall, Gate: gi(name), Pin: -1} }
+
+	if a, b := classOf(t, cl, list, str("d")), classOf(t, cl, list, str("b1")); a != b {
+		t.Errorf("d/STR and b1/STR should collapse: classes %d, %d", a, b)
+	}
+	if a, b := classOf(t, cl, list, str("d")), classOf(t, cl, list, str("b2")); a != b {
+		t.Errorf("d/STR and b2/STR should chain through b1: classes %d, %d", a, b)
+	}
+	if a, b := classOf(t, cl, list, stf("d")), classOf(t, cl, list, stf("b2")); a != b {
+		t.Errorf("d/STF and b2/STF should chain: classes %d, %d", a, b)
+	}
+	if a, b := classOf(t, cl, list, str("d")), classOf(t, cl, list, stf("d")); a == b {
+		t.Error("STR and STF must never merge")
+	}
+	// b2 feeds z (not a buffer): the chain must stop there.
+	if a, b := classOf(t, cl, list, str("b2")), classOf(t, cl, list, str("z")); a == b {
+		t.Error("the chain must not leak past a non-buffer reader")
+	}
+	// Transition and stuck-at universes stay disjoint.
+	sa0 := Fault{Type: OutputSA, Gate: gi("d"), Pin: -1, Value: 0}
+	if a, b := classOf(t, cl, list, str("d")), classOf(t, cl, list, sa0); a == b {
+		t.Error("a slow-to-rise gate is not a stuck-at gate: models must not merge")
+	}
+	if cl.Stats.TransitionChains != 2 {
+		t.Errorf("TransitionChains = %d, want 2 (d→b1, b1→b2)", cl.Stats.TransitionChains)
+	}
+}
+
+// TestTransitionCollapseExclusions: the rule must not fire through an
+// inverter (polarity flips), off a self-dependent driver (its
+// evaluation re-reads the differing signal), off a multi-fanout net, or
+// off an observed net.
+func TestTransitionCollapseExclusions(t *testing.T) {
+	c, err := netlist.ParseString(`
+circuit excl
+input a b
+output z obs
+gate inv NOT a
+gate binv BUF inv
+gate cel C a b
+gate bcel BUF cel
+gate fan AND a b
+gate bfan1 BUF fan
+gate bfan2 BUF fan
+gate obs OR a b
+gate bobs BUF obs
+gate z OR binv bcel bfan1 bfan2 bobs
+init a=0 b=0 inv=1 binv=1 cel=0 bcel=0 fan=0 bfan1=0 bfan2=0 obs=0 bobs=0 z=1
+`, "excl.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := TransitionUniverse(c)
+	cl := Collapse(c, list)
+	gi := func(name string) int {
+		id, ok := c.SignalID(name)
+		if !ok {
+			t.Fatalf("no signal %s", name)
+		}
+		return c.GateOf(id)
+	}
+	str := func(name string) Fault { return Fault{Type: SlowRise, Gate: gi(name), Pin: -1} }
+
+	// inv → binv is a buffer off an inverter output: that DOES merge
+	// (the rule cares about the reader being a buffer, not the driver's
+	// function — NOT is not self-dependent).
+	if a, b := classOf(t, cl, list, str("inv")), classOf(t, cl, list, str("binv")); a != b {
+		t.Errorf("inv/STR and binv/STR should collapse (driver kind is free): %d, %d", a, b)
+	}
+	// cel (a C element) re-reads its own output: excluded.
+	if a, b := classOf(t, cl, list, str("cel")), classOf(t, cl, list, str("bcel")); a == b {
+		t.Error("self-dependent driver must not collapse with its buffer")
+	}
+	// fan has two buffer readers: excluded (which one would it equal?).
+	if a, b := classOf(t, cl, list, str("fan")), classOf(t, cl, list, str("bfan1")); a == b {
+		t.Error("multi-fanout net must not collapse")
+	}
+	// obs is a primary output: the tester watches s itself.
+	if a, b := classOf(t, cl, list, str("obs")), classOf(t, cl, list, str("bobs")); a == b {
+		t.Error("observed net must not collapse")
+	}
+}
+
+func TestSelectUniverse(t *testing.T) {
+	c, err := netlist.ParseString(`
+circuit sel
+input a
+output z
+gate z NOT a
+init a=0 z=1
+`, "sel.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := SelectUniverse(c, InputSA, SelStuckAt)
+	tr := SelectUniverse(c, InputSA, SelTransition)
+	both := SelectUniverse(c, InputSA, SelBoth)
+	if len(sa) != len(InputUniverse(c)) {
+		t.Errorf("sa selection: %d faults, want %d", len(sa), len(InputUniverse(c)))
+	}
+	if len(tr) != 2*c.NumGates() {
+		t.Errorf("transition selection: %d faults, want %d", len(tr), 2*c.NumGates())
+	}
+	if len(both) != len(sa)+len(tr) {
+		t.Errorf("both selection: %d faults, want %d", len(both), len(sa)+len(tr))
+	}
+	for i := range sa {
+		if both[i] != sa[i] {
+			t.Fatal("stuck-at indices must be stable across SelStuckAt and SelBoth")
+		}
+	}
+	for _, s := range []Selection{SelStuckAt, SelTransition, SelBoth} {
+		got, ok := ParseSelection(s.String())
+		if !ok || got != s {
+			t.Errorf("ParseSelection(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := ParseSelection("bogus"); ok {
+		t.Error("bogus selection must not parse")
+	}
+}

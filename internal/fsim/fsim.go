@@ -244,13 +244,22 @@ type Simulator struct {
 	patterns int64 // applied patterns, summed over lanes
 }
 
-// New builds a simulator for the fault universe.  Only stuck-at faults
-// are supported: the directional transition models need a materialised
-// circuit copy per fault (see faults.Apply) and stay on the exact path.
+// New builds a simulator for the fault universe.  Stuck-at faults
+// (output and input) and the gross gate-delay transition faults
+// (SlowRise/SlowFall) are all supported: a stuck-at is injected as a
+// pin/output override mask and a transition fault as a directional
+// override — no materialised circuit copy is ever built, so the full
+// TransitionUniverse rides the same batched, collapsed, cone-limited
+// machinery as the stuck-at models (faults.Apply plus serial
+// simulation remains the differential oracle, see the transition
+// differential tests).  Only the Transition model *selector* is
+// rejected: it names a universe, not a concrete fault.
 func New(c *netlist.Circuit, universe []faults.Fault, opts Options) (*Simulator, error) {
 	for i, f := range universe {
-		if f.Type != faults.OutputSA && f.Type != faults.InputSA {
-			return nil, fmt.Errorf("fsim: fault %d (%s) is not a stuck-at fault", i, f.Describe(c))
+		switch f.Type {
+		case faults.OutputSA, faults.InputSA, faults.SlowRise, faults.SlowFall:
+		default:
+			return nil, fmt.Errorf("fsim: fault %d (%s) is not a concrete stuck-at or transition fault", i, f.Describe(c))
 		}
 	}
 	lanes := opts.lanes()
@@ -438,7 +447,10 @@ func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected [
 // unmodified function and (by cone closure) reads only out-of-cone
 // signals, so by induction over cycles and over each settling phase's
 // confluent iteration its value equals the good machine's, lane for
-// lane.  The fault machines therefore admit only cone gates to their
+// lane.  A transition fault's cone is the same gate-output cone: the
+// directional gate's extra read is its own output, which lies inside
+// its own cone, so cone limiting applies to SlowRise/SlowFall
+// unchanged.  The fault machines therefore admit only cone gates to their
 // event queues and serve everything else from the cached good-state
 // trace, which also means DetectVs sees exactly the values the full
 // simulation would produce: bit-identical detection, a fraction of the

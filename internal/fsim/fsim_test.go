@@ -274,8 +274,11 @@ func TestSimulateSequencesChunksAcrossBatches(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	c := toy(t)
-	if _, err := New(c, faults.TransitionUniverse(c), Options{}); err == nil {
-		t.Error("transition faults must be rejected")
+	if _, err := New(c, faults.TransitionUniverse(c), Options{}); err != nil {
+		t.Errorf("transition universe must be accepted: %v", err)
+	}
+	if _, err := New(c, []faults.Fault{{Type: faults.Transition, Gate: 0, Pin: -1}}, Options{}); err == nil {
+		t.Error("the Transition model selector is not a concrete fault and must be rejected")
 	}
 	s, err := New(c, faults.OutputUniverse(c), Options{})
 	if err != nil {

@@ -27,8 +27,10 @@ func newMachine[V lanevec.Vec[V]](c *netlist.Circuit) *machine[V] {
 func (m *machine[V]) setAll(all V) { m.eng.SetAll(all) }
 
 // inject selects the fault simulated by subsequent reset/apply calls
-// (nil: the good machine).  Only stuck-at faults are supported; New
-// rejects everything else up front.
+// (nil: the good machine).  Stuck-at faults become pin/output override
+// masks; transition faults become directional overrides (slow-to-rise:
+// the output may only fall, and dually).  New rejects everything else
+// up front.
 func (m *machine[V]) inject(f *faults.Fault) {
 	m.eng.ClearOverrides()
 	if f == nil {
@@ -36,15 +38,20 @@ func (m *machine[V]) inject(f *faults.Fault) {
 	}
 	all := m.eng.All()
 	var zero V
-	if f.Type == faults.OutputSA {
+	switch f.Type {
+	case faults.OutputSA:
 		if f.Value == logic.One {
 			m.eng.OrOutOverride(f.Gate, all, zero)
 		} else {
 			m.eng.OrOutOverride(f.Gate, zero, all)
 		}
-		return
+	case faults.SlowRise:
+		m.eng.OrDirOverride(f.Gate, all, zero)
+	case faults.SlowFall:
+		m.eng.OrDirOverride(f.Gate, zero, all)
+	default:
+		m.eng.AddPinOverride(f.Gate, f.Pin, all, f.Value == logic.One)
 	}
-	m.eng.AddPinOverride(f.Gate, f.Pin, all, f.Value == logic.One)
 }
 
 // reset loads the circuit's declared initial state into every lane and

@@ -22,6 +22,19 @@ type outOverride[V Vec[V]] struct {
 	m0 V // lanes whose output is stuck at 0
 }
 
+// dirOverride makes a gate's output directional per lane: in fall
+// lanes the output may only fall (the slow-to-rise gross gate-delay
+// model, out' = f(ins) ∧ out), in rise lanes it may only rise
+// (slow-to-fall, out' = f(ins) ∨ out).  The kernels read the gate's
+// own previous output from the possibility vectors, exactly like the
+// C-gate self input, so the directional gate remembers which way it
+// has already moved: once a slow-to-rise output falls it can never
+// rise again, as the materialised f∧self gate of faults.Apply behaves.
+type dirOverride[V Vec[V]] struct {
+	fall V // lanes whose output may only fall (slow to rise)
+	rise V // lanes whose output may only rise (slow to fall)
+}
+
 // Engine is the generic bit-parallel ternary machine: one circuit
 // simulated across the lanes of V, each signal held as two possibility
 // vectors (p1 bit l set: "in lane l the signal may be 1"; p0: "may be
@@ -32,13 +45,17 @@ type outOverride[V Vec[V]] struct {
 //
 // Faults are injected as overrides: per-lane pin masks (fault-per-lane)
 // or all-lane masks (one uniform fault, pattern-per-lane).  An output
-// stuck-at is an output override; an input stuck-at is a pin override.
+// stuck-at is an output override; an input stuck-at is a pin override;
+// a gross gate-delay (transition) fault is a directional override —
+// the output may only fall (slow-to-rise) or only rise (slow-to-fall)
+// in its lanes, judged against the gate's own previous output.
 type Engine[V Vec[V]] struct {
 	c   *netlist.Circuit
 	all V // mask of lanes in use
 
 	inOv  [][]PinOverride[V] // per gate: input-pin stuck-at overrides
 	outOv []outOverride[V]   // per gate: output stuck-at overrides
+	dirOv []dirOverride[V]   // per gate: directional (transition-fault) overrides
 	hasOv []bool             // per gate: any override set
 	dirty []int              // gates with any override set (the overridden partition)
 
@@ -68,6 +85,7 @@ func NewEngine[V Vec[V]](c *netlist.Circuit) *Engine[V] {
 		c:          c,
 		inOv:       make([][]PinOverride[V], c.NumGates()),
 		outOv:      make([]outOverride[V], c.NumGates()),
+		dirOv:      make([]dirOverride[V], c.NumGates()),
 		hasOv:      make([]bool, c.NumGates()),
 		clean:      make([]int, 0, c.NumGates()),
 		cleanStale: true,
@@ -102,6 +120,21 @@ func (e *Engine[V]) OrOutOverride(gi int, m1, m0 V) {
 	e.outOv[gi].m0 = e.outOv[gi].m0.Or(m0)
 }
 
+// OrDirOverride makes gate gi's output directional per lane,
+// accumulating over previous calls: in the lanes of fall the output may
+// only fall (slow-to-rise: out' = f(ins) ∧ out), in the lanes of rise
+// it may only rise (slow-to-fall: out' = f(ins) ∨ out).  The kernels
+// read the gate's own previous output like a C-gate self input; the
+// exactness of the masked form against the materialised f∧self /
+// f∨self gate relies on every self-dependent gate kind being monotone
+// in its self input (true for C, the only such kind), which the
+// transition-fault differential tests in internal/fsim pin down.
+func (e *Engine[V]) OrDirOverride(gi int, fall, rise V) {
+	e.markDirty(gi)
+	e.dirOv[gi].fall = e.dirOv[gi].fall.Or(fall)
+	e.dirOv[gi].rise = e.dirOv[gi].rise.Or(rise)
+}
+
 func (e *Engine[V]) markDirty(gi int) {
 	if e.hasOv[gi] {
 		return
@@ -114,10 +147,12 @@ func (e *Engine[V]) markDirty(gi int) {
 // ClearOverrides removes every override in O(overridden gates), so a
 // reused engine can switch faults cheaply.
 func (e *Engine[V]) ClearOverrides() {
-	var zero outOverride[V]
+	var zeroOut outOverride[V]
+	var zeroDir dirOverride[V]
 	for _, gi := range e.dirty {
 		e.inOv[gi] = e.inOv[gi][:0]
-		e.outOv[gi] = zero
+		e.outOv[gi] = zeroOut
+		e.dirOv[gi] = zeroDir
 		e.hasOv[gi] = false
 	}
 	if len(e.dirty) > 0 {

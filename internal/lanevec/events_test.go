@@ -77,6 +77,15 @@ func TestEventSettleMatchesSweep(t *testing.T) {
 			sweep.AddPinOverride(gj, pin, pm, true)
 			event.AddPinOverride(gj, pin, pm, true)
 		}
+		// Directional (transition-fault) overrides: one slow-to-rise and
+		// one slow-to-fall lane, possibly on a gate that is not
+		// self-dependent in the good circuit — the event queue must
+		// reach the same fixpoint without a self reader edge.
+		gk := rng.Intn(c.NumGates())
+		fm := zero.WithBit(rng.Intn(lanes))
+		rm := zero.WithBit(rng.Intn(lanes))
+		sweep.OrDirOverride(gk, fm, rm)
+		event.OrDirOverride(gk, fm, rm)
 
 		sweep.Reset()
 		eventReset(event)

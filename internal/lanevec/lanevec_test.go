@@ -179,6 +179,31 @@ func testEngineLanes[V Vec[V]](t *testing.T) {
 		t.Fatalf("pin override wrong: d1=%v", d1.Words())
 	}
 
+	// Directional override, slow-to-rise: y (= A after the double
+	// inversion, reset 0) must never rise in the masked lane, and must
+	// keep tracking A everywhere else.
+	e.ClearOverrides()
+	e.OrDirOverride(c.GateOf(yID), last, zero)
+	e.Reset()
+	e.ApplyRails([]V{e.All()}) // A=1: good y rises
+	d1, d0 = e.Definite(yID)
+	if d1.Has(size-1) || !d0.Has(size-1) || !d1.Has(0) {
+		t.Fatalf("slow-to-rise leaked: d1=%v d0=%v", d1.Words(), d0.Words())
+	}
+
+	// Slow-to-fall: after rising with the good lanes, y must stay 1 in
+	// the masked lane when A drops.
+	e.ClearOverrides()
+	e.OrDirOverride(c.GateOf(yID), zero, last)
+	e.Reset()
+	e.ApplyRails([]V{e.All()}) // rise everywhere (rising is allowed)
+	var none V
+	e.ApplyRails([]V{none}) // A=0: good y falls
+	d1, d0 = e.Definite(yID)
+	if !d1.Has(size-1) || d0.Has(size-1) || d1.Has(0) {
+		t.Fatalf("slow-to-fall leaked: d1=%v d0=%v", d1.Words(), d0.Words())
+	}
+
 	// ClearOverrides restores the good machine.
 	e.ClearOverrides()
 	e.ApplyRails([]V{e.All()})

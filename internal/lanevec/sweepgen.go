@@ -94,6 +94,18 @@ var sweepFuncs = template.FuncMap{
 			return fmt.Sprintf("(%s[%d]^%s[%d]) | (%s[%d]^%s[%d])", a, k, b, k, c, k, d, k)
 		}) + "}"
 	},
+	// dirOverride: "v[0] = v[0]&^(block[0]&^prev[0]) | hold[0]&prev[0]; ..."
+	// — the directional (transition-fault) masks applied to a
+	// possibility vector: in block lanes a possibility the previous
+	// output lacked is removed (the blocked transition), in hold lanes
+	// the previous output's possibility is retained (the held value of
+	// the transition allowed the other way).
+	"dirOverride": func(w sweepWidth, v, block, prev, hold string) string {
+		return perWord(w.N, "; ", func(k int) string {
+			return fmt.Sprintf("%s[%d] = %s[%d]&^(%s[%d]&^%s[%d]) | %s[%d]&%s[%d]",
+				v, k, v, k, block, k, prev, k, hold, k, prev, k)
+		})
+	},
 }
 
 // GenerateSweepSource renders the sweep kernels for every width and
@@ -175,10 +187,15 @@ func evalGate{{.Lanes}}(e *Engine[{{.Type}}], gi int, p1, p0 []{{.Type}}) (can1,
 	return can1, can0
 }
 
-// evalGateOv{{.Lanes}} is evalGate{{.Lanes}} for gates carrying pin or output
-// overrides: each pin's possibility word is patched by the override
-// masks before it joins the cube, and the output stuck-at masks are
-// applied last.
+// evalGateOv{{.Lanes}} is evalGate{{.Lanes}} for gates carrying pin, output or
+// directional overrides: each pin's possibility word is patched by the
+// override masks before it joins the cube, the output stuck-at masks
+// are applied to the result, and the directional (transition-fault)
+// masks last — those read the gate's own previous output from p1/p0,
+// like the C-gate self input, so a slow-to-rise output can keep only
+// the 1-possibility it already had (and may always fall), and dually
+// for slow-to-fall.  Each lane carries at most one fault, so the
+// override kinds apply to disjoint lanes and their order is free.
 func evalGateOv{{.Lanes}}(e *Engine[{{.Type}}], gi int, p1, p0 []{{.Type}}) (can1, can0 {{.Type}}) {
 	g := &e.c.Gates[gi]
 	nf := len(g.Fanin)
@@ -233,6 +250,10 @@ func evalGateOv{{.Lanes}}(e *Engine[{{.Type}}], gi int, p1, p0 []{{.Type}}) (can
 	oo := &e.outOv[gi]
 	{{outOverride . "can1" "oo.m0" "oo.m1"}}
 	{{outOverride . "can0" "oo.m1" "oo.m0"}}
+	do := &e.dirOv[gi]
+	o1, o0 := p1[g.Out], p0[g.Out]
+	{{dirOverride . "can1" "do.fall" "o1" "do.rise"}}
+	{{dirOverride . "can0" "do.rise" "o0" "do.fall"}}
 	return can1, can0
 }
 

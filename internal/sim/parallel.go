@@ -16,7 +16,10 @@ const Lanes = lanevec.Lanes1
 
 // Parallel simulates up to 64 faulty copies of one circuit in ternary
 // logic simultaneously: lane l carries fault l of the injected fault
-// list, driven by one shared pattern per cycle.
+// list, driven by one shared pattern per cycle.  Stuck-at faults ride
+// per-lane pin/output override masks; transition (gross gate-delay)
+// faults ride per-lane directional masks, so one batch may mix both
+// models freely.
 //
 // The sweep core is lanevec.Engine — the same generic settle/evalGate
 // the pattern-parallel fsim engine instantiates; only the fault
@@ -54,6 +57,12 @@ func NewParallel(c *netlist.Circuit, fl []faults.Fault) *Parallel {
 			}
 		case faults.InputSA:
 			p.eng.AddPinOverride(f.Gate, f.Pin, mask, f.Value == logic.One)
+		case faults.SlowRise:
+			p.eng.OrDirOverride(f.Gate, mask, zero)
+		case faults.SlowFall:
+			p.eng.OrDirOverride(f.Gate, zero, mask)
+		default:
+			panic(fmt.Sprintf("sim: lane %d: fault type %d is not a concrete fault", l, f.Type))
 		}
 	}
 	p.Reset()

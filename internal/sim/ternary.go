@@ -22,11 +22,21 @@ type TernaryResult struct {
 func (r TernaryResult) Definite() bool { return r.State.AllDefinite() }
 
 // evalFaulty evaluates gate gi in ternary state st with an optional
-// stuck-at fault injected.
+// stuck-at or transition fault injected.  A transition fault combines
+// the gate's function with its own previous output (slow-to-rise:
+// f ∧ out, slow-to-fall: f ∨ out) — the same ternary value the
+// materialised f∧self table of faults.Apply produces, because every
+// self-dependent gate kind is monotone in its self input (the
+// differential tests in internal/fsim pin the equivalence down).
 func evalFaulty(c *netlist.Circuit, gi int, st logic.Vec, f *faults.Fault) logic.V {
 	if f != nil && f.Gate == gi {
-		if f.Type == faults.OutputSA {
+		switch f.Type {
+		case faults.OutputSA:
 			return f.Value
+		case faults.SlowRise:
+			return logic.And(c.EvalTernary(gi, st), st[c.Gates[gi].Out])
+		case faults.SlowFall:
+			return logic.Or(c.EvalTernary(gi, st), st[c.Gates[gi].Out])
 		}
 		return c.EvalTernaryPinned(gi, st, f.Pin, f.Value)
 	}
@@ -40,8 +50,8 @@ func evalFaulty(c *netlist.Circuit, gi int, st logic.Vec, f *faults.Fault) logic
 // through every potentially-unstable signal; algorithm B then lowers each
 // output to its function value, restoring signals whose final value is
 // certain.  Jacobi (synchronous) sweeps are used, so the result is
-// deterministic and order-independent.  An optional single stuck-at
-// fault is injected during evaluation.
+// deterministic and order-independent.  An optional single stuck-at or
+// transition fault is injected during evaluation.
 //
 // The input slice is not modified.
 func SettleTernary(c *netlist.Circuit, st logic.Vec, f *faults.Fault) TernaryResult {

@@ -26,7 +26,8 @@ func (s CoverageSummary) Coverage() float64 {
 	return float64(s.Detected) / float64(s.Total)
 }
 
-// MeasureCoverage evaluates the stuck-at universe against the program
+// MeasureCoverage evaluates a fault universe — stuck-at, transition,
+// or a mix (every concrete model fsim accepts) — against the program
 // set with the bit-parallel fault simulator: programs ride the lanes of
 // each batch (64, 128 or 256 wide per `lanes`), one representative per
 // structural equivalence class is simulated, the class list is sharded

@@ -88,6 +88,9 @@ type (
 	FaultSimEngine = fsim.EngineKind
 	// FaultSimStats reports fault-simulation work counters.
 	FaultSimStats = fsim.Stats
+	// FaultSelection picks which fault universes a flow targets: the
+	// stuck-at model alone, the transition universe alone, or both.
+	FaultSelection = faults.Selection
 )
 
 // Fault-simulation engines.  EventEngine (the default) re-simulates
@@ -112,6 +115,18 @@ const (
 	InputStuckAt     = faults.InputSA
 	TransitionFaults = faults.Transition
 )
+
+// Fault selections (Options.Faults, cmd/satpg -faults): which
+// universes the flow targets on top of the chosen stuck-at model.
+const (
+	SelectStuckAt    = faults.SelStuckAt    // the stuck-at model only (default)
+	SelectTransition = faults.SelTransition // the transition universe only
+	SelectBoth       = faults.SelBoth       // stuck-at ∪ transition
+)
+
+// ParseFaultSelection resolves the CLI keyword ("sa", "transition",
+// "both") of a fault selection.
+func ParseFaultSelection(s string) (FaultSelection, bool) { return faults.ParseSelection(s) }
 
 // Vector classifications (see Analyze).
 const (
@@ -147,6 +162,13 @@ type Options struct {
 	// (EventEngine, the default) or the full-sweep oracle
 	// (SweepEngine).  Detected sets are identical either way.
 	FaultSimEngine FaultSimEngine
+	// Faults selects which universes Generate, FaultSimBatch and
+	// MeasureProgramCoverage target: the chosen stuck-at model
+	// (SelectStuckAt, the default), the transition universe
+	// (SelectTransition), or their union (SelectBoth).  Transition
+	// faults ride the same batched bit-parallel machinery as stuck-at
+	// faults, injected as directional override masks.
+	Faults FaultSelection
 }
 
 func (o Options) coreOpts() core.Options { return core.Options{K: o.K} }
@@ -201,9 +223,19 @@ func Universe(c *Circuit, model FaultModel) []Fault {
 	return faults.Universe(c, model)
 }
 
-// Generate runs the full ATPG flow (§5) on a prebuilt CSSG.
+// SelectedUniverse returns the fault list a selection targets: the
+// stuck-at universe of the model, the transition universe, or their
+// concatenation (stuck-at first).
+func SelectedUniverse(c *Circuit, model FaultModel, sel FaultSelection) []Fault {
+	return faults.SelectUniverse(c, model, sel)
+}
+
+// Generate runs the full ATPG flow (§5) on a prebuilt CSSG over the
+// universe Options.Faults selects (the model's stuck-at faults by
+// default; SelectTransition or SelectBoth widen it to the gross
+// gate-delay extension).
 func Generate(g *CSSG, model FaultModel, opts Options) *Result {
-	return atpg.Run(g, model, opts.atpgOpts())
+	return atpg.RunUniverse(g, model, faults.SelectUniverse(g.C, model, opts.Faults), opts.atpgOpts())
 }
 
 // GenerateForCircuit is the one-shot convenience: Abstract then
@@ -223,21 +255,23 @@ func VerifyTest(g *CSSG, f Fault, t Test) bool {
 	return atpg.Verify(g, f, t, atpg.Options{})
 }
 
-// FaultSimBatch measures the guaranteed coverage of a test set over the
-// model's full fault universe with the bit-parallel fault simulator:
+// FaultSimBatch measures the guaranteed coverage of a test set over
+// the universe Options.Faults selects (the model's stuck-at faults,
+// the transition universe, or both) with the bit-parallel fault
+// simulator:
 // tests ride the lanes of each batch (Options.FaultSimLanes patterns
 // per sweep), only one representative per structural fault-equivalence
 // class is simulated (verdicts fan out to the whole universe), the
 // class list is sharded across Options.FaultSimWorkers goroutines, and
 // faults are dropped from later batches once detected.
 func FaultSimBatch(c *Circuit, model FaultModel, tests []Test, opts Options) (*CoverageReport, error) {
-	return atpg.CoverageOf(c, faults.Universe(c, model), tests, opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
+	return atpg.CoverageOf(c, faults.SelectUniverse(c, model, opts.Faults), tests, opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
 }
 
 // MeasureProgramCoverage is FaultSimBatch for tester programs: the
 // stimulus/response view of the same measurement.
 func MeasureProgramCoverage(c *Circuit, progs []Program, model FaultModel, opts Options) (ProgramCoverageSummary, error) {
-	return tester.MeasureCoverage(c, progs, faults.Universe(c, model), opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
+	return tester.MeasureCoverage(c, progs, faults.SelectUniverse(c, model, opts.Faults), opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
 }
 
 // Programs converts the result's tests into tester programs (stimulus

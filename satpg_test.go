@@ -291,3 +291,71 @@ func TestFacadeBaseline(t *testing.T) {
 		t.Fatalf("baseline comparison degenerate: %+v", cmp)
 	}
 }
+
+// TestFacadeFaultSelections drives the Options.Faults plumbing end to
+// end: the combined universe must be the stuck-at list followed by the
+// transition list, the full ATPG flow must cover it with exactly
+// verified tests, and the batched coverage measurement must agree
+// fault for fault across both engines at every lane width.
+func TestFacadeFaultSelections(t *testing.T) {
+	c, err := LoadBenchmark("si/vbe5b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Abstract(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saN := len(Universe(c, InputStuckAt))
+	trN := len(SelectedUniverse(c, InputStuckAt, SelectTransition))
+	both := SelectedUniverse(c, InputStuckAt, SelectBoth)
+	if len(both) != saN+trN {
+		t.Fatalf("combined universe %d faults, want %d", len(both), saN+trN)
+	}
+
+	res := Generate(g, InputStuckAt, Options{Seed: 1, Faults: SelectBoth})
+	if res.Total != len(both) {
+		t.Fatalf("ATPG total %d, want %d", res.Total, len(both))
+	}
+	for i, fr := range res.PerFault {
+		if fr.Fault != both[i] {
+			t.Fatalf("fault %d reordered", i)
+		}
+		if fr.Detected && !VerifyTest(g, fr.Fault, res.Tests[fr.TestIndex]) {
+			t.Fatalf("test for %s fails exact verification", fr.Fault.Describe(c))
+		}
+	}
+	if res.Coverage() < 0.9 {
+		t.Fatalf("combined coverage suspiciously low: %s", res.Summary())
+	}
+
+	for _, lanes := range []int{64, 128, 256} {
+		ev, err := FaultSimBatch(c, InputStuckAt, res.Tests,
+			Options{Faults: SelectBoth, FaultSimLanes: lanes, FaultSimEngine: EventEngine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := FaultSimBatch(c, InputStuckAt, res.Tests,
+			Options{Faults: SelectBoth, FaultSimLanes: lanes, FaultSimEngine: SweepEngine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := range ev.PerFault {
+			e, s := ev.PerFault[fi], sw.PerFault[fi]
+			if e.Detected != s.Detected || e.TestIndex != s.TestIndex || e.Cycle != s.Cycle {
+				t.Fatalf("lanes=%d fault %s: event {det=%v test=%d cyc=%d} sweep {det=%v test=%d cyc=%d}",
+					lanes, e.Fault.Describe(c), e.Detected, e.TestIndex, e.Cycle,
+					s.Detected, s.TestIndex, s.Cycle)
+			}
+		}
+	}
+
+	// Program-side measurement accepts the combined universe too.
+	sum, err := MeasureProgramCoverage(c, Programs(g, res), InputStuckAt, Options{Faults: SelectBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != len(both) {
+		t.Fatalf("program coverage total %d, want %d", sum.Total, len(both))
+	}
+}
