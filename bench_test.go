@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/compact"
 	"repro/internal/core"
 	"repro/internal/dft"
 	"repro/internal/faults"
@@ -367,6 +368,108 @@ func BenchmarkEventVsSweepTable1(b *testing.B) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkCompactTable1 measures test-program compaction on the
+// Table-1 workload: for each fault model, the full ATPG programs of
+// every suite circuit are compacted in each mode.  Reported per
+// variant: tests-removed/sec and the aggregate size reduction; the
+// model/matrix sub-benchmark isolates the detection-matrix build and
+// reports its patterns/sec.  Sub-benchmark names are model/mode, which
+// cmd/benchjson lifts into the BENCH artifact.  Every mode variant
+// asserts the compaction parity contract — the compacted programs must
+// measure bit-identical per-fault coverage — so a coverage-losing pass
+// fails the bench-smoke job exactly like a drifting engine.
+func BenchmarkCompactTable1(b *testing.B) {
+	suite := SpeedIndependentSuite()
+	models := []struct {
+		name string
+		sel  FaultSelection
+	}{
+		{"input-sa", SelectStuckAt},
+		{"transition", SelectTransition},
+	}
+	for _, model := range models {
+		type workload struct {
+			c     *Circuit
+			progs []Program
+			orig  ProgramCoverageSummary
+		}
+		opts := Options{Seed: 1, Faults: model.sel}
+		var work []workload
+		for _, bm := range suite {
+			g, res, err := GenerateForCircuit(bm.Circuit, InputStuckAt, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			progs := Programs(g, res)
+			orig, err := MeasureProgramCoverage(bm.Circuit, progs, InputStuckAt, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			work = append(work, workload{bm.Circuit, progs, orig})
+		}
+		b.Run(model.name+"/matrix", func(b *testing.B) {
+			var patterns int64
+			for i := 0; i < b.N; i++ {
+				patterns = 0
+				for _, w := range work {
+					mx, err := compact.BuildMatrix(w.c, w.progs,
+						faults.SelectUniverse(w.c, faults.InputSA, model.sel), compact.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					patterns += mx.Stats.Patterns
+				}
+			}
+			b.ReportMetric(float64(patterns), "patterns")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(patterns)*float64(b.N)/secs, "patterns/sec")
+			}
+		})
+		for _, mode := range []CompactMode{CompactReverse, CompactDominance, CompactGreedy, CompactAll} {
+			mode := mode
+			b.Run(model.name+"/"+mode.String(), func(b *testing.B) {
+				copts := opts
+				copts.Compact = mode
+				var crs []*CompactionResult
+				var removed, before, after int
+				for i := 0; i < b.N; i++ {
+					crs = crs[:0]
+					removed, before, after = 0, 0, 0
+					for _, w := range work {
+						cr, err := CompactProgram(w.c, w.progs, InputStuckAt, copts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						crs = append(crs, cr)
+						removed += cr.Before - cr.After
+						before += cr.Before
+						after += cr.After
+					}
+				}
+				b.StopTimer()
+				// Parity: compaction must preserve every per-fault verdict
+				// of the measured coverage (the compaction row of the
+				// bench-smoke parity assertions).
+				for wi, w := range work {
+					sum, err := MeasureProgramCoverage(w.c, crs[wi].Programs, InputStuckAt, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !sum.VerdictsEqual(w.orig) {
+						b.Fatalf("%s mode %s: compaction changed measured coverage on %s: %d/%d vs %d/%d",
+							model.name, mode, w.c.Name, sum.Detected, sum.Total, w.orig.Detected, w.orig.Total)
+					}
+				}
+				b.ReportMetric(float64(removed), "tests-removed")
+				b.ReportMetric(100*(1-float64(after)/float64(max(before, 1))), "%reduction")
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(removed)*float64(b.N)/secs, "tests-removed/sec")
+				}
+			})
 		}
 	}
 }

@@ -5,10 +5,11 @@
 // It parses the standard benchmark result lines — including -benchmem
 // columns and every custom testing.B.ReportMetric value, such as the
 // engine benchmarks' patterns/sec and gate-evals/pattern — and, where
-// a sub-benchmark path encodes them, lifts the fault model, engine and
-// lane width into dedicated fields (the model/engine/lanes-N naming of
-// BenchmarkEventVsSweepTable1 and the engine shapes of
-// BenchmarkFaultSimEngines).
+// a sub-benchmark path encodes them, lifts the fault model, engine,
+// lane width and compaction mode into dedicated fields (the
+// model/engine/lanes-N naming of BenchmarkEventVsSweepTable1, the
+// engine shapes of BenchmarkFaultSimEngines, and the model/mode naming
+// of BenchmarkCompactTable1).
 //
 // Usage:
 //
@@ -34,9 +35,13 @@ type Entry struct {
 	Name string `json:"name"`
 	// Model, Engine and Lanes are lifted from the path segments when
 	// present (e.g. EventVsSweepTable1/both/event/lanes-128).
-	Model      string             `json:"model,omitempty"`
-	Engine     string             `json:"engine,omitempty"`
-	Lanes      int                `json:"lanes,omitempty"`
+	Model  string `json:"model,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	Lanes  int    `json:"lanes,omitempty"`
+	// Mode is the compaction pass of a CompactTable1 variant
+	// (reverse/dominance/greedy/all, or matrix for the matrix-build
+	// sub-benchmark).
+	Mode       string             `json:"mode,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -57,6 +62,10 @@ var engineNames = map[string]bool{
 
 var modelNames = map[string]bool{
 	"input-sa": true, "output-sa": true, "sa": true, "transition": true, "both": true,
+}
+
+var compactModes = map[string]bool{
+	"matrix": true, "reverse": true, "dominance": true, "greedy": true, "all": true,
 }
 
 // parseLine parses one benchmark output line, reporting ok=false for
@@ -142,6 +151,8 @@ func finish(entries []Entry) []Entry {
 				}
 			case modelNames[seg]:
 				e.Model = seg
+			case compactModes[seg]:
+				e.Mode = seg
 			case strings.HasPrefix(seg, "lanes-"):
 				if n, err := strconv.Atoi(seg[len("lanes-"):]); err == nil {
 					e.Lanes = n

@@ -12,6 +12,8 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkEventVsSweepTable1/both/event/lanes-128-4         	       1	 119573698 ns/op	      1913 detected	         4.071 gate-evals/pattern	    822125 patterns/sec
 BenchmarkFaultSimEngines/serial-per-pattern-4              	       1	 251202251 ns/op	       110.0 detected
 BenchmarkFaultSimEngines/sharded-4-4                       	       2	  12000000 ns/op	       110.0 detected	        10.00 gate-evals/pattern
+BenchmarkCompactTable1/input-sa/all-4                      	       1	  44647256 ns/op	        83.72 %reduction	       180.0 tests-removed	      4032 tests-removed/sec
+BenchmarkCompactTable1/transition/matrix-4                 	       1	  31900916 ns/op	      1487 patterns	     46614 patterns/sec
 not a benchmark line
 PASS
 ok  	repro	4.885s
@@ -25,8 +27,8 @@ func TestParse(t *testing.T) {
 	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "repro" || rep.CPU == "" {
 		t.Fatalf("header metadata wrong: %+v", rep)
 	}
-	if len(rep.Results) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	if len(rep.Results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(rep.Results))
 	}
 
 	e := rep.Results[0]
@@ -53,6 +55,14 @@ func TestParse(t *testing.T) {
 	}
 	if s := rep.Results[2]; s.Engine != "sweep" {
 		t.Errorf("sharded engine %q, want sweep", s.Engine)
+	}
+	if s := rep.Results[3]; s.Model != "input-sa" || s.Mode != "all" ||
+		s.Metrics["tests-removed/sec"] != 4032 {
+		t.Errorf("compaction dimension lifting wrong: %+v", s)
+	}
+	if s := rep.Results[4]; s.Model != "transition" || s.Mode != "matrix" ||
+		s.Metrics["patterns/sec"] != 46614 {
+		t.Errorf("matrix dimension lifting wrong: %+v", s)
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	satpg -bench si/chu150 -model input -seed 1
 //	satpg -bench si/chu150 -faults both -fsim
+//	satpg -bench si/chu150 -compact all
 //	satpg -circuit my.ckt -model output -tests tests.txt -validate 20
 package main
 
@@ -32,6 +33,7 @@ func main() {
 		fsimWorkers = flag.Int("fsim-workers", 0, "goroutines sharding the fault list (0: GOMAXPROCS)")
 		lanes       = flag.Int("lanes", 0, "fault-simulation lane width: 64 (default), 128 or 256 patterns per sweep")
 		fsimEngine  = flag.String("fsim-engine", "event", "fault-simulation engine: event (cone-limited, default) or sweep (full-Jacobi oracle)")
+		compactMode = flag.String("compact", "none", "test-program compaction passes: none, reverse, dominance, greedy or all (coverage preserved fault for fault)")
 		testsOut    = flag.String("tests", "", "write tester programs to this file")
 		validate    = flag.Int("validate", 0, "Monte-Carlo trials on the timed chip model (0: skip)")
 		perFault    = flag.Bool("per-fault", false, "print the verdict for every fault")
@@ -69,11 +71,15 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -fsim-engine %q (want event or sweep)", *fsimEngine))
 	}
+	cmode, ok := satpg.ParseCompactMode(*compactMode)
+	if !ok {
+		fatal(fmt.Errorf("unknown -compact %q (want none, reverse, dominance, greedy or all)", *compactMode))
+	}
 	opts := satpg.Options{
 		K: *k, Seed: *seed,
 		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
 		FaultSimWorkers: *fsimWorkers, FaultSimLanes: *lanes, FaultSimEngine: engine,
-		Faults: sel,
+		Faults: sel, Compact: cmode,
 	}
 	g, err := satpg.Abstract(c, opts)
 	if err != nil {
@@ -89,6 +95,50 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(rep.Summary())
+	}
+
+	progs := satpg.Programs(g, res)
+	if opts.Compact != satpg.CompactNone {
+		before, err := satpg.MeasureProgramCoverage(c, progs, fm, opts)
+		if err != nil {
+			fatal(err)
+		}
+		cr, err := satpg.CompactProgram(c, progs, fm, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(cr.Summary())
+		// Provenance: how many generation-time credited detections rode
+		// the dropped tests (all re-covered by kept tests, per the
+		// matrix), and how dense the exact matrix actually is — the gap
+		// between the two is the redundancy compaction harvests.
+		keptSet := make(map[int]bool, len(cr.Kept))
+		for _, ti := range cr.Kept {
+			keptSet[ti] = true
+		}
+		droppedCredit := 0
+		for ti, grp := range res.DetectionsByTest() {
+			if !keptSet[ti] {
+				droppedCredit += len(grp)
+			}
+		}
+		cells := 0
+		for _, row := range cr.Matrix.Rows {
+			cells += row.Count()
+		}
+		fmt.Printf("dropped %d tests carrying %d credited detections; matrix holds %d detections across %d tests\n",
+			cr.Before-cr.After, droppedCredit, cells, cr.Before)
+		after, err := satpg.MeasureProgramCoverage(c, cr.Programs, fm, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if !after.VerdictsEqual(before) {
+			fatal(fmt.Errorf("compaction changed the measured coverage: %d/%d before, %d/%d after",
+				before.Detected, before.Total, after.Detected, after.Total))
+		}
+		fmt.Printf("coverage preserved fault for fault: %d/%d (%.2f%%) before and after\n",
+			after.Detected, after.Total, 100*after.Coverage())
+		progs = cr.Programs
 	}
 
 	if *perFault {
@@ -108,13 +158,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for _, p := range satpg.Programs(g, res) {
+		for _, p := range progs {
 			fmt.Fprintln(f, satpg.FormatProgram(c, p))
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d tester programs to %s\n", len(res.Tests), *testsOut)
+		fmt.Printf("wrote %d tester programs to %s\n", len(progs), *testsOut)
 	}
 	if *validate > 0 {
 		if err := satpg.ValidateOnTester(g, res, *validate, *seed); err != nil {

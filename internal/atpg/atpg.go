@@ -152,6 +152,24 @@ func (r *Result) Coverage() float64 {
 	return float64(r.Covered) / float64(r.Total)
 }
 
+// DetectionsByTest is the per-test detection provenance of the run:
+// for each test index, the universe indices of the faults whose
+// detection was first credited to that test (the inverse of
+// FaultResult.TestIndex).  This is generation-time attribution — which
+// test earned its place in the program — not the full detection
+// matrix: a compaction pass must rebuild the exact matrix
+// (internal/compact) because late tests typically re-detect many
+// faults credited to earlier ones.
+func (r *Result) DetectionsByTest() [][]int {
+	out := make([][]int, len(r.Tests))
+	for fi, fr := range r.PerFault {
+		if fr.Detected && fr.TestIndex >= 0 {
+			out[fr.TestIndex] = append(out[fr.TestIndex], fi)
+		}
+	}
+	return out
+}
+
 // Summary renders a one-line summary in the spirit of a table row.
 func (r *Result) Summary() string {
 	return fmt.Sprintf("tot=%d cov=%d (%.2f%%) rnd=%d 3ph=%d sim=%d untestable=%d aborted=%d tests=%d cpu=%v",

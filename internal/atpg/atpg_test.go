@@ -107,6 +107,43 @@ func TestRunPipelineInputSA(t *testing.T) {
 	t.Logf("pipe2 input-SA: %s", res.Summary())
 }
 
+// TestDetectionsByTest pins the per-test provenance view: it must be
+// the exact inverse of PerFault's TestIndex attribution — every
+// detected fault with a credited test appears under that test and
+// nowhere else, and tests keep universe-index order within a group.
+func TestDetectionsByTest(t *testing.T) {
+	g := buildCSSG(t, pipe2Src, "pipe2")
+	res := Run(g, faults.InputSA, Options{Seed: 1})
+	byTest := res.DetectionsByTest()
+	if len(byTest) != len(res.Tests) {
+		t.Fatalf("%d provenance groups for %d tests", len(byTest), len(res.Tests))
+	}
+	seen := make(map[int]int) // fault index → credited test
+	for ti, group := range byTest {
+		for i, fi := range group {
+			if i > 0 && fi <= group[i-1] {
+				t.Fatalf("test %d: fault indices not ascending: %v", ti, group)
+			}
+			if prev, dup := seen[fi]; dup {
+				t.Fatalf("fault %d credited to tests %d and %d", fi, prev, ti)
+			}
+			seen[fi] = ti
+			fr := res.PerFault[fi]
+			if !fr.Detected || fr.TestIndex != ti {
+				t.Fatalf("fault %d grouped under test %d but PerFault says det=%v test=%d",
+					fi, ti, fr.Detected, fr.TestIndex)
+			}
+		}
+	}
+	for fi, fr := range res.PerFault {
+		if fr.Detected && fr.TestIndex >= 0 {
+			if _, ok := seen[fi]; !ok {
+				t.Fatalf("detected fault %d (test %d) missing from provenance", fi, fr.TestIndex)
+			}
+		}
+	}
+}
+
 func TestRunPipelineOutputSA(t *testing.T) {
 	g := buildCSSG(t, pipe2Src, "pipe2")
 	res := Run(g, faults.OutputSA, Options{Seed: 1})

@@ -1,0 +1,71 @@
+package compact
+
+import (
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/tester"
+)
+
+// packOutputs packs a ternary output vector into the binary word a
+// tester program declares: bit j set iff output j is definitely 1 (Φ
+// packs as 0 — the program then declares an expectation the good
+// circuit cannot guarantee, which is a legal, if pessimal, program).
+func packOutputs(v logic.Vec) uint64 {
+	var out uint64
+	for j, b := range v {
+		if b == logic.One {
+			out |= 1 << uint(j)
+		}
+	}
+	return out
+}
+
+// randPrograms draws n random tester programs for the circuit: random
+// input vectors, expected responses from the scalar good machine, and
+// the settled reset response as ResetExpected (what satpg.Programs
+// declares).
+func randPrograms(rng *rand.Rand, c *netlist.Circuit, n, maxLen int) []tester.Program {
+	good := sim.Machine{C: c}
+	resetOut := packOutputs(good.Outputs(good.InitState()))
+	m := c.NumInputs()
+	progs := make([]tester.Program, n)
+	for i := range progs {
+		ln := 1 + rng.Intn(maxLen)
+		p := tester.Program{
+			Patterns:      make([]uint64, ln),
+			Expected:      make([]uint64, ln),
+			ResetExpected: resetOut,
+		}
+		st := good.InitState()
+		for cyc := range p.Patterns {
+			pat := rng.Uint64() & (1<<uint(m) - 1)
+			st = good.Step(st, pat)
+			p.Patterns[cyc] = pat
+			p.Expected[cyc] = packOutputs(good.Outputs(st))
+		}
+		progs[i] = p
+	}
+	return progs
+}
+
+// programsEqual compares two program lists element for element.
+func programsEqual(a, b []tester.Program) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ResetExpected != b[i].ResetExpected ||
+			len(a[i].Patterns) != len(b[i].Patterns) {
+			return false
+		}
+		for c := range a[i].Patterns {
+			if a[i].Patterns[c] != b[i].Patterns[c] || a[i].Expected[c] != b[i].Expected[c] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// findFault returns the universe index of the described fault.
+func findFault(t *testing.T, c *netlist.Circuit, universe []Fault, gate string, typ Type, pin int, v logic.V) int {
+	t.Helper()
+	id, ok := c.SignalID(gate)
+	if !ok {
+		t.Fatalf("no signal %q", gate)
+	}
+	gi := c.GateOf(id)
+	for i, f := range universe {
+		if f.Gate == gi && f.Type == typ && (typ != InputSA || f.Pin == pin) && (typ == SlowRise || typ == SlowFall || f.Value == v) {
+			return i
+		}
+	}
+	t.Fatalf("fault %s type %d pin %d not in universe", gate, typ, pin)
+	return -1
+}
+
+// TestDominatorClosureChain walks the transitive dominator chain down a
+// fanout-free AND chain: a.pin(i0)/SA1 is dominated by a/SA1's class,
+// which (through its merged b.pin(a)/SA1 member) is dominated by
+// b/SA1's class; z's output is a primary output, so the chain stops
+// there.
+func TestDominatorClosureChain(t *testing.T) {
+	c, err := netlist.ParseString(`
+circuit chain
+input i0 i1 i2 i3
+output z
+gate a AND i0 i1
+gate b AND a i2
+gate z AND b i3
+init i0=0 i1=0 i2=0 i3=0 a=0 b=0 z=0
+`, "chain.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := append(OutputUniverse(c), InputUniverse(c)...)
+	cl := Collapse(c, universe)
+
+	aPin := findFault(t, c, universe, "a", InputSA, 0, logic.One)
+	aOut := findFault(t, c, universe, "a", OutputSA, -1, logic.One)
+	bOut := findFault(t, c, universe, "b", OutputSA, -1, logic.One)
+
+	want := []int{cl.Rep[aOut], cl.Rep[bOut]}
+	got := cl.DominatorClosure(aPin)
+	if len(got) != len(want) {
+		t.Fatalf("closure of a.pin0/SA1 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("closure of a.pin0/SA1 = %v, want %v", got, want)
+		}
+	}
+	// The chain's last link must itself be chainless: z drives a
+	// primary output, so b/SA1's class has no dominator.
+	if tail := cl.DominatorClosure(cl.Rep[bOut]); tail != nil {
+		t.Errorf("closure of b/SA1's representative = %v, want none", tail)
+	}
+	// A fault with no recorded edge yields nil.
+	i3Pin := findFault(t, c, universe, "z", InputSA, 1, logic.One)
+	if cl.DominatorOf[i3Pin] != -1 {
+		t.Errorf("z.pin1/SA1 has dominator %d; z is observable, want none", cl.DominatorOf[i3Pin])
+	}
+	if got := cl.DominatorClosure(i3Pin); got != nil {
+		t.Errorf("closure of z.pin1/SA1 = %v, want nil", got)
+	}
+}
+
+// TestDominanceCGateExclusion pins the self-dependence exclusion: a C
+// gate's held output can propagate a difference opposite the forced
+// pin value, so no dominance edge may be recorded for its pins even in
+// a fanout-free region.
+func TestDominanceCGateExclusion(t *testing.T) {
+	c, err := netlist.ParseString(`
+circuit cgate
+input x y
+output z
+gate d C x y
+gate z BUF d
+init x=0 y=0 d=0 z=0
+`, "cgate.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := append(OutputUniverse(c), InputUniverse(c)...)
+	cl := Collapse(c, universe)
+	dID, _ := c.SignalID("d")
+	dGate := c.GateOf(dID)
+	for i, f := range universe {
+		if f.Gate != dGate || f.Type != InputSA {
+			continue
+		}
+		if cl.DominatorOf[i] != -1 {
+			t.Errorf("%s has dominator %d, want none (self-dependent gate)",
+				f.Describe(c), cl.DominatorOf[i])
+		}
+		if got := cl.DominatorClosure(i); got != nil {
+			t.Errorf("closure of %s = %v, want nil", f.Describe(c), got)
+		}
+	}
+	if cl.Stats.DominancePairs != 0 {
+		t.Errorf("DominancePairs = %d, want 0 (only the C gate sits in a fanout-free region)",
+			cl.Stats.DominancePairs)
+	}
+}

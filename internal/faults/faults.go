@@ -223,9 +223,9 @@ type Selection uint8
 
 // Universe selections.
 const (
-	SelStuckAt     Selection = iota // the chosen stuck-at model only
-	SelTransition                   // the SlowRise ∪ SlowFall universe only
-	SelBoth                         // stuck-at followed by transition
+	SelStuckAt    Selection = iota // the chosen stuck-at model only
+	SelTransition                  // the SlowRise ∪ SlowFall universe only
+	SelBoth                        // stuck-at followed by transition
 )
 
 // String names the selection as the CLI spells it.
@@ -310,13 +310,22 @@ type Collapsed struct {
 	// are unsound across cycles of a sequential machine, so a
 	// simulator must never fan verdicts across a dominance edge (the
 	// collapse-vs-full differential tests stay bit-identical because
-	// only the equivalence classes drive verdict fan-out).  The ATPG
-	// uses it as a targeting heuristic: generate tests for dominated
-	// faults first, and the dominators tend to fall to the (fully
-	// verified) collateral fault simulation.
+	// only the equivalence classes drive verdict fan-out).  Pins of
+	// self-dependent (C) gates never get an edge: their held output can
+	// propagate a difference opposite the forced value, breaking even
+	// the single-cycle step of the argument.  The ATPG uses the edges
+	// as a targeting heuristic (generate tests for dominated faults
+	// first, and the dominators tend to fall to the fully verified
+	// collateral fault simulation); the test-compaction pass walks
+	// DominatorClosure chains as *candidate* implications and verifies
+	// each against the exact detection matrix before pruning.
 	DominatorOf []int
 	// Stats carries the informational summary.
 	Stats CollapseStats
+	// classDom maps a class representative to its class's dominator
+	// edge (the lowest member index with a recorded DominatorOf edge
+	// decides), precomputed by Collapse for DominatorClosure walks.
+	classDom map[int]int
 }
 
 // Representatives returns the sorted list indices that must actually be
@@ -326,6 +335,53 @@ func (cl Collapsed) Representatives() []int {
 	for i, r := range cl.Rep {
 		if r == i {
 			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DominatorClosure returns the transitive dominator chain of list
+// index i, nearest first: the representative of the class that
+// structurally dominates i's class, then that class's own dominator,
+// and so on.  Each step (the first included) follows the recorded
+// DominatorOf edge of any member of the current class — equivalent
+// faults share every verdict, so a dominator of one member dominates
+// the whole class; the lowest member index with a recorded edge
+// decides the step, keeping the walk deterministic.  The result is nil
+// when i's class has no recorded dominator.
+// Like DominatorOf itself this is a combinational structural argument:
+// transitivity holds along chained fanout-free regions, but sequential
+// feedback can break every link, so callers must verify conclusions
+// against simulation (the test-compaction pass checks each link
+// against the exact detection matrix before acting on it).
+func (cl Collapsed) DominatorClosure(i int) []int {
+	classDom := cl.classDom
+	if classDom == nil {
+		// A hand-built Collapsed (no Collapse call) still walks
+		// correctly, just without the precomputed index.
+		classDom = classDominators(cl.Rep, cl.DominatorOf)
+	}
+	var out []int
+	seen := map[int]bool{cl.Rep[i]: true}
+	j, ok := classDom[cl.Rep[i]]
+	for ok && !seen[j] {
+		seen[j] = true
+		out = append(out, j)
+		j, ok = classDom[cl.Rep[j]]
+	}
+	return out
+}
+
+// classDominators folds per-fault dominator edges into one edge per
+// class representative (first member in index order wins).
+func classDominators(rep, dominatorOf []int) map[int]int {
+	out := make(map[int]int)
+	for m, d := range dominatorOf {
+		if d < 0 {
+			continue
+		}
+		if _, ok := out[rep[m]]; !ok {
+			out[rep[m]] = d
 		}
 	}
 	return out
@@ -441,13 +497,13 @@ func pinForcing(g *netlist.Gate, p int, v bool) (c bool, kind pinForcingKind) {
 //
 // On top of the classes, Collapse records structural *dominance* for
 // pins inside fanout-free regions (see Collapsed.DominatorOf): when
-// forcing a pin changes the output only ever to c and the gate's
-// output is single-fanout and unobserved, any test that detects the
-// pin fault drives the gate output to c against a good value of ¬c and
-// propagates it through the same fanout-free path that d/SA-c would
-// use.  That is a test-generation ordering hint, not an equivalence —
-// sequential state can break the classical argument — so it never
-// merges classes.
+// forcing a pin changes the output only ever to c, the gate is not
+// self-dependent, and the gate's output is single-fanout and
+// unobserved, any test that detects the pin fault drives the gate
+// output to c against a good value of ¬c and propagates it through the
+// same fanout-free path that d/SA-c would use.  That is a
+// test-generation ordering hint, not an equivalence — sequential state
+// can break the classical argument — so it never merges classes.
 func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 	cl := Collapsed{Rep: make([]int, len(list))}
 	cl.Stats.Total = len(list)
@@ -592,6 +648,15 @@ func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 			continue
 		}
 		g := &c.Gates[f.Gate]
+		if g.Kind.SelfDependent() {
+			// C-gate exclusion: the forcingToC scan compares table rows at
+			// the SAME self bit, but the pin-faulty machine's self input is
+			// its own held output, which can diverge from the good one — a
+			// held C gate can propagate a ¬c difference, so even the
+			// single-cycle dominance step is unsound for state-holding
+			// gates.
+			continue
+		}
 		if pinCount[g.Out] != 1 || isPO[g.Out] {
 			continue // dominance argued inside fanout-free regions only
 		}
@@ -604,6 +669,7 @@ func Collapse(c *netlist.Circuit, list []Fault) Collapsed {
 			cl.Stats.DominancePairs++
 		}
 	}
+	cl.classDom = classDominators(cl.Rep, cl.DominatorOf)
 	return cl
 }
 

@@ -34,6 +34,7 @@ package fsim
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -133,6 +134,29 @@ func (m LaneMask) Any() bool {
 		}
 	}
 	return false
+}
+
+// Count returns the number of set lanes.
+func (m LaneMask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ContainedIn reports whether every set lane of m is also set in o
+// (lengths may differ; missing words are zero).
+func (m LaneMask) ContainedIn(o LaneMask) bool {
+	for i, w := range m {
+		if i < len(o) {
+			w &^= o[i]
+		}
+		if w != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // FirstLane returns the lowest set lane, or -1 when empty.

@@ -1,0 +1,58 @@
+package fsim
+
+import (
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// DetectionMatrix computes the full test × fault detection matrix of a
+// sequence set in one batched pass: one mask per fault over ALL
+// sequences (not just the lanes of one batch), with bit t set iff
+// sequence t guarantees the fault's detection.  Sequences ride the
+// lanes of consecutive batches (opts.Lanes wide) and the lane masks of
+// each batch are folded into the global masks at the batch's base
+// offset — every base is a multiple of the lane width, so the fold is
+// a word-aligned OR.  NoDrop is forced: a matrix pass must answer
+// every (test, fault) cell, not stop at first detection; everything
+// else (CheckReset, engine, width, workers, collapsing) follows opts.
+// With opts.CheckReset on, a reset-observation detection is charged to
+// the lane whose declared ResetExpected (or the good machine's own
+// reset response, when resetExpected is nil) it violates — exactly the
+// per-program comparison tester.MeasureCoverage performs.  An empty
+// sequence set yields all-empty masks: with no program there is no
+// lane to charge a detection to.
+func DetectionMatrix(c *netlist.Circuit, universe []faults.Fault, seqs, expected [][]uint64, resetExpected []uint64, opts Options) ([]LaneMask, Stats, error) {
+	opts.NoDrop = true
+	s, err := New(c, universe, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rows := make([]LaneMask, len(universe))
+	if len(seqs) == 0 {
+		return rows, s.Stats(), nil
+	}
+	words := (len(seqs) + 63) / 64
+	err = s.SimulateSequences(seqs, expected, resetExpected, func(base int, br *BatchResult) {
+		w0 := base >> 6
+		for fi, lm := range br.Lanes {
+			if !lm.Any() {
+				continue
+			}
+			if rows[fi] == nil {
+				rows[fi] = make(LaneMask, words)
+			}
+			for w, word := range lm {
+				// A ragged final batch reports full-width masks whose
+				// trailing words are zero and may lie past the matrix
+				// width; only nonzero words carry real lanes.
+				if word != 0 {
+					rows[fi][w0+w] |= word
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return rows, s.Stats(), nil
+}

@@ -26,6 +26,22 @@ func (s CoverageSummary) Coverage() float64 {
 	return float64(s.Detected) / float64(s.Total)
 }
 
+// VerdictsEqual reports whether two measurements over the same fault
+// universe agree fault for fault — the bit-identical coverage check a
+// compacted program must pass against its original, strictly stronger
+// than comparing the coverage ratios.
+func (s CoverageSummary) VerdictsEqual(o CoverageSummary) bool {
+	if s.Total != o.Total || s.Detected != o.Detected || len(s.PerFault) != len(o.PerFault) {
+		return false
+	}
+	for i, v := range s.PerFault {
+		if v != o.PerFault[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // MeasureCoverage evaluates a fault universe — stuck-at, transition,
 // or a mix (every concrete model fsim accepts) — against the program
 // set with the bit-parallel fault simulator: programs ride the lanes of

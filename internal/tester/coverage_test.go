@@ -109,3 +109,20 @@ func TestMeasureCoverageEmptyProgramSet(t *testing.T) {
 		t.Fatal("reset observation alone cannot expose every fault")
 	}
 }
+
+// VerdictsEqual must be exact per-fault equality, not ratio equality.
+func TestVerdictsEqual(t *testing.T) {
+	a := CoverageSummary{Total: 3, Detected: 1, PerFault: []bool{true, false, false}}
+	if !a.VerdictsEqual(a) {
+		t.Error("summary not equal to itself")
+	}
+	// Same ratio, different fault: must differ.
+	b := CoverageSummary{Total: 3, Detected: 1, PerFault: []bool{false, true, false}}
+	if a.VerdictsEqual(b) {
+		t.Error("equal ratios with flipped verdicts reported equal")
+	}
+	c := CoverageSummary{Total: 2, Detected: 1, PerFault: []bool{true, false}}
+	if a.VerdictsEqual(c) {
+		t.Error("different universe sizes reported equal")
+	}
+}

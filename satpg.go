@@ -15,6 +15,8 @@
 //     test cycle.
 //  3. Generate stuck-at tests on the CSSG with random TPG, three-phase
 //     ATPG and parallel ternary fault simulation, then (optionally)
+//     compact the test program over its exact detection matrix
+//     (CompactProgram — coverage preserved fault for fault) and
 //     validate the vectors on a timed model of the chip under random
 //     bounded delay assignments.
 //
@@ -34,6 +36,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/baseline"
 	"repro/internal/circuits"
+	"repro/internal/compact"
 	"repro/internal/core"
 	"repro/internal/dft"
 	"repro/internal/faults"
@@ -91,6 +94,13 @@ type (
 	// FaultSelection picks which fault universes a flow targets: the
 	// stuck-at model alone, the transition universe alone, or both.
 	FaultSelection = faults.Selection
+	// CompactMode selects the test-program compaction passes.
+	CompactMode = compact.Mode
+	// CompactionResult is the outcome of one program compaction.
+	CompactionResult = compact.Result
+	// DetectionMatrix is the exact per-program × per-fault detection
+	// matrix a compaction argues against.
+	DetectionMatrix = compact.Matrix
 )
 
 // Fault-simulation engines.  EventEngine (the default) re-simulates
@@ -127,6 +137,22 @@ const (
 // ParseFaultSelection resolves the CLI keyword ("sa", "transition",
 // "both") of a fault selection.
 func ParseFaultSelection(s string) (FaultSelection, bool) { return faults.ParseSelection(s) }
+
+// Compaction modes (Options.Compact, cmd/satpg -compact): which passes
+// shrink a finished test program over its exact detection matrix.
+// Every mode preserves the measured coverage bit-identically, fault
+// for fault.
+const (
+	CompactNone      = compact.ModeNone      // keep every test (default)
+	CompactReverse   = compact.ModeReverse   // reverse-order fault-sim drop
+	CompactDominance = compact.ModeDominance // dominance-aware pruning
+	CompactGreedy    = compact.ModeGreedy    // greedy set-cover reselection
+	CompactAll       = compact.ModeAll       // all three, iterated to a fixpoint
+)
+
+// ParseCompactMode resolves the CLI keyword ("none", "reverse",
+// "dominance", "greedy", "all") of a compaction mode.
+func ParseCompactMode(s string) (CompactMode, bool) { return compact.ParseMode(s) }
 
 // Vector classifications (see Analyze).
 const (
@@ -169,6 +195,12 @@ type Options struct {
 	// faults ride the same batched bit-parallel machinery as stuck-at
 	// faults, injected as directional override masks.
 	Faults FaultSelection
+	// Compact selects the test-program compaction passes CompactProgram
+	// runs (CompactNone, the default, keeps every test).  Compaction
+	// never changes a single per-fault verdict of the measured
+	// coverage; it only removes tests whose every detection another
+	// kept test carries.
+	Compact CompactMode
 }
 
 func (o Options) coreOpts() core.Options { return core.Options{K: o.K} }
@@ -272,6 +304,18 @@ func FaultSimBatch(c *Circuit, model FaultModel, tests []Test, opts Options) (*C
 // stimulus/response view of the same measurement.
 func MeasureProgramCoverage(c *Circuit, progs []Program, model FaultModel, opts Options) (ProgramCoverageSummary, error) {
 	return tester.MeasureCoverage(c, progs, faults.SelectUniverse(c, model, opts.Faults), opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
+}
+
+// CompactProgram shrinks a tester program set over the universe
+// Options.Faults selects, running the passes Options.Compact names on
+// the exact detection matrix (one batched fsim pass; lane width,
+// engine and worker options apply to it).  The compacted program's
+// measured coverage is bit-identical to the original's, per fault —
+// only tests whose every detection another kept test carries are
+// dropped.
+func CompactProgram(c *Circuit, progs []Program, model FaultModel, opts Options) (*CompactionResult, error) {
+	return compact.Compact(c, progs, faults.SelectUniverse(c, model, opts.Faults), opts.Compact,
+		compact.Options{Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes, Engine: opts.FaultSimEngine})
 }
 
 // Programs converts the result's tests into tester programs (stimulus
