@@ -7,7 +7,10 @@ package satpg
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"testing"
@@ -362,6 +365,87 @@ func BenchmarkEventVsSweepTable1(b *testing.B) {
 							model.name, eng, lanes, det, wantDet)
 					}
 					b.ReportMetric(float64(det), "detected")
+					b.ReportMetric(stats.EvalsPerPattern(), "gate-evals/pattern")
+					if secs := b.Elapsed().Seconds(); secs > 0 {
+						b.ReportMetric(float64(stats.Patterns)*float64(b.N)/secs, "patterns/sec")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkISCASScale measures fault-simulation throughput at 10×–100×
+// the Table-1 gate counts: the ISCAS89-class corpus spans one, six and
+// sixteen packed-state words (s27/s349/s953), so the multi-word engine
+// paths are on the clock, not just the single-word fast path.  Each
+// sub-benchmark name carries signals-N, which cmd/benchjson lifts into
+// the artifact's circuit-size dimension alongside engine and lane
+// width; reported metrics are patterns/sec, gate-evals/pattern and the
+// detected count.  Event and sweep must agree on the detected count at
+// every size and lane width — the multi-word parity assertion at
+// benchmark scale.
+func BenchmarkISCASScale(b *testing.B) {
+	const cycles = 12
+	// The full-sweep oracle costs O(classes × gates) per pattern, so the
+	// largest circuit runs a smaller sequence set to keep the CI smoke
+	// pass to one coffee, not one lunch; throughput metrics are
+	// per-pattern and stay comparable.
+	nseqOf := map[string]int{"s27": 128, "s349": 128, "s953": 32}
+	for _, name := range []string{"s27", "s349", "s953"} {
+		nseq := nseqOf[name]
+		f, err := os.Open(filepath.Join("examples", "iscas", name+".ckt"))
+		if err != nil {
+			b.Fatalf("%v (regenerate with `go run ./examples/iscas`)", err)
+		}
+		c, err := ParseCircuit(f, name)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		universe := faults.InputUniverse(c)
+		rng := rand.New(rand.NewSource(29))
+		m := c.NumInputs()
+		seqs := make([][]uint64, nseq)
+		for l := range seqs {
+			seq := make([]uint64, cycles)
+			for t := range seq {
+				seq[t] = rng.Uint64() & (1<<uint(m) - 1)
+			}
+			seqs[l] = seq
+		}
+		want := -1
+		for _, eng := range []fsim.EngineKind{fsim.EngineSweep, fsim.EngineEvent} {
+			for _, lw := range []int{64, 256} {
+				eng, lw := eng, lw
+				b.Run(fmt.Sprintf("%s/signals-%d/%s/lanes-%d", name, c.NumSignals(), eng, lw), func(b *testing.B) {
+					var detected int
+					var stats fsim.Stats
+					for i := 0; i < b.N; i++ {
+						s, err := fsim.New(c, universe, fsim.Options{Workers: 1, Lanes: lw, Engine: eng})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := s.SimulateSequences(seqs, nil, nil, func(int, *fsim.BatchResult) {}); err != nil {
+							b.Fatal(err)
+						}
+						detected = 0
+						for fi := range universe {
+							if s.Detected(fi) {
+								detected++
+							}
+						}
+						stats = s.Stats()
+					}
+					if want < 0 {
+						want = detected
+					} else if detected != want {
+						b.Fatalf("%s %s lanes=%d detected %d faults, first variant %d",
+							name, eng, lw, detected, want)
+					}
+					b.ReportMetric(float64(detected), "detected")
+					b.ReportMetric(float64(c.NumGates()), "gates")
+					b.ReportMetric(float64(c.StateWords()), "state-words")
 					b.ReportMetric(stats.EvalsPerPattern(), "gate-evals/pattern")
 					if secs := b.Elapsed().Seconds(); secs > 0 {
 						b.ReportMetric(float64(stats.Patterns)*float64(b.N)/secs, "patterns/sec")

@@ -6,10 +6,11 @@
 // columns and every custom testing.B.ReportMetric value, such as the
 // engine benchmarks' patterns/sec and gate-evals/pattern — and, where
 // a sub-benchmark path encodes them, lifts the fault model, engine,
-// lane width and compaction mode into dedicated fields (the
-// model/engine/lanes-N naming of BenchmarkEventVsSweepTable1, the
-// engine shapes of BenchmarkFaultSimEngines, and the model/mode naming
-// of BenchmarkCompactTable1).
+// lane width, compaction mode and circuit size into dedicated fields
+// (the model/engine/lanes-N naming of BenchmarkEventVsSweepTable1, the
+// engine shapes of BenchmarkFaultSimEngines, the model/mode naming of
+// BenchmarkCompactTable1, and the circuit/signals-N naming of
+// BenchmarkISCASScale).
 //
 // Usage:
 //
@@ -41,7 +42,12 @@ type Entry struct {
 	// Mode is the compaction pass of a CompactTable1 variant
 	// (reverse/dominance/greedy/all, or matrix for the matrix-build
 	// sub-benchmark).
-	Mode       string             `json:"mode,omitempty"`
+	Mode string `json:"mode,omitempty"`
+	// Circuit and Signals are the circuit-size dimension of an
+	// ISCASScale variant (e.g. ISCASScale/s349/signals-363/event/...):
+	// the corpus member and its signal count.
+	Circuit    string             `json:"circuit,omitempty"`
+	Signals    int                `json:"signals,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -66,6 +72,10 @@ var modelNames = map[string]bool{
 
 var compactModes = map[string]bool{
 	"matrix": true, "reverse": true, "dominance": true, "greedy": true, "all": true,
+}
+
+var corpusNames = map[string]bool{
+	"s27": true, "s349": true, "s953": true,
 }
 
 // parseLine parses one benchmark output line, reporting ok=false for
@@ -153,9 +163,15 @@ func finish(entries []Entry) []Entry {
 				e.Model = seg
 			case compactModes[seg]:
 				e.Mode = seg
+			case corpusNames[seg]:
+				e.Circuit = seg
 			case strings.HasPrefix(seg, "lanes-"):
 				if n, err := strconv.Atoi(seg[len("lanes-"):]); err == nil {
 					e.Lanes = n
+				}
+			case strings.HasPrefix(seg, "signals-"):
+				if n, err := strconv.Atoi(seg[len("signals-"):]); err == nil {
+					e.Signals = n
 				}
 			case strings.HasPrefix(seg, "sharded-"):
 				e.Engine = "sweep"

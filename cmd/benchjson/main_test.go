@@ -14,6 +14,7 @@ BenchmarkFaultSimEngines/serial-per-pattern-4              	       1	 251202251 
 BenchmarkFaultSimEngines/sharded-4-4                       	       2	  12000000 ns/op	       110.0 detected	        10.00 gate-evals/pattern
 BenchmarkCompactTable1/input-sa/all-4                      	       1	  44647256 ns/op	        83.72 %reduction	       180.0 tests-removed	      4032 tests-removed/sec
 BenchmarkCompactTable1/transition/matrix-4                 	       1	  31900916 ns/op	      1487 patterns	     46614 patterns/sec
+BenchmarkISCASScale/s349/signals-363/event/lanes-64-4      	       1	 247226189 ns/op	       299.0 detected	       254.3 gate-evals/pattern	      6213 patterns/sec
 not a benchmark line
 PASS
 ok  	repro	4.885s
@@ -27,8 +28,8 @@ func TestParse(t *testing.T) {
 	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "repro" || rep.CPU == "" {
 		t.Fatalf("header metadata wrong: %+v", rep)
 	}
-	if len(rep.Results) != 5 {
-		t.Fatalf("parsed %d results, want 5", len(rep.Results))
+	if len(rep.Results) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(rep.Results))
 	}
 
 	e := rep.Results[0]
@@ -63,6 +64,10 @@ func TestParse(t *testing.T) {
 	if s := rep.Results[4]; s.Model != "transition" || s.Mode != "matrix" ||
 		s.Metrics["patterns/sec"] != 46614 {
 		t.Errorf("matrix dimension lifting wrong: %+v", s)
+	}
+	if s := rep.Results[5]; s.Circuit != "s349" || s.Signals != 363 ||
+		s.Engine != "event" || s.Lanes != 64 || s.Metrics["patterns/sec"] != 6213 {
+		t.Errorf("circuit-size dimension lifting wrong: %+v", s)
 	}
 }
 

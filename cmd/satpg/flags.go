@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+
+	satpg "repro"
+)
+
+// The flag-keyword resolvers live apart from main so their rejection
+// behaviour is testable: every unknown value must fail with an error
+// naming the valid choices, never fall through to a zero value.
+
+func parseModel(s string) (satpg.FaultModel, error) {
+	switch s {
+	case "input":
+		return satpg.InputStuckAt, nil
+	case "output":
+		return satpg.OutputStuckAt, nil
+	}
+	return 0, fmt.Errorf("unknown -model %q (want input or output)", s)
+}
+
+func parseFaultSelection(s string) (satpg.FaultSelection, error) {
+	sel, ok := satpg.ParseFaultSelection(s)
+	if !ok {
+		return 0, fmt.Errorf("unknown -faults %q (want sa, transition or both)", s)
+	}
+	return sel, nil
+}
+
+func parseLanes(n int) (int, error) {
+	switch n {
+	case 0, 64, 128, 256:
+		return n, nil
+	}
+	return 0, fmt.Errorf("unsupported -lanes %d (want 64, 128 or 256)", n)
+}
+
+func parseEngine(s string) (satpg.FaultSimEngine, error) {
+	switch s {
+	case "event":
+		return satpg.EventEngine, nil
+	case "sweep":
+		return satpg.SweepEngine, nil
+	}
+	return 0, fmt.Errorf("unknown -fsim-engine %q (want event or sweep)", s)
+}
+
+func parseCompactMode(s string) (satpg.CompactMode, error) {
+	m, ok := satpg.ParseCompactMode(s)
+	if !ok {
+		return 0, fmt.Errorf("unknown -compact %q (want none, reverse, dominance, greedy or all)", s)
+	}
+	return m, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	satpg "repro"
+)
+
+// Every flag-keyword resolver must reject unknown values with an error
+// that names the flag and lists the valid choices — a typo'd keyword
+// silently falling back to a default is how a sweep-oracle comparison
+// quietly runs the event engine twice.
+
+func TestParseModel(t *testing.T) {
+	if m, err := parseModel("input"); err != nil || m != satpg.InputStuckAt {
+		t.Fatalf("parseModel(input) = %v, %v", m, err)
+	}
+	if m, err := parseModel("output"); err != nil || m != satpg.OutputStuckAt {
+		t.Fatalf("parseModel(output) = %v, %v", m, err)
+	}
+	_, err := parseModel("both")
+	if err == nil || !strings.Contains(err.Error(), "-model") || !strings.Contains(err.Error(), "input or output") {
+		t.Fatalf("parseModel(both) error = %v; want -model rejection listing choices", err)
+	}
+}
+
+func TestParseFaultSelection(t *testing.T) {
+	for _, ok := range []string{"sa", "transition", "both"} {
+		if _, err := parseFaultSelection(ok); err != nil {
+			t.Fatalf("parseFaultSelection(%s): %v", ok, err)
+		}
+	}
+	_, err := parseFaultSelection("stuckat")
+	if err == nil || !strings.Contains(err.Error(), "-faults") || !strings.Contains(err.Error(), "sa, transition or both") {
+		t.Fatalf("parseFaultSelection(stuckat) error = %v; want -faults rejection listing choices", err)
+	}
+}
+
+func TestParseLanes(t *testing.T) {
+	for _, ok := range []int{0, 64, 128, 256} {
+		if n, err := parseLanes(ok); err != nil || n != ok {
+			t.Fatalf("parseLanes(%d) = %d, %v", ok, n, err)
+		}
+	}
+	for _, bad := range []int{1, 32, 96, 512} {
+		_, err := parseLanes(bad)
+		if err == nil || !strings.Contains(err.Error(), "-lanes") || !strings.Contains(err.Error(), "64, 128 or 256") {
+			t.Fatalf("parseLanes(%d) error = %v; want -lanes rejection listing choices", bad, err)
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	if e, err := parseEngine("event"); err != nil || e != satpg.EventEngine {
+		t.Fatalf("parseEngine(event) = %v, %v", e, err)
+	}
+	if e, err := parseEngine("sweep"); err != nil || e != satpg.SweepEngine {
+		t.Fatalf("parseEngine(sweep) = %v, %v", e, err)
+	}
+	_, err := parseEngine("jacobi")
+	if err == nil || !strings.Contains(err.Error(), "-fsim-engine") || !strings.Contains(err.Error(), "event or sweep") {
+		t.Fatalf("parseEngine(jacobi) error = %v; want -fsim-engine rejection listing choices", err)
+	}
+}
+
+func TestParseCompactMode(t *testing.T) {
+	for _, ok := range []string{"none", "reverse", "dominance", "greedy", "all"} {
+		if _, err := parseCompactMode(ok); err != nil {
+			t.Fatalf("parseCompactMode(%s): %v", ok, err)
+		}
+	}
+	_, err := parseCompactMode("fixpoint")
+	if err == nil || !strings.Contains(err.Error(), "-compact") || !strings.Contains(err.Error(), "none, reverse, dominance, greedy or all") {
+		t.Fatalf("parseCompactMode(fixpoint) error = %v; want -compact rejection listing choices", err)
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 		lanes       = flag.Int("lanes", 0, "fault-simulation lane width: 64 (default), 128 or 256 patterns per sweep")
 		fsimEngine  = flag.String("fsim-engine", "event", "fault-simulation engine: event (cone-limited, default) or sweep (full-Jacobi oracle)")
 		compactMode = flag.String("compact", "none", "test-program compaction passes: none, reverse, dominance, greedy or all (coverage preserved fault for fault)")
+		direct      = flag.Bool("direct", false, "use the CSSG-free direct flow (automatic for circuits past the 64-signal explicit-state ceiling)")
 		testsOut    = flag.String("tests", "", "write tester programs to this file")
 		validate    = flag.Int("validate", 0, "Monte-Carlo trials on the timed chip model (0: skip)")
 		perFault    = flag.Bool("per-fault", false, "print the verdict for every fault")
@@ -44,49 +45,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var fm satpg.FaultModel
-	switch *model {
-	case "input":
-		fm = satpg.InputStuckAt
-	case "output":
-		fm = satpg.OutputStuckAt
-	default:
-		fatal(fmt.Errorf("unknown model %q (want input or output)", *model))
+	fm, err := parseModel(*model)
+	if err != nil {
+		fatal(err)
 	}
-	sel, ok := satpg.ParseFaultSelection(*faultsSel)
-	if !ok {
-		fatal(fmt.Errorf("unknown -faults %q (want sa, transition or both)", *faultsSel))
+	sel, err := parseFaultSelection(*faultsSel)
+	if err != nil {
+		fatal(err)
 	}
-	switch *lanes {
-	case 0, 64, 128, 256:
-	default:
-		fatal(fmt.Errorf("unsupported -lanes %d (want 64, 128 or 256)", *lanes))
+	laneWidth, err := parseLanes(*lanes)
+	if err != nil {
+		fatal(err)
 	}
-	var engine satpg.FaultSimEngine
-	switch *fsimEngine {
-	case "event":
-		engine = satpg.EventEngine
-	case "sweep":
-		engine = satpg.SweepEngine
-	default:
-		fatal(fmt.Errorf("unknown -fsim-engine %q (want event or sweep)", *fsimEngine))
+	engine, err := parseEngine(*fsimEngine)
+	if err != nil {
+		fatal(err)
 	}
-	cmode, ok := satpg.ParseCompactMode(*compactMode)
-	if !ok {
-		fatal(fmt.Errorf("unknown -compact %q (want none, reverse, dominance, greedy or all)", *compactMode))
+	cmode, err := parseCompactMode(*compactMode)
+	if err != nil {
+		fatal(err)
 	}
 	opts := satpg.Options{
 		K: *k, Seed: *seed,
 		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
-		FaultSimWorkers: *fsimWorkers, FaultSimLanes: *lanes, FaultSimEngine: engine,
+		FaultSimWorkers: *fsimWorkers, FaultSimLanes: laneWidth, FaultSimEngine: engine,
 		Faults: sel, Compact: cmode,
 	}
-	g, err := satpg.Abstract(c, opts)
-	if err != nil {
-		fatal(err)
+
+	useDirect := *direct || c.NumSignals() > satpg.MaxExplicitSignals
+	var (
+		g     *satpg.CSSG
+		res   *satpg.Result
+		progs []satpg.Program
+	)
+	if useDirect {
+		fmt.Printf("direct flow: %d signals, CSSG-free random walks on the scalar ternary machine\n", c.NumSignals())
+		res, err = satpg.GenerateDirect(c, fm, opts)
+		if err != nil {
+			fatal(err)
+		}
+		progs = satpg.ProgramsForCircuit(c, res)
+	} else {
+		g, err = satpg.Abstract(c, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(g.Summary())
+		res = satpg.Generate(g, fm, opts)
+		progs = satpg.Programs(g, res)
 	}
-	fmt.Println(g.Summary())
-	res := satpg.Generate(g, fm, opts)
 	fmt.Println(res.Summary())
 
 	if *fsimFlag {
@@ -97,7 +104,6 @@ func main() {
 		fmt.Println(rep.Summary())
 	}
 
-	progs := satpg.Programs(g, res)
 	if opts.Compact != satpg.CompactNone {
 		before, err := satpg.MeasureProgramCoverage(c, progs, fm, opts)
 		if err != nil {
@@ -167,10 +173,20 @@ func main() {
 		fmt.Printf("wrote %d tester programs to %s\n", len(progs), *testsOut)
 	}
 	if *validate > 0 {
-		if err := satpg.ValidateOnTester(g, res, *validate, *seed); err != nil {
-			fatal(err)
+		if useDirect {
+			// The timed tester model is explicit-state (one word); the
+			// direct flow validates against the scalar ternary oracle
+			// instead, which is exact at any size.
+			if err := satpg.ValidateDirect(c, res); err != nil {
+				fatal(err)
+			}
+			fmt.Println("validated against the scalar ternary oracle: every kept test and every credited detection replayed")
+		} else {
+			if err := satpg.ValidateOnTester(g, res, *validate, *seed); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("validated on the timed chip model: %d delay assignments per program\n", *validate)
 		}
-		fmt.Printf("validated on the timed chip model: %d delay assignments per program\n", *validate)
 	}
 }
 

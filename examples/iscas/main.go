@@ -1,0 +1,170 @@
+// Command iscas regenerates the ISCAS89-class sequential corpus in
+// examples/iscas: asynchronous circuits with the structural profile of
+// the classic s-series benchmarks — a feed-forward combinational cloud
+// per stage feeding a gated D latch (four cross-coupled NANDs plus an
+// inverter), latch outputs feeding later stages.  The latch pairs are
+// the only feedback, so every circuit settles from any reset guess; the
+// generator settles a deterministic interleaving and bakes the result
+// in as the declared stable init.
+//
+// s27-class fits one packed-state word; s349-class and s953-class are
+// past the 64-signal ceiling and exercise the multi-word engines (6 and
+// 16 words respectively).  Generation is fully deterministic: running
+//
+//	go run ./examples/iscas
+//
+// rewrites byte-identical .ckt files.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+type profile struct {
+	name         string
+	inputs       int // primary inputs (like the s-series PI count)
+	stages       int // latch count (like the s-series DFF count)
+	combPerStage int // combinational gates ahead of each latch
+	outputs      int // primary outputs
+	seed         int64
+}
+
+// The three corpus members bracket the packed-state word count:
+// s27-class is one word, s349-class six, s953-class sixteen.
+var profiles = []profile{
+	{name: "s27", inputs: 4, stages: 3, combPerStage: 2, outputs: 1, seed: 27},
+	{name: "s349", inputs: 9, stages: 15, combPerStage: 18, outputs: 11, seed: 349},
+	{name: "s953", inputs: 16, stages: 29, combPerStage: 28, outputs: 23, seed: 953},
+}
+
+func main() {
+	dir := "examples/iscas"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	for _, p := range profiles {
+		c, err := generate(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iscas: %s: %v\n", p.name, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, p.name+".ckt")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iscas:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(f, "# %s-class asynchronous sequential benchmark: %d inputs, %d outputs,\n",
+			p.name, len(c.Inputs), len(c.Outputs))
+		fmt.Fprintf(f, "# %d gates (%d signals, %d packed-state words), %d gated D latches.\n",
+			c.NumGates(), c.NumSignals(), c.StateWords(), p.stages)
+		fmt.Fprintf(f, "# Regenerate with: go run ./examples/iscas\n")
+		if err := netlist.Write(f, c); err != nil {
+			fmt.Fprintln(os.Stderr, "iscas:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "iscas:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d signals, %d words -> %s\n", p.name, c.NumSignals(), c.StateWords(), path)
+	}
+}
+
+func generate(p profile) (*netlist.Circuit, error) {
+	rng := rand.New(rand.NewSource(p.seed))
+	b := netlist.NewBuilder(p.name)
+
+	pool := make([]string, p.inputs) // signals visible as fanin so far
+	for i := range pool {
+		pool[i] = fmt.Sprintf("i%d", i)
+	}
+	b.Input(pool...)
+	for _, in := range pool {
+		b.Init(in, logic.FromBool(rng.Intn(2) == 1))
+	}
+	pick := func() string { return pool[rng.Intn(len(pool))] }
+
+	kinds := []netlist.Kind{
+		netlist.Nand, netlist.Nor, netlist.And,
+		netlist.Or, netlist.Xor, netlist.Not,
+	}
+	var latchQ []string
+	n := 0
+	for s := 0; s < p.stages; s++ {
+		for k := 0; k < p.combPerStage; k++ {
+			name := fmt.Sprintf("n%d", n)
+			n++
+			kind := kinds[rng.Intn(len(kinds))]
+			if kind == netlist.Not {
+				b.Gate(name, kind, pick())
+			} else {
+				b.Gate(name, kind, pick(), pick())
+			}
+			b.Init(name, logic.Zero)
+			pool = append(pool, name)
+		}
+		// Gated D latch: transparent while en=1, holds while en=0.  The
+		// cross-coupled NAND pair is the stage's only feedback.
+		d, en := pick(), pick()
+		dn := fmt.Sprintf("s%d_dn", s)
+		sb := fmt.Sprintf("s%d_sb", s)
+		rb := fmt.Sprintf("s%d_rb", s)
+		q := fmt.Sprintf("s%d_q", s)
+		qb := fmt.Sprintf("s%d_qb", s)
+		b.Gate(dn, netlist.Not, d)
+		b.Gate(sb, netlist.Nand, d, en)
+		b.Gate(rb, netlist.Nand, dn, en)
+		b.Gate(q, netlist.Nand, sb, qb)
+		b.Gate(qb, netlist.Nand, rb, q)
+		for _, g := range []string{dn, sb, rb} {
+			b.Init(g, logic.Zero)
+		}
+		b.Init(q, logic.Zero)
+		b.Init(qb, logic.One)
+		pool = append(pool, q)
+		latchQ = append(latchQ, q)
+	}
+
+	// Outputs: every latch state in rotation, padded with late
+	// combinational nodes, like the s-series PO mix.
+	outs := make([]string, 0, p.outputs)
+	seen := map[string]bool{}
+	for len(outs) < p.outputs {
+		var cand string
+		if len(outs) < len(latchQ) {
+			cand = latchQ[len(outs)]
+		} else {
+			cand = pick()
+		}
+		if !seen[cand] {
+			seen[cand] = true
+			outs = append(outs, cand)
+		}
+	}
+	b.Output(outs...)
+
+	c, err := b.BuildAny()
+	if err != nil {
+		return nil, err
+	}
+	// Settle the init guess under a deterministic random interleaving
+	// and declare the result as the reset state (the latch pairs are the
+	// only cycles, so settling is guaranteed).
+	st, ok := sim.SettleRandomW(c, c.InitWords(), 64*c.NumSignals(), rng)
+	if !ok {
+		return nil, fmt.Errorf("reset state did not settle")
+	}
+	c.Init = c.VecFromWords(st)
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

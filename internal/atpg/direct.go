@@ -1,0 +1,208 @@
+package atpg
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// RunDirect is the CSSG-free ATPG flow for circuits past the 64-signal
+// ceiling of the explicit-state abstraction (and valid at any size):
+// random walks are generated directly on the scalar ternary machine —
+// a vector is emitted only when the settling is fully definite, which
+// per §5.4 means the applied pattern has a unique successor state under
+// every delay assignment, exactly the validity criterion the CSSG's
+// edges encode — and screened against the fault universe with the
+// batched multi-word fault simulator.
+//
+// Detection semantics match the rest of the repository: a fault counts
+// as covered only when some cycle's response is guaranteed to differ
+// from the expected outputs under every delay assignment (a definite
+// output opposite a definite good value).  Unlike RunUniverse there is
+// no exact-machine confirmation pass — that pass exists to reconcile
+// ternary detections with the CSSG's strictly more pessimistic
+// path-based TCR_k semantics, and the direct flow's contract is the
+// ternary (fair finite-delay) semantics itself.  There is also no
+// three-phase targeting: faults the walks miss stay uncovered
+// (Detected=false), never marked untestable.
+func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	res := &Result{
+		Model:    model,
+		Total:    len(universe),
+		ByPhase:  map[Phase]int{},
+		PerFault: make([]FaultResult, len(universe)),
+	}
+	for i, f := range universe {
+		res.PerFault[i] = FaultResult{Fault: f, TestIndex: -1}
+	}
+	remaining := make([]int, 0, len(universe))
+	for i := range universe {
+		remaining = append(remaining, i)
+	}
+
+	good := sim.Machine{C: c}
+	reset := good.InitState()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	walks := make([]Test, max(opts.RandomSequences, 0))
+	for i := range walks {
+		walks[i] = directWalk(c, reset, rng, opts.RandomLength)
+	}
+
+	fs, err := fsim.New(c, universe, fsim.Options{
+		Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes,
+		Engine: opts.FaultSimEngine, NoDrop: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// NoDrop keeps the full fault × walk matrix so the sequential
+	// test-selection replay below is observably identical to per-walk
+	// simulation; a walk joins the program only when it is the first to
+	// detect some still-live fault.
+	width := fs.Lanes()
+	for base := 0; base < len(walks) && len(remaining) > 0; base += width {
+		end := min(base+width, len(walks))
+		chunk := walks[base:end]
+		batch := fsim.Batch{
+			Seqs:     make([][]uint64, len(chunk)),
+			Expected: make([][]uint64, len(chunk)),
+		}
+		for l, w := range chunk {
+			batch.Seqs[l] = w.Patterns
+			batch.Expected[l] = w.Expected
+		}
+		br, err := fs.SimulateBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		for l, test := range chunk {
+			if len(test.Patterns) == 0 || len(remaining) == 0 {
+				continue
+			}
+			var detected []int
+			for _, fi := range remaining {
+				if br.Lanes[fi].Has(l) {
+					detected = append(detected, fi)
+				}
+			}
+			if len(detected) == 0 {
+				continue
+			}
+			res.Tests = append(res.Tests, test)
+			ti := len(res.Tests) - 1
+			remaining = mark(res, remaining, detected, PhaseRandom, ti)
+			for _, fi := range detected {
+				fs.Drop(fi)
+			}
+		}
+	}
+	res.CPU = time.Since(start)
+	return res, nil
+}
+
+// directWalk draws one valid random test sequence on the scalar ternary
+// machine.  Each cycle proposes a few small perturbations of the
+// current rails (flipping one or two inputs — an asynchronous
+// environment rarely switches many inputs at once, and single-bit
+// changes are far more likely to settle definitely); the first fully
+// definite settling is accepted.  When every proposal races, the walk
+// holds the current rails for a cycle, which is trivially valid (the
+// state is already settled).
+func directWalk(c *netlist.Circuit, reset logic.Vec, rng *rand.Rand, length int) Test {
+	const tries = 8
+	m := c.NumInputs()
+	st := reset
+	rails := railsOf(c, st)
+	var t Test
+	for step := 0; step < length; step++ {
+		for k := 0; k < tries; k++ {
+			cand := rails
+			flips := 1 + rng.Intn(2)
+			for f := 0; f < flips; f++ {
+				cand ^= 1 << uint(rng.Intn(m))
+			}
+			if r := sim.ApplyVector(c, st, cand, nil); r.Definite() {
+				st, rails = r.State, cand
+				break
+			}
+		}
+		t.Patterns = append(t.Patterns, rails)
+		t.Expected = append(t.Expected, packOutputs(c, st))
+	}
+	return t
+}
+
+// railsOf packs the definite primary-input rails of a ternary state.
+func railsOf(c *netlist.Circuit, st logic.Vec) uint64 {
+	var w uint64
+	for i := 0; i < c.NumInputs(); i++ {
+		if st[i] == logic.One {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// packOutputs packs the definite primary outputs of a ternary state
+// (output j at bit j).
+func packOutputs(c *netlist.Circuit, st logic.Vec) uint64 {
+	var w uint64
+	for j, s := range c.Outputs {
+		if st[s] == logic.One {
+			w |= 1 << uint(j)
+		}
+	}
+	return w
+}
+
+// ResetOutputs returns the packed primary outputs of the good machine's
+// settled reset state — the ResetExpected word of a tester program in
+// the direct flow (the CSSG flow reads it off the abstraction instead).
+func ResetOutputs(c *netlist.Circuit) uint64 {
+	return packOutputs(c, sim.Machine{C: c}.InitState())
+}
+
+// VerifyDirectGood replays a test on the fault-free scalar ternary
+// machine and reports whether every cycle settles fully definite with
+// outputs bit-equal to Expected — the oracle check of the direct flow's
+// walk generation and of the packed-state engines behind it.
+func VerifyDirectGood(c *netlist.Circuit, t Test) bool {
+	m := sim.Machine{C: c}
+	st := m.InitState()
+	for i, p := range t.Patterns {
+		st = m.Step(st, p)
+		if !st.AllDefinite() || packOutputs(c, st) != t.Expected[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyDirect replays a test on the faulty scalar ternary machine and
+// reports whether detection is guaranteed: some cycle produces a
+// definite output opposite the expected bit, so every delay assignment
+// of the faulty chip mismatches the tester there.
+func VerifyDirect(c *netlist.Circuit, f faults.Fault, t Test) bool {
+	m := sim.Machine{C: c, Fault: &f}
+	st := m.InitState()
+	for i, p := range t.Patterns {
+		st = m.Step(st, p)
+		for j, s := range c.Outputs {
+			v := st[s]
+			if !v.IsDefinite() {
+				continue
+			}
+			if (v == logic.One) != (t.Expected[i]>>uint(j)&1 == 1) {
+				return true
+			}
+		}
+	}
+	return false
+}

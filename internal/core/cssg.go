@@ -308,6 +308,13 @@ func Build(c *netlist.Circuit, opts Options) (*CSSG, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if c.NumSignals() > netlist.WordBits {
+		// The explicit-state abstraction enumerates packed uint64 states;
+		// circuits past one word must use the fault-simulation-based
+		// direct flow (atpg.RunDirect), which is multi-word throughout.
+		return nil, fmt.Errorf("core: circuit %s has %d signals; the explicit-state CSSG supports at most %d — use the direct ATPG flow",
+			c.Name, c.NumSignals(), netlist.WordBits)
+	}
 	init := c.InitState()
 	g := &CSSG{
 		C:     c,

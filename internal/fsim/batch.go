@@ -101,7 +101,7 @@ func pack[V lanevec.Vec[V]](c *netlist.Circuit, b *Batch) (*packedBatch[V], erro
 	nl := len(b.Seqs)
 	pk := &packedBatch[V]{cycles: b.Cycles(), all: zero.FirstN(nl)}
 	m := c.NumInputs()
-	resetRails := c.InputBits(c.InitState())
+	resetRails := c.InputBitsW(c.InitWords())
 	pk.rails = make([][]V, pk.cycles)
 	pk.live = make([]V, pk.cycles)
 	for t := 0; t < pk.cycles; t++ {
@@ -267,7 +267,7 @@ func (tr *goodTrace[V]) runEvents(m *machine[V], pk *packedBatch[V], topo *netli
 	m.setAll(pk.all)
 	e.InitEvents(topo)
 	e.ClearOverrides()
-	e.SetGateMask(^uint64(0))
+	e.SetGateMask(nil)
 
 	e.LoadInit()
 	e.EnqueueMaskGates()

@@ -664,11 +664,11 @@ func (e *engine[V]) runShard(w int, pk *packedBatch[V], tr *goodTrace[V], df *tr
 func (e *engine[V]) runFault(m *machine[V], pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, fi int) (mask V, lane, cycle int, ok bool) {
 	s := e.s
 	event := e.mode == EngineEvent
-	var cone uint64
+	var cone []uint64
 	m.setAll(pk.all)
 	if event {
 		f := &s.universe[fi]
-		cone = e.topo.Cone[s.c.Gates[f.Gate].Out]
+		cone = e.topo.ConeOf(s.c.Gates[f.Gate].Out)
 		m.eventReset(f, cone, e.topo, tr, df)
 	} else {
 		m.inject(&s.universe[fi])

@@ -16,6 +16,9 @@ import (
 // fault is simply an override whose mask covers every active lane.
 type machine[V lanevec.Vec[V]] struct {
 	eng *lanevec.Engine[V]
+
+	gm    []uint64 // scratch gate-mask buffer for cone-limited runs
+	initW []uint64 // cached multi-word initial state
 }
 
 func newMachine[V lanevec.Vec[V]](c *netlist.Circuit) *machine[V] {
@@ -81,26 +84,29 @@ func (m *machine[V]) laneState(lane int) logic.Vec { return m.eng.LaneState(lane
 // signals outside the cone are bit-identical to the good machine at
 // every phase fixpoint, so loading them from the cached trace and
 // evaluating only cone gates reproduces the full simulation exactly.
-func (m *machine[V]) eventReset(f *faults.Fault, cone uint64, topo *netlist.Topology, tr *goodTrace[V], df *traceDiffs) {
+func (m *machine[V]) eventReset(f *faults.Fault, cone []uint64, topo *netlist.Topology, tr *goodTrace[V], df *traceDiffs) {
 	e := m.eng
 	c := e.Circuit()
 	e.InitEvents(topo)
 	m.inject(f)
-	e.SetGateMask(topo.GateMask(cone))
+	m.gm = topo.GateMaskW(cone, m.gm)
+	e.SetGateMask(m.gm)
 
 	// Phase A: out-of-cone signals at the good A fixpoint, cone signals
 	// back at the declared reset values, every cone gate seeded (the
 	// good machine may legitimately move cone signals during reset, so
 	// no cheaper seed set exists here).
 	e.LoadState(tr.resetA1, tr.resetA0)
-	init := c.InitState()
+	if m.initW == nil {
+		m.initW = c.InitWords()
+	}
 	all := e.All()
 	var zero V
 	for s := 0; s < c.NumSignals(); s++ {
-		if cone>>uint(s)&1 == 0 {
+		if cone[s>>6]>>uint(s&63)&1 == 0 {
 			continue
 		}
-		if init>>uint(s)&1 == 1 {
+		if m.initW[s>>6]>>uint(s&63)&1 == 1 {
 			e.SetSignal(netlist.SigID(s), all, zero)
 		} else {
 			e.SetSignal(netlist.SigID(s), zero, all)
@@ -111,7 +117,7 @@ func (m *machine[V]) eventReset(f *faults.Fault, cone uint64, topo *netlist.Topo
 
 	// Phase B: out-of-cone signals drop to the good B fixpoint.
 	for _, s := range df.rb {
-		if cone>>uint(s)&1 == 0 {
+		if cone[s>>6]>>uint(s&63)&1 == 0 {
 			e.SetSignal(s, tr.resetB1[s], tr.resetB0[s])
 		}
 	}
@@ -124,18 +130,18 @@ func (m *machine[V]) eventReset(f *faults.Fault, cone uint64, topo *netlist.Topo
 // fixpoint, raise the cone, swap to the B fixpoint, lower the cone.
 // Only gates whose inputs actually changed — tracked lanewise by the
 // activity masks — are evaluated.
-func (m *machine[V]) eventApply(t int, cone uint64, tr *goodTrace[V], df *traceDiffs) {
+func (m *machine[V]) eventApply(t int, cone []uint64, tr *goodTrace[V], df *traceDiffs) {
 	e := m.eng
 	e.ClearActivity()
 	for _, s := range df.a[t] {
-		if cone>>uint(s)&1 == 0 {
+		if cone[s>>6]>>uint(s&63)&1 == 0 {
 			e.MarkSignal(s, tr.stateA1[t][s], tr.stateA0[t][s])
 		}
 	}
 	e.SeedFromActivity()
 	e.RunRaise()
 	for _, s := range df.b[t] {
-		if cone>>uint(s)&1 == 0 {
+		if cone[s>>6]>>uint(s&63)&1 == 0 {
 			e.MarkSignal(s, tr.stateB1[t][s], tr.stateB0[t][s])
 		}
 	}

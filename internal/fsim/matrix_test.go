@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/netlist"
 	"repro/internal/randckt"
 )
 
@@ -27,6 +28,105 @@ func TestLaneMaskCountAndContainedIn(t *testing.T) {
 		}
 		if got := tc.m.ContainedIn(tc.o); got != tc.contained {
 			t.Errorf("case %d: ContainedIn = %v, want %v", i, got, tc.contained)
+		}
+	}
+}
+
+// TestDetectionMatrixRaggedTrailingBatches pins the multi-batch fold on
+// sequence counts that leave the final batch partially filled and the
+// final mask word partially used (65 sequences at 64 lanes, 129 at 128,
+// every count at 256).  Each row must agree bit for bit with a
+// per-sequence reference (one matrix pass per single sequence), carry
+// no phantom lanes at or past the sequence count — a padded lane
+// leaking into the fold would inflate LaneMask.Count and flip
+// ContainedIn verdicts, which compaction's coverage argument rests on —
+// and round-trip through Count/ContainedIn consistently.
+func TestDetectionMatrixRaggedTrailingBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var c *netlist.Circuit
+	for {
+		cand, ok := randckt.New(rng, randckt.Config{})
+		if ok {
+			c = cand
+			break
+		}
+	}
+	m := c.NumInputs()
+	const maxSeq, cycles = 129, 4
+	all := make([][]uint64, maxSeq)
+	for l := range all {
+		seq := make([]uint64, cycles)
+		for tc := range seq {
+			seq[tc] = rng.Uint64() & (1<<uint(m) - 1)
+		}
+		all[l] = seq
+	}
+	universe := append(faults.OutputUniverse(c), faults.InputUniverse(c)...)
+
+	// Per-sequence reference: sequence t detects fault fi iff a
+	// single-sequence pass says so.
+	ref := make([][]bool, len(universe))
+	for fi := range ref {
+		ref[fi] = make([]bool, maxSeq)
+	}
+	for l := 0; l < maxSeq; l++ {
+		rows, _, err := DetectionMatrix(c, universe, all[l:l+1], nil, nil, Options{CheckReset: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := range universe {
+			ref[fi][l] = rows[fi].Has(0)
+		}
+	}
+
+	counts := []int{1, 63, 65, 100, 129}
+	if testing.Short() {
+		counts = []int{65, 129}
+	}
+	for _, nseq := range counts {
+		for _, lanes := range []int{64, 128, 256} {
+			rows, _, err := DetectionMatrix(c, universe, all[:nseq], nil, nil,
+				Options{Lanes: lanes, CheckReset: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			words := (nseq + 63) / 64
+			for fi := range universe {
+				if len(rows[fi]) > words {
+					t.Fatalf("nseq=%d lanes=%d fault %s: row spans %d words, matrix width is %d",
+						nseq, lanes, universe[fi].Describe(c), len(rows[fi]), words)
+				}
+				wantCount := 0
+				for l := 0; l < nseq; l++ {
+					if rows[fi].Has(l) != ref[fi][l] {
+						t.Fatalf("nseq=%d lanes=%d fault %s seq %d: matrix %v, per-sequence reference %v",
+							nseq, lanes, universe[fi].Describe(c), l, rows[fi].Has(l), ref[fi][l])
+					}
+					if ref[fi][l] {
+						wantCount++
+					}
+				}
+				for l := nseq; l < len(rows[fi])*64; l++ {
+					if rows[fi].Has(l) {
+						t.Fatalf("nseq=%d lanes=%d fault %s: phantom lane %d past the sequence count",
+							nseq, lanes, universe[fi].Describe(c), l)
+					}
+				}
+				if got := rows[fi].Count(); got != wantCount {
+					t.Fatalf("nseq=%d lanes=%d fault %s: Count=%d, want %d detecting sequences",
+						nseq, lanes, universe[fi].Describe(c), got, wantCount)
+				}
+				// A row restricted to its own lanes is self-contained, and
+				// the all-lanes mask contains every row.
+				full := make(LaneMask, words)
+				for l := 0; l < nseq; l++ {
+					full[l>>6] |= 1 << uint(l&63)
+				}
+				if !rows[fi].ContainedIn(full) {
+					t.Fatalf("nseq=%d lanes=%d fault %s: row not contained in the full lane set",
+						nseq, lanes, universe[fi].Describe(c))
+				}
+			}
 		}
 	}
 }

@@ -74,6 +74,8 @@ type Engine[V Vec[V]] struct {
 	ev  *eventState
 	chg []V
 
+	initW []uint64 // cached multi-word initial state (lazily built)
+
 	evals int64 // cumulative gate evaluations (sweep + event kernels)
 }
 
@@ -187,10 +189,12 @@ func (e *Engine[V]) GateEvals() int64 { return e.evals }
 // active lane without settling — event-driven callers seed the queue
 // and run the phases themselves.
 func (e *Engine[V]) LoadInit() {
-	init := e.c.InitState()
+	if e.initW == nil {
+		e.initW = e.c.InitWords()
+	}
 	var zero V
 	for s := 0; s < e.c.NumSignals(); s++ {
-		if init>>uint(s)&1 == 1 {
+		if e.initW[s>>6]>>uint(s&63)&1 == 1 {
 			e.p1[s], e.p0[s] = e.all, zero
 		} else {
 			e.p1[s], e.p0[s] = zero, e.all

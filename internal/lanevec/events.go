@@ -36,12 +36,17 @@ import "repro/internal/netlist"
 // kernels: the levelized queue, the admission mask and the per-run
 // divergence guard.
 type eventState struct {
-	topo     *netlist.Topology
-	buckets  [][]int // per level: gates pending evaluation
-	inQ      []bool  // per gate: already queued
-	cursor   int     // lowest level that may hold pending gates
-	gateMask uint64  // gates the queue admits (bit gi)
-	guard    int64   // eval budget per phase run; exceeding it panics
+	topo    *netlist.Topology
+	buckets [][]int // per level: gates pending evaluation
+	inQ     []bool  // per gate: already queued
+	cursor  int     // lowest level that may hold pending gates
+	// gateMask is the admission bitset over gates (gate gi at bit
+	// gi%64 of word gi/64), Topology.GateWords words wide; allMask is
+	// the precomputed admit-everything mask SetGateMask(nil) restores,
+	// so the kernels always run one indexed test with no nil branch.
+	gateMask []uint64
+	allMask  []uint64
+	guard    int64 // eval budget per phase run; exceeding it panics
 }
 
 // InitEvents prepares the engine for event-driven settling against the
@@ -58,19 +63,32 @@ func (e *Engine[V]) InitEvents(topo *netlist.Topology) {
 	// seeds plus changes × readers.  The guard is a generous multiple;
 	// tripping it means the monotonicity reasoning was broken by a bug.
 	gates := int64(e.c.NumGates())
-	e.ev = &eventState{
-		topo:     topo,
-		buckets:  make([][]int, topo.MaxLevel+1),
-		inQ:      make([]bool, e.c.NumGates()),
-		gateMask: ^uint64(0),
-		guard:    (2*int64(zero.Size()) + 4) * (gates + 1) * (netlist.MaxLocalInputs + 1),
+	allMask := make([]uint64, topo.GateWords)
+	for i := range allMask {
+		allMask[i] = ^uint64(0)
 	}
+	e.ev = &eventState{
+		topo:    topo,
+		buckets: make([][]int, topo.MaxLevel+1),
+		inQ:     make([]bool, e.c.NumGates()),
+		allMask: allMask,
+		guard:   (2*int64(zero.Size()) + 4) * (gates + 1) * (netlist.MaxLocalInputs + 1),
+	}
+	e.ev.gateMask = allMask
 	e.chg = make([]V, e.c.NumSignals())
 }
 
-// SetGateMask restricts event admission to the gates in mask (bit gi);
-// everything outside is treated as externally driven.
-func (e *Engine[V]) SetGateMask(mask uint64) { e.ev.gateMask = mask }
+// SetGateMask restricts event admission to the gates in mask (a gate
+// bitset of Topology.GateWords words, gate gi at bit gi%64 of word
+// gi/64 — what Topology.GateMaskW produces from a fanout cone); a nil
+// mask admits every gate.  The engine keeps a reference: the caller
+// must not mutate the mask while settling.
+func (e *Engine[V]) SetGateMask(mask []uint64) {
+	if mask == nil {
+		mask = e.ev.allMask
+	}
+	e.ev.gateMask = mask
+}
 
 // ClearActivity zeroes the per-signal activity masks; call at the
 // start of each test cycle, before the MarkSignal swaps.
@@ -112,7 +130,7 @@ func (e *Engine[V]) CopyState(d1, d0 []V) {
 
 // enqueue admits gate gi if the mask allows it and it is not queued.
 func (ev *eventState) enqueue(gi int) {
-	if ev.gateMask>>uint(gi)&1 == 0 || ev.inQ[gi] {
+	if ev.gateMask[gi>>6]>>uint(gi&63)&1 == 0 || ev.inQ[gi] {
 		return
 	}
 	ev.inQ[gi] = true

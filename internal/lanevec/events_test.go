@@ -144,15 +144,15 @@ func TestEventSettleRespectsGateMask(t *testing.T) {
 	e.LoadInit()
 	// Admit only the cone of the last gate's output.
 	out := ckt.GateOutput(ckt.NumGates() - 1)
-	cone := topo.Cone[out]
-	e.SetGateMask(topo.GateMask(cone))
+	cone := topo.ConeOf(out)
+	e.SetGateMask(topo.GateMaskW(cone, nil))
 	e.EnqueueMaskGates()
 	e.RunRaise()
 	e.EnqueueMaskGates()
 	e.RunLower()
 	init := ckt.InitState()
 	for s := 0; s < ckt.NumSignals(); s++ {
-		if cone>>uint(s)&1 == 1 {
+		if cone[s>>6]>>uint(s&63)&1 == 1 {
 			continue
 		}
 		want := logic.FromBool(init>>uint(s)&1 == 1)

@@ -343,6 +343,7 @@ func settle{{.Lanes}}(e *Engine[{{.Type}}]) {
 // the corresponding Jacobi sweep (see events.go).
 func runEvents{{.Lanes}}(e *Engine[{{.Type}}], raise bool) {
 	ev := e.ev
+	gm := ev.gateMask // multi-word gate admission bitset, hoisted
 	guard := ev.guard
 	for ev.cursor < len(ev.buckets) {
 		b := ev.buckets[ev.cursor]
@@ -377,7 +378,7 @@ func runEvents{{.Lanes}}(e *Engine[{{.Type}}], raise bool) {
 		e.p1[out], e.p0[out] = e1, e0
 		{{orAssign . "e.chg[out]" "d"}}
 		for _, ri := range ev.topo.Readers[out] {
-			if ev.gateMask>>uint(ri)&1 == 0 || ev.inQ[ri] {
+			if gm[ri>>6]>>uint(ri&63)&1 == 0 || ev.inQ[ri] {
 				continue
 			}
 			ev.inQ[ri] = true

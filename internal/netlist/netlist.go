@@ -120,9 +120,10 @@ type Circuit struct {
 	Outputs []SigID  // primary (observable) outputs
 	Init    logic.Vec
 
-	names   []string // signal names by SigID (rails use "name@in")
-	byName  map[string]SigID
-	fanouts [][]int // per signal: indices of gates reading it
+	names    []string // signal names by SigID (rails use "name@in")
+	byName   map[string]SigID
+	fanouts  [][]int // per signal: indices of gates reading it
+	minWords int     // SetMinStateWords floor on StateWords (test hook)
 
 	topoState // lazily-built structural index (see Topology)
 }
@@ -378,23 +379,33 @@ func (c *Circuit) Validate() error {
 	if err := c.validateStructure(); err != nil {
 		return err
 	}
-	init := c.Init.Bits()
+	init := c.InitWords()
 	for gi := range c.Gates {
-		if c.Excited(gi, init) {
+		if c.ExcitedW(gi, init) {
 			return fmt.Errorf("netlist: initial state is not stable: gate %s is excited (state %s)",
-				c.Gates[gi].Name, c.FormatState(init))
+				c.Gates[gi].Name, c.FormatStateW(init))
 		}
 	}
 	return nil
 }
 
 // validateStructure is Validate without the reset-stability requirement.
+// The size limits are derived from the engines' declared word capacity
+// (WordBits/MaxStateWords in words.go) — one capability query, so the
+// accepted sizes cannot drift from what the kernels actually support.
 func (c *Circuit) validateStructure() error {
-	if c.NumSignals() > 64 {
-		return fmt.Errorf("netlist: circuit %s has %d signals; the packed-state engines support at most 64", c.Name, c.NumSignals())
+	if c.NumSignals() > MaxSignals {
+		return fmt.Errorf("netlist: circuit %s has %d signals; the packed-state engines support at most %d (%d words of %d bits)",
+			c.Name, c.NumSignals(), MaxSignals, MaxStateWords, WordBits)
 	}
 	if len(c.Inputs) == 0 {
 		return fmt.Errorf("netlist: circuit %s has no primary inputs", c.Name)
+	}
+	if len(c.Inputs) > WordBits {
+		return fmt.Errorf("netlist: circuit %s has %d primary inputs; pattern words support at most %d", c.Name, len(c.Inputs), WordBits)
+	}
+	if len(c.Outputs) > WordBits {
+		return fmt.Errorf("netlist: circuit %s has %d primary outputs; response words support at most %d", c.Name, len(c.Outputs), WordBits)
 	}
 	m := len(c.Inputs)
 	for gi := range c.Gates {
@@ -434,10 +445,11 @@ func (c *Circuit) validateStructure() error {
 // Clone returns a deep copy of the circuit (gates, tables, init state).
 func (c *Circuit) Clone() *Circuit {
 	cp := &Circuit{
-		Name:    c.Name,
-		Inputs:  append([]string(nil), c.Inputs...),
-		Outputs: append([]SigID(nil), c.Outputs...),
-		Init:    c.Init.Clone(),
+		Name:     c.Name,
+		Inputs:   append([]string(nil), c.Inputs...),
+		Outputs:  append([]SigID(nil), c.Outputs...),
+		Init:     c.Init.Clone(),
+		minWords: c.minWords,
 	}
 	cp.Gates = make([]Gate, len(c.Gates))
 	for i, g := range c.Gates {

@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -381,20 +382,75 @@ func TestBuilderSelfLoopAndForwardRef(t *testing.T) {
 	}
 }
 
-func TestValidateTooManySignals(t *testing.T) {
-	b := NewBuilder("big")
+// bufChain builds a stable buffer chain with the given number of gates
+// (signals = gates + 2, counting the input rail and its buffer).
+func bufChain(name string, gates int) *Builder {
+	b := NewBuilder(name)
 	b.Input("a")
 	b.Init("a", logic.Zero)
 	prev := "a"
-	for i := 0; i < 70; i++ {
-		name := "g" + string(rune('a'+i%26)) + string(rune('0'+i/26))
-		b.Gate(name, Buf, prev)
-		b.Init(name, logic.Zero)
-		prev = name
+	for i := 0; i < gates; i++ {
+		gn := fmt.Sprintf("g%d", i)
+		b.Gate(gn, Buf, prev)
+		b.Init(gn, logic.Zero)
+		prev = gn
 	}
 	b.Output(prev)
-	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "at most 64") {
-		t.Errorf("want signal-cap error, got %v", err)
+	return b
+}
+
+func TestValidateSignalCapDerivedFromWordCapacity(t *testing.T) {
+	// 70 signals used to trip a hard-coded 64-signal cap; the multi-word
+	// engines accept it with a two-word state vector.
+	c, err := bufChain("big", 68).Build()
+	if err != nil {
+		t.Fatalf("70-signal circuit must validate: %v", err)
+	}
+	if got := c.StateWords(); got != 2 {
+		t.Errorf("StateWords() = %d, want 2 for %d signals", got, c.NumSignals())
+	}
+	// The cap that remains is the engines' declared word capacity.
+	if _, err := bufChain("huge", MaxSignals).Build(); err == nil || !strings.Contains(err.Error(), "at most") {
+		t.Errorf("want derived signal-cap error, got %v", err)
+	}
+}
+
+func TestMultiWordOpsMatchSingleWord(t *testing.T) {
+	// On a one-word circuit the *W family must agree with the packed
+	// uint64 family bit for bit.
+	c := topoCircuit(t)
+	st := c.InitState()
+	stw := c.InitWords()
+	if len(stw) != 1 || stw[0] != st {
+		t.Fatalf("InitWords() = %v, want [%b]", stw, st)
+	}
+	for gi := 0; gi < c.NumGates(); gi++ {
+		if c.EvalBinary(gi, st) != c.EvalBinaryW(gi, stw) {
+			t.Errorf("EvalBinaryW(%d) diverges", gi)
+		}
+		if c.Excited(gi, st) != c.ExcitedW(gi, stw) {
+			t.Errorf("ExcitedW(%d) diverges", gi)
+		}
+	}
+	if c.Stable(st) != c.StableW(stw) {
+		t.Error("StableW diverges")
+	}
+	if c.InputBits(st) != c.InputBitsW(stw) {
+		t.Error("InputBitsW diverges")
+	}
+	if c.OutputBits(st) != c.OutputBitsW(stw) {
+		t.Error("OutputBitsW diverges")
+	}
+	if c.FormatState(st) != c.FormatStateW(stw) {
+		t.Error("FormatStateW diverges")
+	}
+	c.FireW(0, stw)
+	if got := c.Fire(0, st); stw[0] != got {
+		t.Errorf("FireW = %b, want %b", stw[0], got)
+	}
+	c.WithInputBitsW(stw, 0b11)
+	if got := c.WithInputBits(c.Fire(0, st), 0b11); stw[0] != got {
+		t.Errorf("WithInputBitsW = %b, want %b", stw[0], got)
 	}
 }
 

@@ -11,14 +11,20 @@ import "sync"
 // phase, and the fanout-cone bitsets bound the set of signals a fault
 // can ever disturb relative to the fault-free circuit.
 //
-// The packed-state engines cap circuits at 64 signals (Validate
-// enforces it), so every signal set in this index — one cone per
-// signal — fits a single machine word.
+// Signal sets are multi-word bitsets of Words uint64 words each
+// (signal s at bit s%64 of word s/64), sized from Circuit.StateWords —
+// one word for ≤64-signal circuits, more for larger ones.  Gate sets
+// are GateWords words with gate gi at bit gi%64 of word gi/64.
 type Topology struct {
 	// NumInputs is the circuit's primary-input count m; gate gi drives
-	// signal m+gi, so a signal-set word shifted right by m is the
-	// corresponding gate-set word.
+	// signal m+gi, so a signal bitset shifted right by m is the
+	// corresponding gate bitset.
 	NumInputs int
+
+	// Words is the signal-bitset width in uint64 words (the stride of
+	// Cone); GateWords is the gate-bitset width.
+	Words     int
+	GateWords int
 
 	// Readers lists, per signal, the indices of the gates that must be
 	// re-evaluated when the signal changes: the gates reading it as a
@@ -42,15 +48,48 @@ type Topology struct {
 	// every signal reachable from it through the reader adjacency,
 	// including itself.  A fault whose faulty gate drives signal s can
 	// only ever make the circuit differ from the fault-free machine on
-	// the signals of Cone[s]; everything outside the cone provably
+	// the signals of ConeOf(s); everything outside the cone provably
 	// tracks the good machine bit for bit, which is what lets a
-	// fault simulation re-evaluate cone gates only.
+	// fault simulation re-evaluate cone gates only.  The storage is
+	// flat: signal s occupies Cone[s*Words : (s+1)*Words].
 	Cone []uint64
 }
 
-// GateMask converts a signal-set word (such as a Cone entry) into the
-// set of gates driving those signals, as a gate-index bitset.
+// ConeOf returns signal s's fanout-cone bitset (Words words; a view
+// into the shared index — callers must not modify it).
+func (t *Topology) ConeOf(s SigID) []uint64 {
+	return t.Cone[int(s)*t.Words : (int(s)+1)*t.Words]
+}
+
+// GateMask converts a single signal-set word into the set of gates
+// driving those signals.  It is the one-word special case of GateMaskW,
+// valid only when the circuit's signals fit one word.
 func (t *Topology) GateMask(signals uint64) uint64 { return signals >> uint(t.NumInputs) }
+
+// GateMaskW converts a signal bitset (such as a ConeOf entry) into the
+// gate bitset of the gates driving those signals: a cross-word right
+// shift by NumInputs.  The result is written into dst (grown as
+// needed, GateWords words) and returned.
+func (t *Topology) GateMaskW(signals, dst []uint64) []uint64 {
+	if cap(dst) < t.GateWords {
+		dst = make([]uint64, t.GateWords)
+	} else {
+		dst = dst[:t.GateWords]
+	}
+	wo := t.NumInputs >> 6
+	sh := uint(t.NumInputs & 63)
+	for w := 0; w < t.GateWords; w++ {
+		var v uint64
+		if w+wo < len(signals) {
+			v = signals[w+wo] >> sh
+			if sh != 0 && w+wo+1 < len(signals) {
+				v |= signals[w+wo+1] << (64 - sh)
+			}
+		}
+		dst[w] = v
+	}
+	return dst
+}
 
 // Topology returns the circuit's structural index, computing it on
 // first use.  The result is immutable and safe for concurrent use;
@@ -69,11 +108,14 @@ type topoState struct {
 func buildTopology(c *Circuit) *Topology {
 	m := len(c.Inputs)
 	n := c.NumSignals()
+	W := c.StateWords()
 	t := &Topology{
 		NumInputs: m,
+		Words:     W,
+		GateWords: wordsFor(c.NumGates()),
 		Readers:   make([][]int, n),
 		Level:     make([]int, c.NumGates()),
-		Cone:      make([]uint64, n),
+		Cone:      make([]uint64, n*W),
 	}
 	for s := 0; s < n; s++ {
 		t.Readers[s] = append(t.Readers[s], c.fanouts[s]...)
@@ -126,21 +168,24 @@ func buildTopology(c *Circuit) *Topology {
 
 	// Fanout cones: the transitive closure of signal → reader-gate
 	// output, iterated to a fixpoint so feedback loops close properly.
-	// With one word per signal and ≤64 signals this is at worst a few
-	// thousand word operations, once per circuit.
+	// With W words per signal this is at worst a few thousand word
+	// operations per sweep, once per circuit.
 	for s := 0; s < n; s++ {
-		t.Cone[s] = 1 << uint(s)
+		t.Cone[s*W+s>>6] |= 1 << uint(s&63)
 	}
 	for changed := true; changed; {
 		changed = false
 		for s := 0; s < n; s++ {
-			w := t.Cone[s]
+			cs := t.Cone[s*W : (s+1)*W]
 			for _, gi := range t.Readers[s] {
-				w |= t.Cone[c.Gates[gi].Out]
-			}
-			if w != t.Cone[s] {
-				t.Cone[s] = w
-				changed = true
+				o := int(c.Gates[gi].Out)
+				co := t.Cone[o*W : (o+1)*W]
+				for w := 0; w < W; w++ {
+					if nw := cs[w] | co[w]; nw != cs[w] {
+						cs[w] = nw
+						changed = true
+					}
+				}
 			}
 		}
 	}

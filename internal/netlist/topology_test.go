@@ -66,19 +66,19 @@ func TestTopologyLevelsAndCones(t *testing.T) {
 			topo.Level[c.GateOf(nSig)], topo.Level[c.GateOf(aSig)])
 	}
 	// Cone closure: A's buffer output reaches everything downstream.
-	aCone := topo.Cone[aSig]
+	aCone := topo.ConeOf(aSig)[0]
 	for _, s := range []SigID{aSig, nSig, invSig, ySig} {
 		if aCone>>uint(s)&1 == 0 {
 			t.Fatalf("cone of a (%b) must contain signal %d (%s)", aCone, s, c.SignalName(s))
 		}
 	}
 	// y's cone is just itself (the self-loop closes, nothing reads y).
-	if topo.Cone[ySig] != 1<<uint(ySig) {
-		t.Fatalf("cone of y = %b, want only itself", topo.Cone[ySig])
+	if topo.ConeOf(ySig)[0] != 1<<uint(ySig) {
+		t.Fatalf("cone of y = %b, want only itself", topo.ConeOf(ySig)[0])
 	}
 	// inv's cone excludes n (no path).
-	if topo.Cone[invSig]>>uint(nSig)&1 == 1 {
-		t.Fatalf("cone of inv (%b) must not contain n", topo.Cone[invSig])
+	if topo.ConeOf(invSig)[0]>>uint(nSig)&1 == 1 {
+		t.Fatalf("cone of inv (%b) must not contain n", topo.ConeOf(invSig)[0])
 	}
 	// GateMask drops the rails and aligns gate bits.
 	gm := topo.GateMask(aCone)
@@ -124,8 +124,8 @@ init S=0 R=1 Q=0 QB=1
 	topo := c.Topology()
 	q, _ := c.SignalID("Q")
 	qb, _ := c.SignalID("QB")
-	if topo.Cone[q]>>uint(qb)&1 == 0 || topo.Cone[qb]>>uint(q)&1 == 0 {
-		t.Fatalf("feedback cones must include each other: Q=%b QB=%b", topo.Cone[q], topo.Cone[qb])
+	if topo.ConeOf(q)[0]>>uint(qb)&1 == 0 || topo.ConeOf(qb)[0]>>uint(q)&1 == 0 {
+		t.Fatalf("feedback cones must include each other: Q=%b QB=%b", topo.ConeOf(q)[0], topo.ConeOf(qb)[0])
 	}
 	for gi, lv := range topo.Level {
 		if lv < 0 || lv > c.NumGates() {

@@ -106,12 +106,23 @@ func attempt(rng *rand.Rand, cfg Config) (*netlist.Circuit, bool) {
 		return nil, false
 	}
 	// Settle the random state under a random schedule; if the circuit
-	// oscillates from here, reject the topology.
-	st, ok := sim.SettleRandom(c, c.InitState(), 4096, rng)
-	if !ok {
-		return nil, false
+	// oscillates from here, reject the topology.  The one-word path is
+	// kept for ≤64-signal circuits so existing seeds keep sampling the
+	// same circuits; past the ceiling the multi-word settler draws the
+	// identical interleaving sequence (same excited-gate enumeration).
+	if c.NumSignals() > netlist.WordBits {
+		st, ok := sim.SettleRandomW(c, c.InitWords(), 4096, rng)
+		if !ok {
+			return nil, false
+		}
+		c.Init = c.VecFromWords(st)
+	} else {
+		st, ok := sim.SettleRandom(c, c.InitState(), 4096, rng)
+		if !ok {
+			return nil, false
+		}
+		c.Init = logic.FromBits(st, c.NumSignals())
 	}
-	c.Init = logic.FromBits(st, c.NumSignals())
 	if err := c.Validate(); err != nil {
 		return nil, false
 	}

@@ -50,3 +50,19 @@ func SettleRandom(c *netlist.Circuit, state uint64, maxSteps int, rng *rand.Rand
 	}
 	return state, c.Stable(state)
 }
+
+// SettleRandomW is SettleRandom over a multi-word packed state (updated
+// in place).  The excited-gate enumeration order matches the one-word
+// path exactly, so a generator seeded identically draws the same
+// interleaving on either path.
+func SettleRandomW(c *netlist.Circuit, state []uint64, maxSteps int, rng *rand.Rand) ([]uint64, bool) {
+	var excited []int
+	for step := 0; step < maxSteps; step++ {
+		excited = c.ExcitedGatesW(state, excited[:0])
+		if len(excited) == 0 {
+			return state, true
+		}
+		c.FireW(excited[rng.Intn(len(excited))], state)
+	}
+	return state, c.StableW(state)
+}

@@ -133,10 +133,12 @@ type Machine struct {
 }
 
 // InitState settles the circuit's initial state under the machine's
-// fault (a fault can make the declared reset state unstable).
+// fault (a fault can make the declared reset state unstable).  The
+// scalar machine is size-agnostic: it reads the declared ternary init
+// vector directly, so it serves as the oracle for circuits past the
+// single-word ceiling too.
 func (m Machine) InitState() logic.Vec {
-	st := logic.FromBits(m.C.InitState(), m.C.NumSignals())
-	return SettleTernary(m.C, st, m.Fault).State
+	return SettleTernary(m.C, m.C.Init, m.Fault).State
 }
 
 // Step applies one synchronous test vector and returns the settled state.

@@ -103,6 +103,18 @@ type (
 	DetectionMatrix = compact.Matrix
 )
 
+// MaxExplicitSignals is the signal-count ceiling of the explicit-state
+// subsystems (Abstract/Generate, the STG tooling and the timed tester
+// model), which pack one state per machine word.  The packed-state
+// simulation engines — and the GenerateDirect flow built on them — go
+// up to MaxSignals.
+const (
+	MaxExplicitSignals = netlist.WordBits
+	// MaxSignals is the absolute circuit-size ceiling of the multi-word
+	// packed-state engines.
+	MaxSignals = netlist.MaxSignals
+)
+
 // Fault-simulation engines.  EventEngine (the default) re-simulates
 // only each fault's fanout cone against the cached good trace;
 // SweepEngine settles the whole circuit with full Jacobi sweeps and is
@@ -280,6 +292,24 @@ func GenerateForCircuit(c *Circuit, model FaultModel, opts Options) (*CSSG, *Res
 	return g, Generate(g, model, opts), nil
 }
 
+// VerifyTestDirect replays a test against one fault on the scalar
+// ternary machine; true means detection is guaranteed for every delay
+// assignment.  It is the size-agnostic counterpart of VerifyTest and
+// the per-fault oracle of the multi-word engine parity suites.
+func VerifyTestDirect(c *Circuit, f Fault, t Test) bool {
+	return atpg.VerifyDirect(c, f, t)
+}
+
+// GenerateDirect runs the CSSG-free ATPG flow: valid random walks are
+// drawn directly on the scalar ternary machine (a vector is accepted
+// only when the settling is fully definite, §5.4's validity criterion)
+// and screened with the batched multi-word fault simulator.  It is the
+// only generation path for circuits past the 64-signal ceiling of the
+// explicit-state abstraction, and works at any size.
+func GenerateDirect(c *Circuit, model FaultModel, opts Options) (*Result, error) {
+	return atpg.RunDirect(c, model, faults.SelectUniverse(c, model, opts.Faults), opts.atpgOpts())
+}
+
 // VerifyTest replays a test against one fault with the exact
 // set-semantics machine; true means detection is guaranteed for every
 // delay assignment.
@@ -332,6 +362,22 @@ func Programs(g *CSSG, r *Result) []Program {
 	return out
 }
 
+// ProgramsForCircuit converts a direct-flow result's tests into tester
+// programs; the reset observation is read off the settled reset state
+// of the scalar good machine instead of a CSSG.
+func ProgramsForCircuit(c *Circuit, r *Result) []Program {
+	reset := atpg.ResetOutputs(c)
+	out := make([]Program, len(r.Tests))
+	for i, t := range r.Tests {
+		out[i] = Program{
+			Patterns:      t.Patterns,
+			Expected:      t.Expected,
+			ResetExpected: reset,
+		}
+	}
+	return out
+}
+
 // FormatProgram renders a program as tester stimulus text.
 func FormatProgram(c *Circuit, p Program) string { return tester.Format(c, p) }
 
@@ -357,6 +403,32 @@ func ValidateOnTester(g *CSSG, r *Result, trials int, seed int64) error {
 		if mism != trials {
 			return fmt.Errorf("satpg: fault %s evaded detection in %d/%d delay assignments",
 				fr.Fault.Describe(g.C), trials-mism, trials)
+		}
+	}
+	return nil
+}
+
+// ValidateDirect replays a direct-flow result against the scalar
+// ternary oracle: every kept test must settle fully definite on the
+// good machine with outputs bit-equal to its expected responses, and
+// every detected fault's test must produce a definite output opposite
+// the expected bit on the corresponding faulty machine.  This is the
+// size-agnostic counterpart of ValidateOnTester — it checks that the
+// packed multi-word engines' results are bit-identical to the scalar
+// machine, fault for fault.
+func ValidateDirect(c *Circuit, r *Result) error {
+	for i, t := range r.Tests {
+		if !atpg.VerifyDirectGood(c, t) {
+			return fmt.Errorf("satpg: good circuit diverged from the scalar oracle on test %d", i)
+		}
+	}
+	for _, fr := range r.PerFault {
+		if !fr.Detected {
+			continue
+		}
+		if !atpg.VerifyDirect(c, fr.Fault, r.Tests[fr.TestIndex]) {
+			return fmt.Errorf("satpg: fault %s not confirmed by the scalar oracle on test %d",
+				fr.Fault.Describe(c), fr.TestIndex)
 		}
 	}
 	return nil
