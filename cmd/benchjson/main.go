@@ -12,10 +12,20 @@
 // BenchmarkCompactTable1, and the circuit/signals-N naming of
 // BenchmarkISCASScale).
 //
+// With -compare it additionally diffs the fresh run against a committed
+// baseline report, matching rows by benchmark name on the patterns/sec
+// metric, and exits nonzero when any sufficiently-measured row (at
+// least 100ms of benchmark time on both sides — a one-iteration row's
+// throughput is scheduler noise) regressed by more than -maxdrop
+// percent.  CI runs this against the previous PR's committed artifact,
+// so an engine-throughput regression fails the bench-smoke job rather
+// than silently shipping in the artifact.
+//
 // Usage:
 //
 //	go test -bench='...' -benchmem -benchtime=1x -run '^$' . | benchjson -out BENCH_pr4.json
 //	benchjson -in bench.txt -out BENCH_pr4.json
+//	benchjson -in bench.txt -out BENCH_pr7.json -compare BENCH_pr6.json -maxdrop 25
 package main
 
 import (
@@ -181,6 +191,62 @@ func finish(entries []Entry) []Entry {
 	return entries
 }
 
+// elapsedNS returns the total measured benchmark time of an entry in
+// nanoseconds (ns/op × iterations), or 0 when ns/op is absent.
+func elapsedNS(e Entry) float64 {
+	return e.Metrics["ns/op"] * float64(e.Iterations)
+}
+
+// minGateElapsedNS is the measured-time floor below which a throughput
+// comparison is reported but not gated: a benchtime=1x row that ran for
+// well under a second flaps far beyond any sensible threshold (a ~250ms
+// sweep row was observed 34% apart on back-to-back runs of an otherwise
+// idle single-core runner), and gating on it would make the CI job fail
+// on scheduler noise.  The rows this floor keeps gated — the multi-second
+// ISCAS-scale sweeps — repeat within a few percent.
+const minGateElapsedNS = 1e9
+
+// compareReports diffs the fresh run against a committed baseline on
+// the patterns/sec metric, matching rows by full benchmark name (which
+// already encodes the engine, lane width and circuit dimensions).  It
+// returns human-readable comparison lines for every matched row and a
+// failure line for each row whose throughput dropped more than
+// maxDropPct while both runs measured at least minGateElapsedNS of
+// benchmark time.
+func compareReports(fresh, base Report, maxDropPct float64) (lines, failures []string) {
+	byName := make(map[string]Entry, len(base.Results))
+	for _, e := range base.Results {
+		byName[e.Name] = e
+	}
+	for _, e := range fresh.Results {
+		cur, ok := e.Metrics["patterns/sec"]
+		if !ok {
+			continue
+		}
+		b, ok := byName[e.Name]
+		if !ok {
+			continue
+		}
+		prev, ok := b.Metrics["patterns/sec"]
+		if !ok || prev <= 0 {
+			continue
+		}
+		ratio := cur / prev
+		line := fmt.Sprintf("%s: %.1f -> %.1f patterns/sec (%.2fx)", e.Name, prev, cur, ratio)
+		if elapsedNS(e) < minGateElapsedNS || elapsedNS(b) < minGateElapsedNS {
+			lines = append(lines, line+" [not gated: under measurement floor]")
+			continue
+		}
+		lines = append(lines, line)
+		if ratio < 1-maxDropPct/100 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: patterns/sec regressed %.1f%% (%.1f -> %.1f), max allowed %.0f%%",
+				e.Name, 100*(1-ratio), prev, cur, maxDropPct))
+		}
+	}
+	return lines, failures
+}
+
 // parse reads a whole `go test -bench` transcript.
 func parse(r io.Reader) (Report, error) {
 	var rep Report
@@ -210,6 +276,8 @@ func parse(r io.Reader) (Report, error) {
 func main() {
 	in := flag.String("in", "", "benchmark transcript to read (default: stdin)")
 	out := flag.String("out", "", "JSON file to write (default: stdout)")
+	compare := flag.String("compare", "", "baseline BENCH JSON to diff against; exits 1 on a gated patterns/sec regression")
+	maxDrop := flag.Float64("maxdrop", 25, "with -compare: max tolerated patterns/sec drop in percent")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -235,12 +303,36 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d benchmark results to %s\n", len(rep.Results), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal(fmt.Errorf("%s: %w", *compare, err))
+		}
+		lines, failures := compareReports(rep, base, *maxDrop)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if len(lines) == 0 {
+			fatal(fmt.Errorf("no comparable patterns/sec rows between this run and %s", *compare))
+		}
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("wrote %d benchmark results to %s\n", len(rep.Results), *out)
 }
 
 func fatal(err error) {

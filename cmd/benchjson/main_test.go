@@ -121,3 +121,77 @@ BenchmarkEventVsSweepTable1/transition/sweep/lanes-64   1  200 ns/op
 		}
 	}
 }
+
+// entryFor builds a comparison row with the given throughput and total
+// measured time.
+func entryFor(name string, ps, totalNS float64, iters int64) Entry {
+	return Entry{
+		Name:       name,
+		Iterations: iters,
+		Metrics:    map[string]float64{"patterns/sec": ps, "ns/op": totalNS / float64(iters)},
+	}
+}
+
+func TestCompareReportsGatesRegressions(t *testing.T) {
+	base := Report{Results: []Entry{
+		entryFor("A/event/lanes-64", 1000, 4e9, 2),
+		entryFor("B/event/lanes-64", 2000, 4e9, 2),
+		entryFor("C/event/lanes-64", 3000, 4e9, 2),
+	}}
+	fresh := Report{Results: []Entry{
+		entryFor("A/event/lanes-64", 900, 4e9, 2),  // -10%: within tolerance
+		entryFor("B/event/lanes-64", 1000, 4e9, 2), // -50%: regression
+		entryFor("C/event/lanes-64", 4500, 4e9, 2), // improvement
+		entryFor("D/event/lanes-64", 10, 4e9, 2),   // no baseline row: ignored
+	}}
+	lines, failures := compareReports(fresh, base, 25)
+	if len(lines) != 3 {
+		t.Fatalf("want 3 comparison lines, got %d: %v", len(lines), lines)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "B/event/lanes-64") {
+		t.Fatalf("want exactly the B regression, got %v", failures)
+	}
+}
+
+// A row measured for less than the floor on either side is reported
+// but never gated: single-iteration throughput flaps with the
+// scheduler, and a hard gate there would fail CI on noise.
+func TestCompareReportsMeasurementFloor(t *testing.T) {
+	base := Report{Results: []Entry{
+		entryFor("tiny", 1000, 2e6, 1), // 2ms measured
+		entryFor("slow", 1000, 4e9, 1),
+	}}
+	fresh := Report{Results: []Entry{
+		entryFor("tiny", 100, 2e6, 1), // -90%, but under the floor
+		entryFor("slow", 100, 1e6, 1), // fresh side under the floor
+	}}
+	lines, failures := compareReports(fresh, base, 25)
+	if len(failures) != 0 {
+		t.Fatalf("under-floor rows must not gate, got %v", failures)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "not gated") {
+			t.Fatalf("line missing floor annotation: %q", l)
+		}
+	}
+}
+
+func TestCompareReportsEndToEndFromTranscripts(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-comparison: every matched row is a 1.00x ratio, no failures.
+	lines, failures := compareReports(rep, rep, 25)
+	if len(failures) != 0 {
+		t.Fatalf("self-comparison regressed: %v", failures)
+	}
+	if len(lines) == 0 {
+		t.Fatal("self-comparison matched no rows")
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "1.00x") {
+			t.Fatalf("self-comparison ratio not 1.00x: %q", l)
+		}
+	}
+}

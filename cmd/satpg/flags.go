@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	satpg "repro"
 )
@@ -52,4 +53,24 @@ func parseCompactMode(s string) (satpg.CompactMode, error) {
 		return 0, fmt.Errorf("unknown -compact %q (want none, reverse, dominance, greedy or all)", s)
 	}
 	return m, nil
+}
+
+// validateProfilePaths rejects a -cpuprofile/-memprofile pair naming
+// the same file: the heap profile written at exit would truncate the
+// CPU profile streamed over the whole run.
+func validateProfilePaths(cpu, mem string) error {
+	if cpu != "" && cpu == mem {
+		return fmt.Errorf("-cpuprofile and -memprofile must name different files (both %q)", cpu)
+	}
+	return nil
+}
+
+// createProfile opens the output file of a profiling flag, wrapping
+// any failure with the flag's name so a bad path is attributable.
+func createProfile(flagName, path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-%s: %w", flagName, err)
+	}
+	return f, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -73,5 +74,32 @@ func TestParseCompactMode(t *testing.T) {
 	_, err := parseCompactMode("fixpoint")
 	if err == nil || !strings.Contains(err.Error(), "-compact") || !strings.Contains(err.Error(), "none, reverse, dominance, greedy or all") {
 		t.Fatalf("parseCompactMode(fixpoint) error = %v; want -compact rejection listing choices", err)
+	}
+}
+
+func TestValidateProfilePaths(t *testing.T) {
+	for _, ok := range [][2]string{
+		{"", ""}, {"cpu.prof", ""}, {"", "mem.prof"}, {"cpu.prof", "mem.prof"},
+	} {
+		if err := validateProfilePaths(ok[0], ok[1]); err != nil {
+			t.Fatalf("validateProfilePaths(%q, %q): %v", ok[0], ok[1], err)
+		}
+	}
+	err := validateProfilePaths("same.prof", "same.prof")
+	if err == nil || !strings.Contains(err.Error(), "-cpuprofile") || !strings.Contains(err.Error(), "-memprofile") {
+		t.Fatalf("same-path profiles error = %v; want rejection naming both flags", err)
+	}
+}
+
+func TestCreateProfileNamesFlagOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	f, err := createProfile("cpuprofile", filepath.Join(dir, "cpu.prof"))
+	if err != nil {
+		t.Fatalf("createProfile in temp dir: %v", err)
+	}
+	f.Close()
+	_, err = createProfile("memprofile", filepath.Join(dir, "missing", "mem.prof"))
+	if err == nil || !strings.Contains(err.Error(), "-memprofile") {
+		t.Fatalf("bad-path profile error = %v; want rejection naming -memprofile", err)
 	}
 }

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	satpg "repro"
 )
@@ -38,8 +40,41 @@ func main() {
 		testsOut    = flag.String("tests", "", "write tester programs to this file")
 		validate    = flag.Int("validate", 0, "Monte-Carlo trials on the timed chip model (0: skip)")
 		perFault    = flag.Bool("per-fault", false, "print the verdict for every fault")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with go tool pprof)")
+		stats       = flag.Bool("stats", false, "print the fault simulator's work counters (gate-evals/pattern, allocs/pattern, trace-cache hit rate)")
 	)
 	flag.Parse()
+
+	if err := validateProfilePaths(*cpuProfile, *memProfile); err != nil {
+		fatal(err)
+	}
+	if *cpuProfile != "" {
+		f, err := createProfile("cpuprofile", *cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := createProfile("memprofile", *memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	c, err := loadCircuit(*circuitFile, *benchRef)
 	if err != nil {
@@ -95,6 +130,9 @@ func main() {
 		progs = satpg.Programs(g, res)
 	}
 	fmt.Println(res.Summary())
+	if *stats {
+		fmt.Println("generation fsim:", res.FaultSim.Line())
+	}
 
 	if *fsimFlag {
 		rep, err := satpg.FaultSimBatch(c, fm, res.Tests, opts)
@@ -102,6 +140,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(rep.Summary())
+		if *stats {
+			fmt.Println("coverage fsim:", rep.Stats.Line())
+		}
 	}
 
 	if opts.Compact != satpg.CompactNone {

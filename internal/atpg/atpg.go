@@ -142,6 +142,11 @@ type Result struct {
 	Tests      []Test
 	PerFault   []FaultResult
 	CPU        time.Duration
+	// FaultSim aggregates the bit-parallel fault simulator's work
+	// counters over the run's random phase (patterns, gate evaluations,
+	// state-buffer allocations, good-trace cache outcomes) — the raw
+	// material of cmd/satpg's -stats line.
+	FaultSim fsim.Stats
 }
 
 // Coverage returns covered/total (1 for an empty universe).
@@ -299,6 +304,7 @@ func RunUniverse(g *core.CSSG, model faults.Type, universe []faults.Fault, opts 
 				}
 			}
 		}
+		res.FaultSim = fs.Stats()
 	}
 
 	// Phase 2+3 targeting order: dominated faults first.  A test

@@ -2,6 +2,9 @@ package atpg
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -49,11 +52,6 @@ func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, o
 
 	good := sim.Machine{C: c}
 	reset := good.InitState()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	walks := make([]Test, max(opts.RandomSequences, 0))
-	for i := range walks {
-		walks[i] = directWalk(c, reset, rng, opts.RandomLength)
-	}
 
 	fs, err := fsim.New(c, universe, fsim.Options{
 		Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes,
@@ -62,14 +60,58 @@ func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, o
 	if err != nil {
 		return nil, err
 	}
+	width := fs.Lanes()
+
+	// Walk generation is sharded across workers and pipelined with the
+	// fault simulation: while chunk k settles in SimulateBatch the
+	// workers are already drawing the walks of chunk k+1 and beyond.
+	// Each walk's randomness is a pure function of (seed, index) via
+	// walkSeed, and the selection replay below consumes chunks strictly
+	// in index order, so the emitted test program is byte-identical for
+	// a fixed seed regardless of the worker count or finish order.
+	total := max(opts.RandomSequences, 0)
+	walks := make([]Test, total)
+	workers := opts.FaultSimWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, max(total, 1))
+	numChunks := (total + width - 1) / width
+	ready := make([]chan struct{}, numChunks)
+	chunkLeft := make([]int32, numChunks)
+	for k := range ready {
+		ready[k] = make(chan struct{})
+		chunkLeft[k] = int32(min((k+1)*width, total) - k*width)
+	}
+	var nextWalk int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf sim.SettleBuf
+			for !stop.Load() {
+				i := int(atomic.AddInt64(&nextWalk, 1)) - 1
+				if i >= total {
+					return
+				}
+				rng := rand.New(rand.NewSource(walkSeed(opts.Seed, i)))
+				walks[i] = directWalk(c, reset, rng, opts.RandomLength, &buf)
+				if atomic.AddInt32(&chunkLeft[i/width], -1) == 0 {
+					close(ready[i/width])
+				}
+			}
+		}()
+	}
+
 	// NoDrop keeps the full fault × walk matrix so the sequential
 	// test-selection replay below is observably identical to per-walk
 	// simulation; a walk joins the program only when it is the first to
 	// detect some still-live fault.
-	width := fs.Lanes()
-	for base := 0; base < len(walks) && len(remaining) > 0; base += width {
-		end := min(base+width, len(walks))
-		chunk := walks[base:end]
+	for k := 0; k < numChunks && len(remaining) > 0; k++ {
+		<-ready[k]
+		chunk := walks[k*width : min((k+1)*width, total)]
 		batch := fsim.Batch{
 			Seqs:     make([][]uint64, len(chunk)),
 			Expected: make([][]uint64, len(chunk)),
@@ -80,6 +122,8 @@ func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, o
 		}
 		br, err := fs.SimulateBatch(batch)
 		if err != nil {
+			stop.Store(true)
+			wg.Wait()
 			return nil, err
 		}
 		for l, test := range chunk {
@@ -103,8 +147,25 @@ func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, o
 			}
 		}
 	}
+	stop.Store(true)
+	wg.Wait()
+	res.FaultSim = fs.Stats()
 	res.CPU = time.Since(start)
 	return res, nil
+}
+
+// walkSeed derives the rng seed of walk i from the run seed by a
+// splitmix64 step, making each walk's randomness a pure function of
+// (seed, index) — independent of which worker draws it and of every
+// other walk.
+func walkSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // directWalk draws one valid random test sequence on the scalar ternary
@@ -114,11 +175,14 @@ func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, o
 // changes are far more likely to settle definitely); the first fully
 // definite settling is accepted.  When every proposal races, the walk
 // holds the current rails for a cycle, which is trivially valid (the
-// state is already settled).
-func directWalk(c *netlist.Circuit, reset logic.Vec, rng *rand.Rand, length int) Test {
+// state is already settled).  buf provides the settling scratch, so
+// the eight-candidate proposal loop allocates nothing; the walker's
+// state is copied out of the scratch on acceptance (a later rejected
+// proposal would otherwise clobber it).
+func directWalk(c *netlist.Circuit, reset logic.Vec, rng *rand.Rand, length int, buf *sim.SettleBuf) Test {
 	const tries = 8
 	m := c.NumInputs()
-	st := reset
+	st := reset.Clone()
 	rails := railsOf(c, st)
 	var t Test
 	for step := 0; step < length; step++ {
@@ -128,8 +192,9 @@ func directWalk(c *netlist.Circuit, reset logic.Vec, rng *rand.Rand, length int)
 			for f := 0; f < flips; f++ {
 				cand ^= 1 << uint(rng.Intn(m))
 			}
-			if r := sim.ApplyVector(c, st, cand, nil); r.Definite() {
-				st, rails = r.State, cand
+			if r := buf.ApplyVector(c, st, cand, nil); r.Definite() {
+				copy(st, r.State)
+				rails = cand
 				break
 			}
 		}

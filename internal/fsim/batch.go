@@ -76,36 +76,68 @@ func (b *Batch) validate(width int) error {
 	return nil
 }
 
-// packedBatch is the lane-transposed form shared read-only by all
-// workers: per cycle, one lane vector per primary input, plus the
-// good-response trace as per-output definite vectors.
-type packedBatch[V lanevec.Vec[V]] struct {
-	all    V      // mask of lanes in use
-	cycles int    // longest sequence length
-	rails  [][]V  // [cycle][input]: lane vector of input values
-	live   []V    // [cycle]: lanes whose sequence includes this cycle
-
-	// Good-circuit response trace (definite values only).
-	good1, good0   [][]V // [cycle][output]
-	reset1, reset0 []V   // [output], before any pattern
+// grow returns buf resized to n zeroed elements, reallocating (and
+// counting the allocation) only when the capacity is short.  The
+// engine-owned packedBatch arenas go through here, so steady-state
+// batches of the same shape allocate nothing.
+func grow[E any](buf []E, n int, allocs *int64) []E {
+	if cap(buf) < n {
+		*allocs++
+		return make([]E, n)
+	}
+	buf = buf[:n]
+	var zero E
+	for i := range buf {
+		buf[i] = zero
+	}
+	return buf
 }
 
-// pack transposes the batch into lane vectors.  Lanes whose sequence is
-// shorter than the batch keep re-applying their last pattern (holding a
-// settled state is idempotent) but are masked out of detection by live.
-func pack[V lanevec.Vec[V]](c *netlist.Circuit, b *Batch) (*packedBatch[V], error) {
+// packedBatch is the lane-transposed form shared read-only by all
+// workers: per cycle, one lane vector per primary input, plus the
+// good-response trace as per-output definite vectors.  The backing
+// arenas (railsFlat and friends) are engine-owned and reused across
+// batches; pack reslices them instead of allocating.
+type packedBatch[V lanevec.Vec[V]] struct {
+	all    V     // mask of lanes in use
+	cycles int   // longest sequence length
+	rails  [][]V // [cycle][input]: lane vector of input values
+	live   []V   // [cycle]: lanes whose sequence includes this cycle
+
+	// Good-circuit response trace (definite values only).  These may
+	// alias the cached goodTrace's vectors (never written through) or
+	// the exp*/reset* arenas below (declared Expected).
+	good1, good0   [][]V // [cycle][output]
+	reset1, reset0 []V   // [output], before any pattern
+
+	// Reusable backing arenas.
+	railsFlat []V
+	expRows   [][]V
+	expFlat   []V
+	resetFlat []V
+}
+
+// pack transposes the batch into lane vectors, reusing pk's arenas.
+// Lanes whose sequence is shorter than the batch keep re-applying their
+// last pattern (holding a settled state is idempotent) but are masked
+// out of detection by live.
+func pack[V lanevec.Vec[V]](c *netlist.Circuit, b *Batch, pk *packedBatch[V], allocs *int64) error {
 	var zero V
 	if err := b.validate(zero.Size()); err != nil {
-		return nil, err
+		return err
 	}
 	nl := len(b.Seqs)
-	pk := &packedBatch[V]{cycles: b.Cycles(), all: zero.FirstN(nl)}
+	pk.cycles = b.Cycles()
+	pk.all = zero.FirstN(nl)
+	pk.good1, pk.good0 = nil, nil
+	pk.reset1, pk.reset0 = nil, nil
 	m := c.NumInputs()
 	resetRails := c.InputBitsW(c.InitWords())
-	pk.rails = make([][]V, pk.cycles)
-	pk.live = make([]V, pk.cycles)
+	pk.railsFlat = grow(pk.railsFlat, pk.cycles*m, allocs)
+	pk.live = grow(pk.live, pk.cycles, allocs)
+	pk.rails = grow(pk.rails, pk.cycles, allocs)
 	for t := 0; t < pk.cycles; t++ {
-		words := make([]V, m)
+		words := pk.railsFlat[t*m : (t+1)*m : (t+1)*m]
 		for l, seq := range b.Seqs {
 			var pat uint64
 			switch {
@@ -125,18 +157,20 @@ func pack[V lanevec.Vec[V]](c *netlist.Circuit, b *Batch) (*packedBatch[V], erro
 		}
 		pk.rails[t] = words
 	}
-	return pk, nil
+	return nil
 }
 
 // traceFromExpected fills the good-response vectors from the batch's
 // declared expected outputs (definite by construction).
-func (pk *packedBatch[V]) traceFromExpected(c *netlist.Circuit, b *Batch) {
+func (pk *packedBatch[V]) traceFromExpected(c *netlist.Circuit, b *Batch, allocs *int64) {
 	no := len(c.Outputs)
-	pk.good1 = make([][]V, pk.cycles)
-	pk.good0 = make([][]V, pk.cycles)
+	pk.expFlat = grow(pk.expFlat, 2*pk.cycles*no, allocs)
+	pk.expRows = grow(pk.expRows, 2*pk.cycles, allocs)
+	pk.good1 = pk.expRows[:pk.cycles]
+	pk.good0 = pk.expRows[pk.cycles:]
 	for t := 0; t < pk.cycles; t++ {
-		g1 := make([]V, no)
-		g0 := make([]V, no)
+		g1 := pk.expFlat[2*t*no : (2*t+1)*no : (2*t+1)*no]
+		g0 := pk.expFlat[(2*t+1)*no : (2*t+2)*no : (2*t+2)*no]
 		for l, e := range b.Expected {
 			if t >= len(e) {
 				continue // lane not live; detection is masked anyway
@@ -155,10 +189,11 @@ func (pk *packedBatch[V]) traceFromExpected(c *netlist.Circuit, b *Batch) {
 
 // traceFromResetExpected fills the reset-response vectors from the
 // batch's declared per-lane reset expectations.
-func (pk *packedBatch[V]) traceFromResetExpected(c *netlist.Circuit, b *Batch) {
+func (pk *packedBatch[V]) traceFromResetExpected(c *netlist.Circuit, b *Batch, allocs *int64) {
 	no := len(c.Outputs)
-	pk.reset1 = make([]V, no)
-	pk.reset0 = make([]V, no)
+	pk.resetFlat = grow(pk.resetFlat, 2*no, allocs)
+	pk.reset1 = pk.resetFlat[:no:no]
+	pk.reset0 = pk.resetFlat[no : 2*no : 2*no]
 	for l, e := range b.ResetExpected {
 		for j := 0; j < no; j++ {
 			if e>>uint(j)&1 == 1 {
@@ -185,20 +220,27 @@ func (pk *packedBatch[V]) traceFromResetExpected(c *netlist.Circuit, b *Batch) {
 // cone's own fixpoints would not match the full simulation's.  The
 // state trace is filled only when an event engine asks (runEvents);
 // stateB doubles as the source of good1/good0.
+//
+// All per-cycle matrices are carved out of single flat backing arrays:
+// a trace costs a handful of allocations however many cycles it spans,
+// and the rows stay cache-contiguous.
 type goodTrace[V lanevec.Vec[V]] struct {
+	all            V // active-lane mask the trace was recorded under
 	reset1, reset0 []V
 	good1, good0   [][]V
 
-	resetA1, resetA0 []V // full state at the reset A fixpoint
-	resetB1, resetB0 []V // full state at the reset B fixpoint
+	resetA1, resetA0 []V   // full state at the reset A fixpoint
+	resetB1, resetB0 []V   // full state at the reset B fixpoint
 	stateA1, stateA0 [][]V // [cycle][signal], A fixpoint
 	stateB1, stateB0 [][]V // [cycle][signal], B fixpoint
+
+	allocs int64 // backing-array allocations recording it cost
 
 	diffsOnce sync.Once
 	df        *traceDiffs // lazily derived from the state trace
 }
 
-// diffs returns the per-cycle diff lists, computing them once per
+// diffs returns the per-cycle diff bitsets, computing them once per
 // trace (the trace is shared across Simulators via the cache, and the
 // diffs are a pure function of it).
 func (tr *goodTrace[V]) diffs(c *netlist.Circuit) *traceDiffs {
@@ -209,16 +251,24 @@ func (tr *goodTrace[V]) diffs(c *netlist.Circuit) *traceDiffs {
 // hasStates reports whether the full-state trace has been recorded.
 func (tr *goodTrace[V]) hasStates() bool { return tr.resetA1 != nil }
 
-// defOutputs extracts the definite output vectors from a full state.
-func defOutputs[V lanevec.Vec[V]](c *netlist.Circuit, p1, p0 []V) (d1, d0 []V) {
-	no := len(c.Outputs)
-	d1 = make([]V, no)
-	d0 = make([]V, no)
+// defOutputsInto extracts the definite output vectors from a full state.
+func defOutputsInto[V lanevec.Vec[V]](c *netlist.Circuit, p1, p0, d1, d0 []V) {
 	for j, sig := range c.Outputs {
 		d1[j] = p1[sig].AndNot(p0[sig])
 		d0[j] = p0[sig].AndNot(p1[sig])
 	}
-	return d1, d0
+}
+
+// arena2 carves a cycles×n matrix pair out of one flat backing array.
+func arena2[V lanevec.Vec[V]](cycles, n int) (r1, r0 [][]V) {
+	flat := make([]V, 2*cycles*n)
+	r1 = make([][]V, cycles)
+	r0 = make([][]V, cycles)
+	for t := 0; t < cycles; t++ {
+		r1[t] = flat[2*t*n : (2*t+1)*n : (2*t+1)*n]
+		r0[t] = flat[(2*t+1)*n : (2*t+2)*n : (2*t+2)*n]
+	}
+	return r1, r0
 }
 
 // run simulates the good machine over the rails, filling the reset pair
@@ -226,26 +276,27 @@ func defOutputs[V lanevec.Vec[V]](c *netlist.Circuit, p1, p0 []V) (d1, d0 []V) {
 func (tr *goodTrace[V]) run(m *machine[V], pk *packedBatch[V], cycles bool) {
 	c := m.eng.Circuit()
 	no := len(c.Outputs)
-	def := func() ([]V, []V) {
-		d1 := make([]V, no)
-		d0 := make([]V, no)
+	def := func(d1, d0 []V) {
 		for j, sig := range c.Outputs {
 			d1[j], d0[j] = m.eng.Definite(sig)
 		}
-		return d1, d0
 	}
 	m.setAll(pk.all)
+	tr.all = pk.all
 	m.inject(nil)
 	m.reset()
-	tr.reset1, tr.reset0 = def()
+	rflat := make([]V, 2*no)
+	tr.reset1, tr.reset0 = rflat[:no:no], rflat[no:]
+	tr.allocs++
+	def(tr.reset1, tr.reset0)
 	if !cycles {
 		return
 	}
-	tr.good1 = make([][]V, pk.cycles)
-	tr.good0 = make([][]V, pk.cycles)
+	tr.good1, tr.good0 = arena2[V](pk.cycles, no)
+	tr.allocs += 3
 	for t := 0; t < pk.cycles; t++ {
 		m.apply(pk.rails[t])
-		tr.good1[t], tr.good0[t] = def()
+		def(tr.good1[t], tr.good0[t])
 	}
 }
 
@@ -258,33 +309,34 @@ func (tr *goodTrace[V]) runEvents(m *machine[V], pk *packedBatch[V], topo *netli
 	e := m.eng
 	c := e.Circuit()
 	n := c.NumSignals()
-	snapshot := func() ([]V, []V) {
-		d1 := make([]V, n)
-		d0 := make([]V, n)
-		e.CopyState(d1, d0)
-		return d1, d0
-	}
+	no := len(c.Outputs)
 	m.setAll(pk.all)
+	tr.all = pk.all
 	e.InitEvents(topo)
 	e.ClearOverrides()
 	e.SetGateMask(nil)
 
+	resetFlat := make([]V, 4*n+2*no)
+	tr.resetA1, resetFlat = resetFlat[:n:n], resetFlat[n:]
+	tr.resetA0, resetFlat = resetFlat[:n:n], resetFlat[n:]
+	tr.resetB1, resetFlat = resetFlat[:n:n], resetFlat[n:]
+	tr.resetB0, resetFlat = resetFlat[:n:n], resetFlat[n:]
+	tr.reset1, tr.reset0 = resetFlat[:no:no], resetFlat[no:]
+	tr.stateA1, tr.stateA0 = arena2[V](pk.cycles, n)
+	tr.stateB1, tr.stateB0 = arena2[V](pk.cycles, n)
+	tr.good1, tr.good0 = arena2[V](pk.cycles, no)
+	tr.allocs += 1 + 3*3
+
 	e.LoadInit()
 	e.EnqueueMaskGates()
 	e.RunRaise()
-	tr.resetA1, tr.resetA0 = snapshot()
+	e.CopyState(tr.resetA1, tr.resetA0)
 	e.EnqueueMaskGates()
 	e.RunLower()
-	tr.resetB1, tr.resetB0 = snapshot()
-	tr.reset1, tr.reset0 = defOutputs(c, tr.resetB1, tr.resetB0)
+	e.CopyState(tr.resetB1, tr.resetB0)
+	defOutputsInto(c, tr.resetB1, tr.resetB0, tr.reset1, tr.reset0)
 
 	all := e.All()
-	tr.good1 = make([][]V, pk.cycles)
-	tr.good0 = make([][]V, pk.cycles)
-	tr.stateA1 = make([][]V, pk.cycles)
-	tr.stateA0 = make([][]V, pk.cycles)
-	tr.stateB1 = make([][]V, pk.cycles)
-	tr.stateB0 = make([][]V, pk.cycles)
 	for t := 0; t < pk.cycles; t++ {
 		e.ClearActivity()
 		for i := 0; i < c.NumInputs(); i++ {
@@ -293,49 +345,81 @@ func (tr *goodTrace[V]) runEvents(m *machine[V], pk *packedBatch[V], topo *netli
 		}
 		e.SeedFromActivity()
 		e.RunRaise()
-		tr.stateA1[t], tr.stateA0[t] = snapshot()
+		e.CopyState(tr.stateA1[t], tr.stateA0[t])
 		e.SeedFromActivity()
 		e.RunLower()
-		tr.stateB1[t], tr.stateB0[t] = snapshot()
-		tr.good1[t], tr.good0[t] = defOutputs(c, tr.stateB1[t], tr.stateB0[t])
+		e.CopyState(tr.stateB1[t], tr.stateB0[t])
+		defOutputsInto(c, tr.stateB1[t], tr.stateB0[t], tr.good1[t], tr.good0[t])
 	}
 }
 
 // traceDiffs indexes, per cycle, the signals whose good-trace value
-// changes at each phase boundary: a[t] lists signals whose A-fixpoint
-// state differs from the previous cycle's B fixpoint (reset for t=0),
-// b[t] those whose B fixpoint differs from the same cycle's A
-// fixpoint, and rb those differing between the two reset fixpoints.
-// They are fault-independent, computed once per batch, and are what
-// each cone-limited fault run swaps (minus its own cone) instead of
-// re-simulating the whole circuit.
+// changes at each phase boundary, as Words-wide signal bitsets (signal
+// s at bit s%64 of word s/64): ra holds the signals the reset A
+// fixpoint moved off the declared initial values (the good machine's
+// reset raise activity — what a lazily-seeded fault run must rewind
+// inside its cone), rb those differing between the two reset
+// fixpoints, a[t] those whose A fixpoint differs from the previous
+// cycle's B fixpoint (reset for t=0) and b[t] those whose B fixpoint
+// differs from the same cycle's A fixpoint.  They are
+// fault-independent, computed once per batch, and the word encoding is
+// what lets each fault run intersect them with its cone and support
+// masks at word granularity (netlist.EachSet) instead of testing cone
+// membership per listed signal.
 type traceDiffs struct {
-	rb []netlist.SigID
-	a  [][]netlist.SigID
-	b  [][]netlist.SigID
+	w  int // signal-bitset stride in words
+	ra []uint64
+	rb []uint64
+	a  [][]uint64
+	b  [][]uint64
+
+	allocs int64 // backing-array allocations computing them cost
 }
 
-func diffStates[V lanevec.Vec[V]](n int, a1, a0, b1, b0 []V) []netlist.SigID {
-	var out []netlist.SigID
+// diffStatesW marks into dst the signals where the two states differ.
+func diffStatesW[V lanevec.Vec[V]](n int, a1, a0, b1, b0 []V, dst []uint64) {
 	for s := 0; s < n; s++ {
 		if !a1[s].Eq(b1[s]) || !a0[s].Eq(b0[s]) {
-			out = append(out, netlist.SigID(s))
+			dst[s>>6] |= 1 << uint(s&63)
 		}
 	}
-	return out
 }
 
 func computeDiffs[V lanevec.Vec[V]](c *netlist.Circuit, tr *goodTrace[V]) *traceDiffs {
 	n := c.NumSignals()
+	W := c.StateWords()
+	cycles := len(tr.stateA1)
+	flat := make([]uint64, (2+2*cycles)*W)
 	df := &traceDiffs{
-		rb: diffStates(n, tr.resetB1, tr.resetB0, tr.resetA1, tr.resetA0),
-		a:  make([][]netlist.SigID, len(tr.stateA1)),
-		b:  make([][]netlist.SigID, len(tr.stateA1)),
+		w:      W,
+		a:      make([][]uint64, cycles),
+		b:      make([][]uint64, cycles),
+		allocs: 3,
 	}
+	df.ra, flat = flat[:W:W], flat[W:]
+	df.rb, flat = flat[:W:W], flat[W:]
+
+	// ra: compare the reset A fixpoint against the declared init values
+	// expanded to the trace's active lanes.
+	initW := c.InitWords()
+	var zero V
+	all := tr.all
+	for s := 0; s < n; s++ {
+		i1, i0 := zero, all
+		if initW[s>>6]>>uint(s&63)&1 == 1 {
+			i1, i0 = all, zero
+		}
+		if !tr.resetA1[s].Eq(i1) || !tr.resetA0[s].Eq(i0) {
+			df.ra[s>>6] |= 1 << uint(s&63)
+		}
+	}
+	diffStatesW(n, tr.resetB1, tr.resetB0, tr.resetA1, tr.resetA0, df.rb)
 	prev1, prev0 := tr.resetB1, tr.resetB0
 	for t := range tr.stateA1 {
-		df.a[t] = diffStates(n, tr.stateA1[t], tr.stateA0[t], prev1, prev0)
-		df.b[t] = diffStates(n, tr.stateB1[t], tr.stateB0[t], tr.stateA1[t], tr.stateA0[t])
+		df.a[t], flat = flat[:W:W], flat[W:]
+		df.b[t], flat = flat[:W:W], flat[W:]
+		diffStatesW(n, tr.stateA1[t], tr.stateA0[t], prev1, prev0, df.a[t])
+		diffStatesW(n, tr.stateB1[t], tr.stateB0[t], tr.stateA1[t], tr.stateA0[t], df.b[t])
 		prev1, prev0 = tr.stateB1[t], tr.stateB0[t]
 	}
 	return df

@@ -15,12 +15,22 @@ import (
 // run; entries are verified by full content comparison (the hash only
 // short-lists candidates), so a hit is always exact.
 //
+// The cache is a sized LRU: lookups refresh an entry's recency and
+// inserts beyond the capacity evict the least recently used entry.
+// The capacity is configurable (SetTraceCacheCap) because a resident
+// service serving many circuits needs a bound proportional to memory,
+// not the test suite's; hit/miss/eviction counters are exposed through
+// TraceCacheStats for cache-wide observability and through
+// Simulator.Stats for per-simulator attribution.
+//
 // Circuits are keyed by pointer identity: the packages in this module
 // never mutate a Circuit in place (fault materialisation and DFT
 // insertion clone), so a pointer uniquely names a circuit for the
 // process lifetime.
 
-const traceCacheCap = 8
+// DefaultTraceCacheCap is the initial capacity of the shared
+// good-trace cache, preserving the pre-sizing behavior.
+const DefaultTraceCacheCap = 8
 
 type traceKey struct {
 	c     *netlist.Circuit
@@ -36,8 +46,58 @@ type traceEntry struct {
 
 var (
 	traceMu      sync.Mutex
-	traceEntries []*traceEntry
+	traceEntries []*traceEntry // LRU order: least recently used first
+	traceCap     = DefaultTraceCacheCap
+
+	traceHits, traceMisses, traceEvictions int64
 )
+
+// CacheStats is a snapshot of the shared good-trace cache counters.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries, Cap            int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (cs CacheStats) HitRate() float64 {
+	if cs.Hits+cs.Misses == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+}
+
+// TraceCacheStats returns the cache-wide counters since process start.
+func TraceCacheStats() CacheStats {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return CacheStats{
+		Hits: traceHits, Misses: traceMisses, Evictions: traceEvictions,
+		Entries: len(traceEntries), Cap: traceCap,
+	}
+}
+
+// SetTraceCacheCap resizes the shared good-trace cache to at most n
+// entries, evicting least-recently-used entries if it shrinks; n <= 0
+// disables caching entirely.  Affects every Simulator in the process.
+func SetTraceCacheCap(n int) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	traceCap = n
+	for len(traceEntries) > traceCap {
+		evictOldest()
+	}
+}
+
+// evictOldest drops the LRU entry; caller holds traceMu.
+func evictOldest() {
+	copy(traceEntries, traceEntries[1:])
+	traceEntries[len(traceEntries)-1] = nil
+	traceEntries = traceEntries[:len(traceEntries)-1]
+	traceEvictions++
+}
 
 // hashSeqs is FNV-1a over the sequence set with length prefixes.
 func hashSeqs(seqs [][]uint64) uint64 {
@@ -79,35 +139,51 @@ func seqsEqual(a, b [][]uint64) bool {
 	return true
 }
 
-// lookupTrace returns the cached trace for the key, or nil.
+// touch moves entry i to the most-recently-used position; caller holds
+// traceMu.
+func touch(i int) {
+	e := traceEntries[i]
+	copy(traceEntries[i:], traceEntries[i+1:])
+	traceEntries[len(traceEntries)-1] = e
+}
+
+// lookupTrace returns the cached trace for the key, or nil, refreshing
+// the entry's recency on a hit.
 func lookupTrace(key traceKey, seqs [][]uint64) any {
 	traceMu.Lock()
 	defer traceMu.Unlock()
-	for _, e := range traceEntries {
+	for i, e := range traceEntries {
 		if e.key == key && seqsEqual(e.seqs, seqs) {
+			touch(i)
+			traceHits++
 			return e.tr
 		}
 	}
+	traceMisses++
 	return nil
 }
 
 // storeTrace inserts or replaces the trace for the key, evicting the
-// oldest entry beyond the capacity.
+// least recently used entry beyond the capacity.
 func storeTrace(key traceKey, seqs [][]uint64, tr any) {
 	traceMu.Lock()
 	defer traceMu.Unlock()
-	for _, e := range traceEntries {
+	for i, e := range traceEntries {
 		if e.key == key && seqsEqual(e.seqs, seqs) {
 			e.tr = tr // replace: a later batch extended the trace
+			touch(i)
 			return
 		}
+	}
+	if traceCap <= 0 {
+		return
 	}
 	cp := make([][]uint64, len(seqs))
 	for i, s := range seqs {
 		cp[i] = append([]uint64(nil), s...)
 	}
 	traceEntries = append(traceEntries, &traceEntry{key: key, seqs: cp, tr: tr})
-	if len(traceEntries) > traceCacheCap {
-		traceEntries = traceEntries[1:]
+	for len(traceEntries) > traceCap {
+		evictOldest()
 	}
 }

@@ -1,0 +1,173 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/randckt"
+)
+
+// fakeKey builds a distinct cache key; the circuit pointer is the
+// identity, so a fresh empty struct suffices.
+func fakeKey(seqs [][]uint64) (traceKey, *netlist.Circuit) {
+	c := &netlist.Circuit{}
+	return traceKey{c: c, width: 64, hash: hashSeqs(seqs)}, c
+}
+
+func resetCacheForTest(t *testing.T) {
+	t.Helper()
+	traceMu.Lock()
+	savedEntries, savedCap := traceEntries, traceCap
+	traceEntries, traceCap = nil, DefaultTraceCacheCap
+	traceMu.Unlock()
+	t.Cleanup(func() {
+		traceMu.Lock()
+		traceEntries, traceCap = savedEntries, savedCap
+		traceMu.Unlock()
+	})
+}
+
+func cacheDelta(t *testing.T) func() CacheStats {
+	t.Helper()
+	before := TraceCacheStats()
+	return func() CacheStats {
+		now := TraceCacheStats()
+		return CacheStats{
+			Hits:      now.Hits - before.Hits,
+			Misses:    now.Misses - before.Misses,
+			Evictions: now.Evictions - before.Evictions,
+			Entries:   now.Entries,
+			Cap:       now.Cap,
+		}
+	}
+}
+
+func TestTraceCacheLRUEviction(t *testing.T) {
+	resetCacheForTest(t)
+	SetTraceCacheCap(2)
+	delta := cacheDelta(t)
+
+	seqs := [][]uint64{{1, 2, 3}}
+	k1, _ := fakeKey(seqs)
+	k2, _ := fakeKey(seqs)
+	k3, _ := fakeKey(seqs)
+
+	storeTrace(k1, seqs, "t1")
+	storeTrace(k2, seqs, "t2")
+	// Refresh k1 so k2 becomes least recently used.
+	if got := lookupTrace(k1, seqs); got != "t1" {
+		t.Fatalf("lookup k1 = %v, want t1", got)
+	}
+	storeTrace(k3, seqs, "t3") // must evict k2, not k1
+
+	if got := lookupTrace(k1, seqs); got != "t1" {
+		t.Fatalf("k1 evicted despite being most recently used (got %v)", got)
+	}
+	if got := lookupTrace(k2, seqs); got != nil {
+		t.Fatalf("k2 should have been evicted as LRU, got %v", got)
+	}
+	if got := lookupTrace(k3, seqs); got != "t3" {
+		t.Fatalf("lookup k3 = %v, want t3", got)
+	}
+
+	d := delta()
+	if d.Hits != 3 || d.Misses != 1 || d.Evictions != 1 {
+		t.Fatalf("counters = %+v, want 3 hits, 1 miss, 1 eviction", d)
+	}
+	if d.Entries != 2 || d.Cap != 2 {
+		t.Fatalf("entries/cap = %d/%d, want 2/2", d.Entries, d.Cap)
+	}
+}
+
+func TestTraceCacheShrinkAndDisable(t *testing.T) {
+	resetCacheForTest(t)
+	SetTraceCacheCap(4)
+	delta := cacheDelta(t)
+
+	seqs := [][]uint64{{7}}
+	keys := make([]traceKey, 4)
+	for i := range keys {
+		keys[i], _ = fakeKey(seqs)
+		storeTrace(keys[i], seqs, i)
+	}
+	SetTraceCacheCap(1) // evicts the three oldest
+	d := delta()
+	if d.Evictions != 3 || d.Entries != 1 {
+		t.Fatalf("after shrink: %+v, want 3 evictions, 1 entry", d)
+	}
+	if got := lookupTrace(keys[3], seqs); got != 3 {
+		t.Fatalf("newest entry lost on shrink: got %v", got)
+	}
+	for _, k := range keys[:3] {
+		if got := lookupTrace(k, seqs); got != nil {
+			t.Fatalf("old entry survived shrink: %v", got)
+		}
+	}
+
+	SetTraceCacheCap(0) // disables caching
+	kd, _ := fakeKey(seqs)
+	storeTrace(kd, seqs, "nope")
+	if got := lookupTrace(kd, seqs); got != nil {
+		t.Fatalf("store succeeded with cap 0: %v", got)
+	}
+	if st := TraceCacheStats(); st.Entries != 0 {
+		t.Fatalf("cap 0 left %d entries resident", st.Entries)
+	}
+}
+
+func TestTraceCacheReplaceKeepsOneEntry(t *testing.T) {
+	resetCacheForTest(t)
+	seqs := [][]uint64{{9, 9}}
+	k, _ := fakeKey(seqs)
+	storeTrace(k, seqs, "v1")
+	storeTrace(k, seqs, "v2") // replace, not insert
+	if st := TraceCacheStats(); st.Entries != 1 {
+		t.Fatalf("replacement grew the cache to %d entries", st.Entries)
+	}
+	if got := lookupTrace(k, seqs); got != "v2" {
+		t.Fatalf("lookup = %v, want the replacing value", got)
+	}
+}
+
+// TestSimulatorCacheCounters checks the per-Simulator attribution: the
+// first simulation of a sequence set misses, a second Simulator over
+// the same set hits.
+func TestSimulatorCacheCounters(t *testing.T) {
+	resetCacheForTest(t)
+	rng := rand.New(rand.NewSource(424242))
+	var c *netlist.Circuit
+	for c == nil {
+		if cand, ok := randckt.New(rng, randckt.Config{}); ok {
+			c = cand
+		}
+	}
+	universe := faults.OutputUniverse(c)
+	seqs := randSeqs(rng, c.NumInputs(), 16, 6)
+
+	run := func() Stats {
+		s, err := New(c, universe, Options{Lanes: 64, Engine: EngineEvent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SimulateSequences(seqs, nil, nil, func(int, *BatchResult) {}); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+	st1 := run()
+	if st1.CacheMisses == 0 {
+		t.Fatalf("first run reported no cache misses: %+v", st1)
+	}
+	if st1.Allocs == 0 {
+		t.Fatalf("first run reported no allocations: %+v", st1)
+	}
+	st2 := run()
+	if st2.CacheHits == 0 {
+		t.Fatalf("second run over the same sequences reported no cache hits: %+v", st2)
+	}
+	if st2.Allocs >= st1.Allocs {
+		t.Fatalf("cache hit did not reduce allocations: first %d, second %d", st1.Allocs, st2.Allocs)
+	}
+}

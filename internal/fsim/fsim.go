@@ -100,6 +100,13 @@ type Options struct {
 	// assert it); the flag exists for those tests and for measuring
 	// the collapsing win.
 	NoCollapse bool
+
+	// eagerSeed forces the event engine's pre-overhaul eager cone
+	// seeding: full state load per fault, every cone gate enqueued per
+	// phase, every out-of-cone diff swapped, all outputs compared.
+	// Unexported — it exists so the lazy/eager differential suite can
+	// pin the lazily-seeded path bit-for-bit to the exhaustive one.
+	eagerSeed bool
 }
 
 func (o Options) workers() int {
@@ -219,7 +226,7 @@ type BatchResult struct {
 // per-fault hot paths stay monomorphic.
 type laneRunner interface {
 	run(b *Batch) (*BatchResult, error)
-	gateEvals() int64
+	addStats(st *Stats)
 }
 
 // Stats reports the cumulative work counters of a Simulator.
@@ -232,6 +239,19 @@ type Stats struct {
 	// engine exists to shrink.  Good runs served from the shared trace
 	// cache cost nothing, as they should.
 	GateEvals int64
+	// Allocs is the number of backing-array allocations the engine
+	// performed serving this Simulator's batches: packed-batch arenas,
+	// machine scratch growth, and the good traces and diff bitsets
+	// this Simulator recorded (cache hits cost nothing).  With the
+	// pooled buffers it settles to zero across same-shaped batches —
+	// the regression canary for the hot path's allocation discipline.
+	Allocs int64
+	// CacheHits and CacheMisses count this Simulator's good-trace
+	// cache lookups (a cached trace missing the full-state fixpoints
+	// an event engine needs counts as a miss).  The cache-wide
+	// counters, eviction count included, live in TraceCacheStats.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // EvalsPerPattern returns GateEvals/Patterns (0 when nothing ran).
@@ -240,6 +260,31 @@ func (st Stats) EvalsPerPattern() float64 {
 		return 0
 	}
 	return float64(st.GateEvals) / float64(st.Patterns)
+}
+
+// AllocsPerPattern returns Allocs/Patterns (0 when nothing ran).
+func (st Stats) AllocsPerPattern() float64 {
+	if st.Patterns == 0 {
+		return 0
+	}
+	return float64(st.Allocs) / float64(st.Patterns)
+}
+
+// CacheHitRate returns CacheHits/(CacheHits+CacheMisses), or 0 before
+// any good-trace lookup.
+func (st Stats) CacheHitRate() float64 {
+	if st.CacheHits+st.CacheMisses == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+}
+
+// Line renders the counters as the one-line work summary cmd/satpg
+// prints under -stats.
+func (st Stats) Line() string {
+	return fmt.Sprintf("patterns=%d gate-evals/pattern=%.1f allocs/pattern=%.4f cache hits=%d misses=%d (%.0f%% hit rate)",
+		st.Patterns, st.EvalsPerPattern(), st.AllocsPerPattern(),
+		st.CacheHits, st.CacheMisses, 100*st.CacheHitRate())
 }
 
 // Simulator carries a fault universe across batches, dropping detected
@@ -347,7 +392,9 @@ func (s *Simulator) Engine() EngineKind { return s.opts.Engine }
 
 // Stats returns the cumulative work counters.
 func (s *Simulator) Stats() Stats {
-	return Stats{Patterns: s.patterns, GateEvals: s.runner.gateEvals()}
+	st := Stats{Patterns: s.patterns}
+	s.runner.addStats(&st)
+	return st
 }
 
 // Lanes returns the configured lane width (sequences per batch).
@@ -485,6 +532,10 @@ type engine[V lanevec.Vec[V]] struct {
 	topo    *netlist.Topology // cone index; event mode only
 	good    *machine[V]       // built on first use, reused for good runs
 	workers []*machine[V]     // sticky per-shard machines
+	pk      packedBatch[V]    // pooled packed-batch arenas, reused per run
+
+	allocs                 int64 // engine-side backing-array allocations
+	cacheHits, cacheMisses int64 // this Simulator's trace-cache outcomes
 }
 
 func newEngine[V lanevec.Vec[V]](s *Simulator) *engine[V] {
@@ -495,18 +546,21 @@ func newEngine[V lanevec.Vec[V]](s *Simulator) *engine[V] {
 	return e
 }
 
-// gateEvals sums the gate evaluations across the engine's machines.
-func (e *engine[V]) gateEvals() int64 {
-	var n int64
+// addStats folds the engine's work counters into st.
+func (e *engine[V]) addStats(st *Stats) {
+	st.Allocs += e.allocs
+	st.CacheHits += e.cacheHits
+	st.CacheMisses += e.cacheMisses
 	if e.good != nil {
-		n += e.good.eng.GateEvals()
+		st.GateEvals += e.good.eng.GateEvals()
+		st.Allocs += e.good.allocs
 	}
 	for _, m := range e.workers {
 		if m != nil {
-			n += m.eng.GateEvals()
+			st.GateEvals += m.eng.GateEvals()
+			st.Allocs += m.allocs
 		}
 	}
-	return n
 }
 
 func (e *engine[V]) goodMachine() *machine[V] {
@@ -528,15 +582,22 @@ func (e *engine[V]) goodTraceFor(b *Batch, pk *packedBatch[V], needCycles, needS
 	if cached := lookupTrace(key, b.Seqs); cached != nil {
 		tr := cached.(*goodTrace[V])
 		if (tr.good1 != nil || !needCycles) && (tr.hasStates() || !needStates) {
+			e.cacheHits++
 			return tr
 		}
 	}
+	e.cacheMisses++
 	tr := &goodTrace[V]{}
 	if needStates {
 		tr.runEvents(e.goodMachine(), pk, e.topo)
+		// Derive the diff bitsets eagerly so their cost is accounted to
+		// the Simulator that recorded the trace (cache hits then find
+		// them precomputed).
+		e.allocs += tr.diffs(e.s.c).allocs
 	} else {
 		tr.run(e.goodMachine(), pk, needCycles)
 	}
+	e.allocs += tr.allocs
 	storeTrace(key, b.Seqs, tr)
 	return tr
 }
@@ -545,15 +606,15 @@ func (e *engine[V]) goodTraceFor(b *Batch, pk *packedBatch[V], needCycles, needS
 // every live fault class over its sticky shard.
 func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 	s := e.s
-	pk, err := pack[V](s.c, b)
-	if err != nil {
+	pk := &e.pk
+	if err := pack[V](s.c, b, pk, &e.allocs); err != nil {
 		return nil, err
 	}
 	if b.Expected != nil {
-		pk.traceFromExpected(s.c, b)
+		pk.traceFromExpected(s.c, b, &e.allocs)
 	}
 	if b.ResetExpected != nil {
-		pk.traceFromResetExpected(s.c, b)
+		pk.traceFromResetExpected(s.c, b, &e.allocs)
 	}
 	res := &BatchResult{Lanes: make([]LaneMask, len(s.universe))}
 	live := make([][]int, len(s.shards))
@@ -598,6 +659,19 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 		}
 	}
 
+	// A lazily-seeded fault machine maintains only its support signals
+	// and compares only its cone outputs — sound as long as detection
+	// against pk's responses agrees with the good machine on
+	// out-of-cone outputs (where faulty == good by the cone theorem).
+	// Declared Expected/ResetExpected responses normally ARE the good
+	// responses; if any declared bit definitely contradicts the good
+	// trace, an out-of-cone output could detect at that lane for every
+	// fault, so the batch falls back to eager full maintenance.
+	eager := s.opts.eagerSeed
+	if e.mode == EngineEvent && !eager {
+		eager = !expectedMatchesGood(b, pk, tr, s.opts.CheckReset)
+	}
+
 	// Class members are disjoint, so workers write disjoint res.Lanes
 	// entries and no synchronisation is needed beyond the join (the
 	// trace and diffs are shared read-only).
@@ -605,7 +679,7 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 	if active == 1 {
 		for w := range live {
 			if len(live[w]) > 0 {
-				found[w] = e.runShard(w, pk, tr, df, live[w], res.Lanes)
+				found[w] = e.runShard(w, pk, tr, df, live[w], res.Lanes, eager)
 			}
 		}
 	} else {
@@ -617,7 +691,7 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				found[w] = e.runShard(w, pk, tr, df, live[w], res.Lanes)
+				found[w] = e.runShard(w, pk, tr, df, live[w], res.Lanes, eager)
 			}(w)
 		}
 		wg.Wait()
@@ -631,9 +705,32 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 	return res, nil
 }
 
+// expectedMatchesGood reports whether the batch's declared responses
+// never definitely contradict the good machine's — the soundness
+// condition for cone-masked detection.
+func expectedMatchesGood[V lanevec.Vec[V]](b *Batch, pk *packedBatch[V], tr *goodTrace[V], checkReset bool) bool {
+	if b.Expected != nil {
+		for t := range pk.good1 {
+			for j := range pk.good1[t] {
+				if !pk.good1[t][j].And(tr.good0[t][j]).Or(pk.good0[t][j].And(tr.good1[t][j])).IsZero() {
+					return false
+				}
+			}
+		}
+	}
+	if checkReset && b.ResetExpected != nil {
+		for j := range pk.reset1 {
+			if !pk.reset1[j].And(tr.reset0[j]).Or(pk.reset0[j].And(tr.reset1[j])).IsZero() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // runShard simulates the live representatives of one shard on its
 // sticky machine and fans each verdict out to the class members.
-func (e *engine[V]) runShard(w int, pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, shard []int, lanes []LaneMask) []Detection {
+func (e *engine[V]) runShard(w int, pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, shard []int, lanes []LaneMask, eager bool) []Detection {
 	s := e.s
 	m := e.workers[w]
 	if m == nil {
@@ -642,7 +739,7 @@ func (e *engine[V]) runShard(w int, pk *packedBatch[V], tr *goodTrace[V], df *tr
 	}
 	var found []Detection
 	for _, fi := range shard {
-		mask, lane, cycle, ok := e.runFault(m, pk, tr, df, fi)
+		mask, lane, cycle, ok := e.runFault(m, pk, tr, df, fi, eager)
 		if !ok {
 			continue
 		}
@@ -661,15 +758,14 @@ func (e *engine[V]) runShard(w int, pk *packedBatch[V], tr *goodTrace[V], df *tr
 // runFault evaluates one fault against the whole batch, stopping at the
 // first detection unless NoDrop.  Event mode settles cone-limited
 // against the good trace; sweep mode settles the whole circuit.
-func (e *engine[V]) runFault(m *machine[V], pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, fi int) (mask V, lane, cycle int, ok bool) {
+func (e *engine[V]) runFault(m *machine[V], pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, fi int, eager bool) (mask V, lane, cycle int, ok bool) {
 	s := e.s
 	event := e.mode == EngineEvent
-	var cone []uint64
 	m.setAll(pk.all)
 	if event {
 		f := &s.universe[fi]
-		cone = e.topo.ConeOf(s.c.Gates[f.Gate].Out)
-		m.eventReset(f, cone, e.topo, tr, df)
+		cone := e.topo.ConeOf(s.c.Gates[f.Gate].Out)
+		m.eventReset(f, cone, e.topo, tr, df, eager)
 	} else {
 		m.inject(&s.universe[fi])
 		m.reset()
@@ -691,7 +787,7 @@ func (e *engine[V]) runFault(m *machine[V], pk *packedBatch[V], tr *goodTrace[V]
 	}
 	for t := 0; t < pk.cycles; t++ {
 		if event {
-			m.eventApply(t, cone, tr, df)
+			m.eventApply(t, tr, df)
 		} else {
 			m.apply(pk.rails[t])
 		}

@@ -299,3 +299,20 @@ func (e *Engine[V]) DetectVs(good1, good0 []V) V {
 	}
 	return det.And(e.all)
 }
+
+// DetectVsOn is DetectVs restricted to the outputs whose indices are
+// listed in outs.  The lazily-seeded cone-limited fault path maintains
+// only the fault's support signals, so only the outputs inside the
+// cone hold meaningful faulty values — and by the cone theorem every
+// other output equals the good response anyway, so restricting the
+// comparison loses nothing.
+func (e *Engine[V]) DetectVsOn(outs []int, good1, good0 []V) V {
+	var det V
+	for _, j := range outs {
+		sig := e.c.Outputs[j]
+		f1 := e.p1[sig].AndNot(e.p0[sig])
+		f0 := e.p0[sig].AndNot(e.p1[sig])
+		det = det.Or(f1.And(good0[j])).Or(f0.And(good1[j]))
+	}
+	return det.And(e.all)
+}

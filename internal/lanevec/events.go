@@ -99,6 +99,19 @@ func (e *Engine[V]) ClearActivity() {
 	}
 }
 
+// ClearActivityOn zeroes the activity masks of the signals in mask
+// only.  Valid when every activity bit set since the last clear lies
+// inside mask: the cone-limited fault path marks only its support
+// signals and its gate mask admits only cone gates (whose outputs are
+// support signals too), so clearing the support span is complete.
+// O(|mask|) instead of O(signals) — on large circuits with small
+// cones this loop is most of what ClearActivity was costing per fault
+// per cycle.
+func (e *Engine[V]) ClearActivityOn(mask []uint64) {
+	var zero V
+	netlist.EachSet(mask, nil, nil, func(s netlist.SigID) { e.chg[s] = zero })
+}
+
 // MarkSignal assigns signal s the possibility words (m1, m0) and
 // accumulates the lanes that actually changed into the activity mask.
 // This is how externally-known values — rails, and out-of-cone signals
@@ -166,6 +179,21 @@ func (e *Engine[V]) SeedFromActivity() {
 			e.ev.enqueue(ri)
 		}
 	}
+}
+
+// SeedFromActivityOn is SeedFromActivity restricted to the signals in
+// mask, under the same containment condition as ClearActivityOn (no
+// activity bit may live outside mask).  The full scan costs O(signals)
+// per phase per cycle; the masked scan costs O(|mask|).
+func (e *Engine[V]) SeedFromActivityOn(mask []uint64) {
+	netlist.EachSet(mask, nil, nil, func(s netlist.SigID) {
+		if e.chg[s].IsZero() {
+			return
+		}
+		for _, ri := range e.ev.topo.Readers[s] {
+			e.ev.enqueue(ri)
+		}
+	})
 }
 
 // RunRaise drains the queue with phase-A (information-raising, OR)

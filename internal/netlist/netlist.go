@@ -174,61 +174,88 @@ func (c *Circuit) ObservationOnly(gi int) bool {
 	return len(c.fanouts[g.Out]) == 0 && !g.Kind.SelfDependent()
 }
 
-// localInputs gathers the local input values of gate gi from a full
-// ternary state vector.
-func (c *Circuit) localInputs(gi int, st logic.Vec, buf []logic.V) []logic.V {
+// ternaryIndex packs gate gi's local inputs from st into a truth-table
+// index over the definite inputs plus a bitmask of the X inputs.
+func (c *Circuit) ternaryIndex(gi int, st logic.Vec) (idx, xm int) {
 	g := &c.Gates[gi]
-	buf = buf[:0]
-	for _, f := range g.Fanin {
-		buf = append(buf, st[f])
+	for j, f := range g.Fanin {
+		switch st[f] {
+		case logic.One:
+			idx |= 1 << uint(j)
+		case logic.X:
+			xm |= 1 << uint(j)
+		}
 	}
 	if g.Kind.SelfDependent() {
-		buf = append(buf, st[g.Out])
+		j := len(g.Fanin)
+		switch st[g.Out] {
+		case logic.One:
+			idx |= 1 << uint(j)
+		case logic.X:
+			xm |= 1 << uint(j)
+		}
 	}
-	return buf
+	return idx, xm
+}
+
+// evalTable resolves the exact ternary output from a base table index
+// and the X-input mask: all-definite inputs are a single lookup, and
+// otherwise the completions of the X inputs are enumerated as subsets
+// of xm, stopping as soon as both a 1- and a 0-completion are seen.
+// Equivalent to testing the gate's on/off minterm lists for a
+// compatible member (every Tbl entry is definite, so a completion
+// yielding One is exactly a compatible OnSet minterm) but linear in the
+// completions of the unknowns rather than in the minterm lists —
+// EvalTernary is the inner loop of scalar settling, where almost every
+// input is definite.
+func evalTable(g *Gate, idx, xm int) logic.V {
+	if xm == 0 {
+		return g.Tbl[idx]
+	}
+	var can1, can0 bool
+	for s := xm; ; s = (s - 1) & xm {
+		if g.Tbl[idx|s] == logic.One {
+			can1 = true
+		} else {
+			can0 = true
+		}
+		if can1 && can0 {
+			return logic.X
+		}
+		if s == 0 {
+			break
+		}
+	}
+	if can1 {
+		return logic.One
+	}
+	return logic.Zero
 }
 
 // EvalTernary computes the exact ternary output of gate gi in ternary
 // state st: One if every compatible completion yields 1, Zero if every
 // completion yields 0, X otherwise.
 func (c *Circuit) EvalTernary(gi int, st logic.Vec) logic.V {
-	g := &c.Gates[gi]
-	var tmp [MaxLocalInputs]logic.V
-	in := c.localInputs(gi, st, tmp[:])
-	can1 := mintermCompatible(g.OnSet, in)
-	can0 := mintermCompatible(g.OffSet, in)
-	switch {
-	case can1 && can0:
-		return logic.X
-	case can1:
-		return logic.One
-	case can0:
-		return logic.Zero
-	}
-	// Unreachable for well-formed tables (every definite assignment is in
-	// exactly one set; with X inputs at least one completion exists).
-	return logic.X
+	idx, xm := c.ternaryIndex(gi, st)
+	return evalTable(&c.Gates[gi], idx, xm)
 }
 
 // EvalTernaryPinned is EvalTernary with local input pin forced to v
 // (used for input stuck-at fault injection). pin < 0 means no override.
 func (c *Circuit) EvalTernaryPinned(gi int, st logic.Vec, pin int, v logic.V) logic.V {
-	g := &c.Gates[gi]
-	var tmp [MaxLocalInputs]logic.V
-	in := c.localInputs(gi, st, tmp[:])
+	idx, xm := c.ternaryIndex(gi, st)
 	if pin >= 0 {
-		in[pin] = v
+		b := 1 << uint(pin)
+		idx &^= b
+		xm &^= b
+		switch v {
+		case logic.One:
+			idx |= b
+		case logic.X:
+			xm |= b
+		}
 	}
-	can1 := mintermCompatible(g.OnSet, in)
-	can0 := mintermCompatible(g.OffSet, in)
-	switch {
-	case can1 && can0:
-		return logic.X
-	case can1:
-		return logic.One
-	default:
-		return logic.Zero
-	}
+	return evalTable(&c.Gates[gi], idx, xm)
 }
 
 // EvalBinaryPinned is EvalBinary with local input pin forced to v.
@@ -253,23 +280,6 @@ func (c *Circuit) EvalBinaryPinned(gi int, state uint64, pin int, v bool) bool {
 		}
 	}
 	return g.Tbl[idx] == logic.One
-}
-
-func mintermCompatible(set []uint16, in []logic.V) bool {
-	for _, m := range set {
-		ok := true
-		for j, v := range in {
-			bit := logic.FromBool(m>>uint(j)&1 == 1)
-			if v.IsDefinite() && v != bit {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return true
-		}
-	}
-	return false
 }
 
 // EvalBinary computes the output of gate gi in the packed binary state

@@ -1,6 +1,9 @@
 package netlist
 
-import "sync"
+import (
+	"math/bits"
+	"sync"
+)
 
 // Topology is the persistent structural index of a circuit, computed
 // once per Circuit (lazily, on first use) and shared by every engine
@@ -59,6 +62,59 @@ type Topology struct {
 // into the shared index — callers must not modify it).
 func (t *Topology) ConeOf(s SigID) []uint64 {
 	return t.Cone[int(s)*t.Words : (int(s)+1)*t.Words]
+}
+
+// EachSet calls fn for every signal in the word-level intersection
+// a ∧ b ∧ ¬not.  b and not may be nil (all-ones and all-zeros
+// respectively); operands shorter than a contribute zero words.  This
+// is the iteration behind the event engine's trace-swap and seed
+// loops: the set algebra happens on whole words, and only surviving
+// bits pay a callback.
+func EachSet(a, b, not []uint64, fn func(SigID)) {
+	for w, v := range a {
+		if b != nil {
+			if w < len(b) {
+				v &= b[w]
+			} else {
+				v = 0
+			}
+		}
+		if not != nil && w < len(not) {
+			v &^= not[w]
+		}
+		for v != 0 {
+			fn(SigID(w<<6 + bits.TrailingZeros64(v)))
+			v &= v - 1
+		}
+	}
+}
+
+// SupportOf computes the read support of a fanout cone: the cone's
+// signals plus every fanin of the gates driving them.  A cone-limited
+// fault machine needs to maintain exactly these signals — no admitted
+// gate ever reads anything else — so loading and swapping can skip
+// the rest of the circuit.  The result is written into dst (grown as
+// needed, Words words) and returned.
+func (t *Topology) SupportOf(c *Circuit, cone, dst []uint64) []uint64 {
+	if cap(dst) < t.Words {
+		dst = make([]uint64, t.Words)
+	} else {
+		dst = dst[:t.Words]
+	}
+	copy(dst, cone)
+	for w := len(cone); w < t.Words; w++ {
+		dst[w] = 0
+	}
+	EachSet(cone, nil, nil, func(s SigID) {
+		gi := int(s) - t.NumInputs
+		if gi < 0 {
+			return // primary input: no driving gate
+		}
+		for _, f := range c.Gates[gi].Fanin {
+			dst[int(f)>>6] |= 1 << uint(int(f)&63)
+		}
+	})
+	return dst
 }
 
 // GateMask converts a single signal-set word into the set of gates

@@ -55,10 +55,15 @@ func evalFaulty(c *netlist.Circuit, gi int, st logic.Vec, f *faults.Fault) logic
 //
 // The input slice is not modified.
 func SettleTernary(c *netlist.Circuit, st logic.Vec, f *faults.Fault) TernaryResult {
-	n := c.NumSignals()
-	cur := st.Clone()
-	next := make(logic.Vec, n)
-	maxSweeps := 2*n + 4
+	return settleInPlace(c, st.Clone(), make(logic.Vec, c.NumSignals()), f)
+}
+
+// settleInPlace is the settling core behind SettleTernary and
+// SettleBuf: it consumes cur as the starting state, uses next as
+// scratch, and returns a result whose State is whichever of the two
+// buffers holds the fixpoint.  Both buffers are clobbered.
+func settleInPlace(c *netlist.Circuit, cur, next logic.Vec, f *faults.Fault) TernaryResult {
+	maxSweeps := 2*c.NumSignals() + 4
 
 	var res TernaryResult
 	// Algorithm A: monotonically increasing in the information order.
@@ -122,6 +127,44 @@ func ApplyVector(c *netlist.Circuit, st logic.Vec, pattern uint64, f *faults.Fau
 		next[i] = logic.FromBool(pattern>>uint(i)&1 == 1)
 	}
 	return SettleTernary(c, next, f)
+}
+
+// SettleBuf holds reusable scratch for repeated ternary settlings.  The
+// package-level ApplyVector clones the state and allocates a fresh
+// sweep buffer on every call, which dominates the allocation profile of
+// tight proposal loops like the direct-ATPG walk generator (eight
+// candidate vectors per emitted cycle, most rejected); a SettleBuf
+// amortises both buffers across calls.  The zero value is ready to use
+// and a single buffer may serve circuits of different sizes.
+type SettleBuf struct {
+	cur, next logic.Vec
+}
+
+// ApplyVector is the scratch-reusing variant of the package-level
+// ApplyVector: identical result, no per-call allocation after the
+// first.  The returned State aliases the buffer's scratch — it is valid
+// only until the next call on the same buffer, and callers keeping the
+// state must copy it out.  st is not modified, but it must not alias a
+// State previously returned by this buffer (a rejected retry would read
+// its own clobbered scratch).
+func (b *SettleBuf) ApplyVector(c *netlist.Circuit, st logic.Vec, pattern uint64, f *faults.Fault) TernaryResult {
+	n := c.NumSignals()
+	if cap(b.cur) < n {
+		b.cur = make(logic.Vec, n)
+		b.next = make(logic.Vec, n)
+	}
+	cur, next := b.cur[:n], b.next[:n]
+	copy(cur, st)
+	for i := 0; i < c.NumInputs(); i++ {
+		cur[i] = logic.FromBool(pattern>>uint(i)&1 == 1)
+	}
+	res := settleInPlace(c, cur, next, f)
+	// settleInPlace swaps the buffers internally; re-home them so the
+	// next call reuses both regardless of sweep parity.
+	if &res.State[0] == &next[0] {
+		b.cur, b.next = b.next, b.cur
+	}
+	return res
 }
 
 // Machine is a scalar ternary machine for one (possibly faulty) circuit,
