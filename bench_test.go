@@ -7,12 +7,17 @@ package satpg
 //	go test -bench=. -benchmem
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/baseline"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/logic"
 	"repro/internal/randckt"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/symb"
 )
@@ -891,5 +897,158 @@ func BenchmarkExploreVector(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.AnalyzeVector(c, init, 0b11, core.Options{})
+	}
+}
+
+// serviceBenchTests builds the deterministic bare-pattern test set the
+// service benchmarks replay (seed 29, matching the ISCAS scale bench).
+func serviceBenchTests(c *Circuit, nseq, cycles int) []Test {
+	rng := rand.New(rand.NewSource(29))
+	mask := uint64(1)<<uint(c.NumInputs()) - 1
+	tests := make([]Test, nseq)
+	for i := range tests {
+		pats := make([]uint64, cycles)
+		for t := range pats {
+			pats[t] = rng.Uint64() & mask
+		}
+		tests[i] = Test{Patterns: pats}
+	}
+	return tests
+}
+
+// BenchmarkServiceShardThroughput measures the distributed coverage
+// flow on the largest corpus member: the representative fault classes
+// are cut into 1, 2 and 4 shards (FaultSimBatchShard), measured
+// concurrently, and the verdicts merged — the in-process equivalent of
+// a satpgd coordinator fanning out over N workers.  Sub-benchmark
+// names carry workers-N, which cmd/benchjson lifts into the artifact's
+// throughput dimension; the detected count must be identical at every
+// shard count (the parity assertion at benchmark scale).  The
+// patterns/sec metric is the aggregate over all shards.
+func BenchmarkServiceShardThroughput(b *testing.B) {
+	f, err := os.Open(filepath.Join("examples", "iscas", "s953.ckt"))
+	if err != nil {
+		b.Fatalf("%v (regenerate with `go run ./examples/iscas`)", err)
+	}
+	c, err := ParseCircuit(f, "s953")
+	f.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tests := serviceBenchTests(c, 32, 12)
+	want := -1
+	for _, nw := range []int{1, 2, 4} {
+		nw := nw
+		b.Run(fmt.Sprintf("s953/workers-%d", nw), func(b *testing.B) {
+			var merged *CoverageReport
+			for i := 0; i < b.N; i++ {
+				reports := make([]*CoverageReport, nw)
+				errs := make([]error, nw)
+				var wg sync.WaitGroup
+				for s := 0; s < nw; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						reports[s], errs[s] = FaultSimBatchShard(c, InputStuckAt, tests, s, nw,
+							Options{FaultSimWorkers: 1})
+					}(s)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if merged, err = MergeCoverageShards(reports); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if want < 0 {
+				want = merged.Detected
+			} else if merged.Detected != want {
+				b.Fatalf("%d workers detected %d faults, first variant %d", nw, merged.Detected, want)
+			}
+			b.ReportMetric(float64(merged.Detected), "detected")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(merged.Stats.Patterns)*float64(b.N)/secs, "patterns/sec")
+				b.ReportMetric(float64(b.N)/secs, "queries/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkServiceConcurrentQueries measures the resident service
+// under heavy concurrent load: every iteration launches 1024 in-flight
+// identical coverage queries straight into the handler (no sockets),
+// the shape the shared trace cache plus singleflight are built for.
+// Reported metrics include the trace-cache hit rate over the run — the
+// resident-service win the load generator (cmd/satpgload) measures
+// over real HTTP.
+func BenchmarkServiceConcurrentQueries(b *testing.B) {
+	data, err := os.ReadFile(filepath.Join("examples", "iscas", "s27.ckt"))
+	if err != nil {
+		b.Fatalf("%v (regenerate with `go run ./examples/iscas`)", err)
+	}
+	c, err := ParseCircuit(strings.NewReader(string(data)), "s27")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const inflight, nseq, cycles = 1024, 64, 8
+	rng := rand.New(rand.NewSource(29))
+	mask := uint64(1)<<uint(c.NumInputs()) - 1
+	wire := make([]service.TestJSON, nseq)
+	for i := range wire {
+		pats := make([]uint64, cycles)
+		for t := range pats {
+			pats[t] = rng.Uint64() & mask
+		}
+		wire[i] = service.TestJSON{Patterns: pats}
+	}
+	body, err := json.Marshal(&service.CoverageRequest{CircuitText: string(data), Tests: wire})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nw := range []int{1, 2, 4} {
+		nw := nw
+		b.Run(fmt.Sprintf("s27/inflight-%d/workers-%d", inflight, nw), func(b *testing.B) {
+			srv := service.New(service.Config{Workers: nw})
+			before := fsim.TraceCacheStats()
+			var patterns, failures int64
+			var patMu sync.Mutex
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for q := 0; q < inflight; q++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						req := httptest.NewRequest("POST", "/v1/coverage", bytes.NewReader(body))
+						w := httptest.NewRecorder()
+						srv.ServeHTTP(w, req)
+						var cr service.CoverageResponse
+						patMu.Lock()
+						defer patMu.Unlock()
+						if w.Code != 200 || json.Unmarshal(w.Body.Bytes(), &cr) != nil {
+							failures++
+							return
+						}
+						patterns += cr.Patterns
+					}()
+				}
+				wg.Wait()
+				if failures > 0 {
+					b.Fatalf("%d of %d concurrent queries failed", failures, inflight)
+				}
+			}
+			st := fsim.TraceCacheStats()
+			hits, misses := st.Hits-before.Hits, st.Misses-before.Misses
+			if hits+misses > 0 {
+				b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-%")
+			}
+			b.ReportMetric(float64(st.Waits-before.Waits), "singleflight-waits")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*inflight)/secs, "queries/sec")
+				b.ReportMetric(float64(patterns)/secs, "patterns/sec")
+			}
+		})
 	}
 }

@@ -9,8 +9,11 @@
 // lane width, compaction mode and circuit size into dedicated fields
 // (the model/engine/lanes-N naming of BenchmarkEventVsSweepTable1, the
 // engine shapes of BenchmarkFaultSimEngines, the model/mode naming of
-// BenchmarkCompactTable1, and the circuit/signals-N naming of
-// BenchmarkISCASScale).
+// BenchmarkCompactTable1, the circuit/signals-N naming of
+// BenchmarkISCASScale, and the workers-N / inflight-N throughput
+// dimension of BenchmarkServiceShardThroughput and
+// BenchmarkServiceConcurrentQueries, whose queries/sec and aggregate
+// patterns/sec metrics ride along like any other custom metric).
 //
 // With -compare it additionally diffs the fresh run against a committed
 // baseline report, matching rows by benchmark name on the patterns/sec
@@ -56,8 +59,14 @@ type Entry struct {
 	// Circuit and Signals are the circuit-size dimension of an
 	// ISCASScale variant (e.g. ISCASScale/s349/signals-363/event/...):
 	// the corpus member and its signal count.
-	Circuit    string             `json:"circuit,omitempty"`
-	Signals    int                `json:"signals,omitempty"`
+	Circuit string `json:"circuit,omitempty"`
+	Signals int    `json:"signals,omitempty"`
+	// Workers and Inflight are the throughput dimension of the service
+	// benchmarks (e.g. ServiceShardThroughput/s953/workers-4,
+	// ServiceConcurrentQueries/s27/inflight-1024/workers-2): the shard
+	// or handler worker count, and the concurrent in-flight query count.
+	Workers    int                `json:"workers,omitempty"`
+	Inflight   int                `json:"inflight,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -145,14 +154,18 @@ func finish(entries []Entry) []Entry {
 	}
 	// A shared suffix that is really a variant's own number (a filtered
 	// single-CPU transcript where every name ends in the same lane
-	// width) would strip a lanes-N segment down to a bare "lanes";
-	// refuse the strip in that case — go test's real procs suffix sits
-	// after the width, so legitimate strips never produce it.
+	// width or worker count) would strip a lanes-N / workers-N segment
+	// down to a bare "lanes" / "workers"; refuse the strip in that case
+	// — go test's real procs suffix sits after the variant number, so
+	// legitimate strips never produce a bare dimension word.
 	if common != "" {
 		for _, e := range entries {
 			trimmed := strings.TrimSuffix(e.Name, common)
-			if seg := trimmed[strings.LastIndex(trimmed, "/")+1:]; seg == "lanes" {
+			switch trimmed[strings.LastIndex(trimmed, "/")+1:] {
+			case "lanes", "signals", "workers", "inflight":
 				common = ""
+			}
+			if common == "" {
 				break
 			}
 		}
@@ -182,6 +195,14 @@ func finish(entries []Entry) []Entry {
 			case strings.HasPrefix(seg, "signals-"):
 				if n, err := strconv.Atoi(seg[len("signals-"):]); err == nil {
 					e.Signals = n
+				}
+			case strings.HasPrefix(seg, "workers-"):
+				if n, err := strconv.Atoi(seg[len("workers-"):]); err == nil {
+					e.Workers = n
+				}
+			case strings.HasPrefix(seg, "inflight-"):
+				if n, err := strconv.Atoi(seg[len("inflight-"):]); err == nil {
+					e.Inflight = n
 				}
 			case strings.HasPrefix(seg, "sharded-"):
 				e.Engine = "sweep"

@@ -15,6 +15,8 @@ BenchmarkFaultSimEngines/sharded-4-4                       	       2	  12000000 
 BenchmarkCompactTable1/input-sa/all-4                      	       1	  44647256 ns/op	        83.72 %reduction	       180.0 tests-removed	      4032 tests-removed/sec
 BenchmarkCompactTable1/transition/matrix-4                 	       1	  31900916 ns/op	      1487 patterns	     46614 patterns/sec
 BenchmarkISCASScale/s349/signals-363/event/lanes-64-4      	       1	 247226189 ns/op	       299.0 detected	       254.3 gate-evals/pattern	      6213 patterns/sec
+BenchmarkServiceShardThroughput/s953/workers-4-4           	       1	  69991475 ns/op	       705.0 detected	     21946 patterns/sec	        14.29 queries/sec
+BenchmarkServiceConcurrentQueries/s27/inflight-1024/workers-2-4	       1	 658399165 ns/op	        99.90 cache-hit-%	    796308 patterns/sec	      1555 queries/sec	         0 singleflight-waits
 not a benchmark line
 PASS
 ok  	repro	4.885s
@@ -28,8 +30,8 @@ func TestParse(t *testing.T) {
 	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "repro" || rep.CPU == "" {
 		t.Fatalf("header metadata wrong: %+v", rep)
 	}
-	if len(rep.Results) != 6 {
-		t.Fatalf("parsed %d results, want 6", len(rep.Results))
+	if len(rep.Results) != 8 {
+		t.Fatalf("parsed %d results, want 8", len(rep.Results))
 	}
 
 	e := rep.Results[0]
@@ -68,6 +70,34 @@ func TestParse(t *testing.T) {
 	if s := rep.Results[5]; s.Circuit != "s349" || s.Signals != 363 ||
 		s.Engine != "event" || s.Lanes != 64 || s.Metrics["patterns/sec"] != 6213 {
 		t.Errorf("circuit-size dimension lifting wrong: %+v", s)
+	}
+	if s := rep.Results[6]; s.Name != "BenchmarkServiceShardThroughput/s953/workers-4" ||
+		s.Circuit != "s953" || s.Workers != 4 || s.Metrics["queries/sec"] != 14.29 {
+		t.Errorf("shard-throughput dimension lifting wrong: %+v", s)
+	}
+	if s := rep.Results[7]; s.Circuit != "s27" || s.Inflight != 1024 || s.Workers != 2 ||
+		s.Metrics["patterns/sec"] != 796308 || s.Metrics["cache-hit-%"] != 99.90 {
+		t.Errorf("concurrent-query dimension lifting wrong: %+v", s)
+	}
+}
+
+// A filtered transcript where every name ends in the same worker count
+// must keep that count out of the procs-suffix strip, like lanes-N.
+func TestParseUniformWorkerSuffixNotStripped(t *testing.T) {
+	const uniform = `BenchmarkServiceShardThroughput/s953/workers-4   1  100 ns/op  200 patterns/sec
+BenchmarkServiceConcurrentQueries/s27/inflight-1024/workers-4   1  100 ns/op  300 queries/sec
+`
+	rep, err := parse(strings.NewReader(uniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Results {
+		if e.Workers != 4 {
+			t.Errorf("%s: workers %d, want 4", e.Name, e.Workers)
+		}
+		if !strings.HasSuffix(e.Name, "workers-4") {
+			t.Errorf("name mangled: %q", e.Name)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	satpg "repro"
 )
@@ -55,12 +56,38 @@ func parseCompactMode(s string) (satpg.CompactMode, error) {
 	return m, nil
 }
 
+// parseWorkers validates a goroutine-count flag: a positive count is
+// taken as-is, 0 selects GOMAXPROCS, and a negative count is rejected
+// up front — fsim would silently clamp it to one worker, hiding the
+// typo (-fsim-workers -4 for -fsim-workers 4) behind a 4× slowdown.
+func parseWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("invalid -fsim-workers %d (want a positive count, or 0 for GOMAXPROCS)", n)
+	}
+	return n, nil
+}
+
 // validateProfilePaths rejects a -cpuprofile/-memprofile pair naming
-// the same file: the heap profile written at exit would truncate the
-// CPU profile streamed over the whole run.
+// the same file (the heap profile written at exit would truncate the
+// CPU profile streamed over the whole run) and profile paths in
+// directories that don't exist — the CPU profile would fail at startup
+// before any work, but the heap profile failure would surface only at
+// exit, after the whole run's work is already lost.
 func validateProfilePaths(cpu, mem string) error {
 	if cpu != "" && cpu == mem {
 		return fmt.Errorf("-cpuprofile and -memprofile must name different files (both %q)", cpu)
+	}
+	for _, p := range []struct{ flag, path string }{
+		{"cpuprofile", cpu}, {"memprofile", mem},
+	} {
+		if p.path == "" {
+			continue
+		}
+		dir := filepath.Dir(p.path)
+		st, err := os.Stat(dir)
+		if err != nil || !st.IsDir() {
+			return fmt.Errorf("-%s: directory %q does not exist", p.flag, dir)
+		}
 	}
 	return nil
 }

@@ -77,6 +77,20 @@ func TestParseCompactMode(t *testing.T) {
 	}
 }
 
+func TestParseWorkers(t *testing.T) {
+	for _, ok := range []int{0, 1, 4, 64} {
+		if n, err := parseWorkers(ok); err != nil || n != ok {
+			t.Fatalf("parseWorkers(%d) = %d, %v", ok, n, err)
+		}
+	}
+	for _, bad := range []int{-1, -4} {
+		_, err := parseWorkers(bad)
+		if err == nil || !strings.Contains(err.Error(), "-fsim-workers") || !strings.Contains(err.Error(), "0 for GOMAXPROCS") {
+			t.Fatalf("parseWorkers(%d) error = %v; want -fsim-workers rejection listing choices", bad, err)
+		}
+	}
+}
+
 func TestValidateProfilePaths(t *testing.T) {
 	for _, ok := range [][2]string{
 		{"", ""}, {"cpu.prof", ""}, {"", "mem.prof"}, {"cpu.prof", "mem.prof"},
@@ -88,6 +102,23 @@ func TestValidateProfilePaths(t *testing.T) {
 	err := validateProfilePaths("same.prof", "same.prof")
 	if err == nil || !strings.Contains(err.Error(), "-cpuprofile") || !strings.Contains(err.Error(), "-memprofile") {
 		t.Fatalf("same-path profiles error = %v; want rejection naming both flags", err)
+	}
+}
+
+func TestValidateProfilePathsRejectsMissingDirectories(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "cpu.prof")
+	if err := validateProfilePaths(good, ""); err != nil {
+		t.Fatalf("existing-dir profile rejected: %v", err)
+	}
+	bad := filepath.Join(dir, "missing", "mem.prof")
+	err := validateProfilePaths("", bad)
+	if err == nil || !strings.Contains(err.Error(), "-memprofile") || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("missing-dir memprofile error = %v; want -memprofile rejection", err)
+	}
+	err = validateProfilePaths(bad, "")
+	if err == nil || !strings.Contains(err.Error(), "-cpuprofile") {
+		t.Fatalf("missing-dir cpuprofile error = %v; want -cpuprofile rejection", err)
 	}
 }
 

@@ -96,6 +96,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	workers, err := parseWorkers(*fsimWorkers)
+	if err != nil {
+		fatal(err)
+	}
 	cmode, err := parseCompactMode(*compactMode)
 	if err != nil {
 		fatal(err)
@@ -103,7 +107,7 @@ func main() {
 	opts := satpg.Options{
 		K: *k, Seed: *seed,
 		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
-		FaultSimWorkers: *fsimWorkers, FaultSimLanes: laneWidth, FaultSimEngine: engine,
+		FaultSimWorkers: workers, FaultSimLanes: laneWidth, FaultSimEngine: engine,
 		Faults: sel, Compact: cmode,
 	}
 

@@ -1,0 +1,125 @@
+// Command satpgd is the resident coverage server: it keeps parsed
+// circuits, topology indexes and good traces warm across requests and
+// serves concurrent coverage and compaction queries over HTTP (see
+// internal/service for the API).
+//
+// Usage:
+//
+//	satpgd -addr :8714
+//	satpgd -addr :8714 -trace-cache 256 -circuit-cache 128
+//	satpgd -addr :8700 -peers http://127.0.0.1:8714,http://127.0.0.1:8715
+//
+// The third form starts a coordinator: unsharded coverage requests are
+// partitioned across the peer workers (one fault-class shard each) and
+// the verdicts merged, bit-identical to a single-process run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8714", "listen address (host:port)")
+		peersFlag  = flag.String("peers", "", "comma-separated worker base URLs; enables coordinator mode")
+		workers    = flag.Int("workers", 0, "default fault-shard goroutines per query (0: GOMAXPROCS)")
+		traceCap   = flag.Int("trace-cache", 64, "shared good-trace cache capacity in entries (0 disables)")
+		circuitCap = flag.Int("circuit-cache", 0, "interned circuit capacity (0: default)")
+	)
+	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if err := validateCaps(*workers, *traceCap, *circuitCap); err != nil {
+		fatal(err)
+	}
+	fsim.SetTraceCacheCap(*traceCap)
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		CircuitCap: *circuitCap,
+		Peers:      peers,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	if len(peers) > 0 {
+		fmt.Printf("satpgd coordinating %d workers on %s\n", len(peers), *addr)
+	} else {
+		fmt.Printf("satpgd serving on %s\n", *addr)
+	}
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, let in-flight queries finish.
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("satpgd drained and stopped")
+	}
+}
+
+// parsePeers splits and validates the -peers list: every entry must be
+// an absolute http(s) URL, so a bare host:port typo fails at startup
+// instead of as a confusing per-request dial error.
+func parsePeers(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p), "/"))
+		if p == "" {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("invalid -peers entry %q (want http://host:port or https://host:port)", p)
+		}
+		peers = append(peers, p)
+	}
+	return peers, nil
+}
+
+// validateCaps rejects nonsensical sizing flags up front.
+func validateCaps(workers, traceCap, circuitCap int) error {
+	if workers < 0 {
+		return fmt.Errorf("invalid -workers %d (want a positive count, or 0 for GOMAXPROCS)", workers)
+	}
+	if traceCap < 0 {
+		return fmt.Errorf("invalid -trace-cache %d (want a positive entry count, or 0 to disable)", traceCap)
+	}
+	if circuitCap < 0 {
+		return fmt.Errorf("invalid -circuit-cache %d (want a positive entry count, or 0 for the default)", circuitCap)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satpgd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("")
+	if err != nil || peers != nil {
+		t.Fatalf("empty -peers = %v, %v", peers, err)
+	}
+	peers, err = parsePeers("http://127.0.0.1:8714, https://10.0.0.2:8715/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://127.0.0.1:8714", "https://10.0.0.2:8715"}
+	if len(peers) != len(want) {
+		t.Fatalf("peers = %v, want %v", peers, want)
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("peers = %v, want %v", peers, want)
+		}
+	}
+	for _, bad := range []string{"127.0.0.1:8714", "ftp://host:1", "http://"} {
+		if _, err := parsePeers(bad); err == nil || !strings.Contains(err.Error(), "-peers") {
+			t.Fatalf("parsePeers(%q) = %v; want -peers rejection", bad, err)
+		}
+	}
+}
+
+func TestValidateCaps(t *testing.T) {
+	if err := validateCaps(0, 0, 0); err != nil {
+		t.Fatalf("zero caps rejected: %v", err)
+	}
+	if err := validateCaps(4, 256, 32); err != nil {
+		t.Fatalf("positive caps rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		w, tcap, ccap int
+		flag          string
+	}{
+		{-1, 0, 0, "-workers"},
+		{0, -1, 0, "-trace-cache"},
+		{0, 0, -1, "-circuit-cache"},
+	} {
+		err := validateCaps(tc.w, tc.tcap, tc.ccap)
+		if err == nil || !strings.Contains(err.Error(), tc.flag) {
+			t.Fatalf("validateCaps(%d,%d,%d) = %v; want %s rejection", tc.w, tc.tcap, tc.ccap, err, tc.flag)
+		}
+	}
+}

@@ -36,6 +36,16 @@ type CoverageReport struct {
 	Engine   fsim.EngineKind // settling strategy the measurement ran with
 	Stats    fsim.Stats      // applied patterns and gate evaluations
 	Elapsed  time.Duration
+
+	// Shard/Shards identify a 1-of-N partial measurement (Shards ≤ 1:
+	// the full universe).  Owned[i] reports whether this shard simulated
+	// universe fault i; the PerFault entries of unowned faults are the
+	// undetected zero verdict and carry no information.  N partial
+	// reports with disjoint, covering Owned sets merge losslessly with
+	// MergeShardReports.
+	Shard  int
+	Shards int
+	Owned  []bool
 }
 
 // Coverage returns detected/total (1 for an empty universe).
@@ -64,15 +74,55 @@ func (r *CoverageReport) Summary() string {
 // delay assignment.  Tests must carry their Expected outputs (every
 // Test built by this package does).
 func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, workers, lanes int, engine fsim.EngineKind) (*CoverageReport, error) {
+	return CoverageOfOpts(c, universe, tests, CoverageOptions{Workers: workers, Lanes: lanes, Engine: engine})
+}
+
+// CoverageOptions tunes CoverageOfOpts beyond the positional knobs of
+// CoverageOf.
+type CoverageOptions struct {
+	Workers int             // fault-class shard goroutines (0: GOMAXPROCS)
+	Lanes   int             // tests per batch: 64 (default), 128 or 256
+	Engine  fsim.EngineKind // event (default) or sweep
+	// Shard/Shards select a 1-of-N partition of the representative
+	// fault classes (fsim.Options.ShardIndex/ShardCount): the report
+	// covers only the owned slice, for merging with the other shards'
+	// reports via MergeShardReports.  Shards ≤ 1 measures everything.
+	Shard  int
+	Shards int
+	// Pipeline overlaps each batch's fault settling with the next
+	// batch's good-trace computation (fsim.Options.Pipeline).
+	Pipeline bool
+	// OnBatch, when set, is called after each simulated batch with the
+	// base test index of the batch, the number of new detections it
+	// contributed, and the cumulative detected count — the streaming
+	// hook the coverage service reports per-batch progress through.
+	OnBatch func(base, detections, cumDetected int)
+}
+
+// CoverageOfOpts is CoverageOf with the full option set.  Unlike the
+// ATPG-built tests CoverageOf was designed for, the test set may lack
+// Expected responses: if any test omits them, every fault is judged
+// against the good machine's own (simulated) response instead of
+// declared ones — the form service-submitted bare pattern programs
+// arrive in.
+func CoverageOfOpts(c *netlist.Circuit, universe []faults.Fault, tests []Test, opts CoverageOptions) (*CoverageReport, error) {
 	start := time.Now()
-	s, err := fsim.New(c, universe, fsim.Options{Workers: workers, Lanes: lanes, Engine: engine, CheckReset: true})
+	if opts.Shards > 0 && (opts.Shard < 0 || opts.Shard >= opts.Shards) {
+		return nil, fmt.Errorf("atpg: shard index %d out of range for %d shards", opts.Shard, opts.Shards)
+	}
+	s, err := fsim.New(c, universe, fsim.Options{
+		Workers: opts.Workers, Lanes: opts.Lanes, Engine: opts.Engine,
+		CheckReset: true,
+		ShardIndex: opts.Shard, ShardCount: opts.Shards,
+		Pipeline: opts.Pipeline,
+	})
 	if err != nil {
 		return nil, err
 	}
 	rep := &CoverageReport{
 		Total:    len(universe),
 		PerFault: make([]FaultCoverage, len(universe)),
-		Workers:  workers,
+		Workers:  opts.Workers,
 		Lanes:    s.Lanes(),
 		Classes:  s.NumClasses(),
 		Engine:   s.Engine(),
@@ -80,16 +130,34 @@ func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, worke
 	if rep.Workers <= 0 {
 		rep.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.Shards > 0 {
+		// Shards == 1 is a degenerate but valid partition (a one-worker
+		// coordinator): the report still carries its ownership mask so
+		// MergeShardReports accepts it.
+		rep.Shard, rep.Shards = opts.Shard, opts.Shards
+		rep.Owned = make([]bool, len(universe))
+		for i := range universe {
+			rep.Owned[i] = s.Owns(i)
+		}
+	}
 	for i := range rep.PerFault {
 		rep.PerFault[i] = FaultCoverage{Fault: universe[i], TestIndex: -1, Cycle: -1}
 	}
 	seqs := make([][]uint64, len(tests))
 	expected := make([][]uint64, len(tests))
+	haveExpected := len(tests) > 0
 	for i, t := range tests {
 		seqs[i] = t.Patterns
 		expected[i] = t.Expected
+		if t.Expected == nil {
+			haveExpected = false
+		}
+	}
+	if !haveExpected {
+		expected = nil
 	}
 	err = s.SimulateSequences(seqs, expected, nil, func(base int, br *fsim.BatchResult) {
+		n := 0
 		for _, d := range br.Detections {
 			fc := &rep.PerFault[d.Fault]
 			if fc.Detected {
@@ -101,6 +169,10 @@ func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, worke
 				fc.TestIndex = base + d.Lane
 			}
 			rep.Detected++
+			n++
+		}
+		if opts.OnBatch != nil {
+			opts.OnBatch(base, n, rep.Detected)
 		}
 	})
 	if err != nil {
@@ -109,4 +181,66 @@ func CoverageOf(c *netlist.Circuit, universe []faults.Fault, tests []Test, worke
 	rep.Stats = s.Stats()
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// MergeShardReports folds N shard reports over the same universe into
+// the single-process report: each fault's verdict is taken from the
+// shard that owns it.  Because faults are independent given the good
+// trace, the merged per-fault verdicts (Detected/TestIndex/Cycle) are
+// bit-identical to an unsharded run over the same tests — the shard
+// parity tests assert it.  Counter fields sum (Stats, Workers,
+// Classes); Elapsed is the maximum, matching the wall time of shards
+// running concurrently.
+func MergeShardReports(reports []*CoverageReport) (*CoverageReport, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("atpg: no shard reports to merge")
+	}
+	first := reports[0]
+	merged := &CoverageReport{
+		Total:    first.Total,
+		PerFault: make([]FaultCoverage, first.Total),
+		Lanes:    first.Lanes,
+		Engine:   first.Engine,
+	}
+	covered := make([]bool, first.Total)
+	for _, r := range reports {
+		if r.Total != first.Total {
+			return nil, fmt.Errorf("atpg: shard universes disagree: %d vs %d faults", r.Total, first.Total)
+		}
+		if r.Shards != len(reports) {
+			return nil, fmt.Errorf("atpg: report claims %d shards, merging %d", r.Shards, len(reports))
+		}
+		if r.Owned == nil {
+			return nil, fmt.Errorf("atpg: shard %d report has no ownership mask", r.Shard)
+		}
+		for i, own := range r.Owned {
+			if !own {
+				continue
+			}
+			if covered[i] {
+				return nil, fmt.Errorf("atpg: fault %d owned by two shards", i)
+			}
+			covered[i] = true
+			merged.PerFault[i] = r.PerFault[i]
+			if r.PerFault[i].Detected {
+				merged.Detected++
+			}
+		}
+		merged.Workers += r.Workers
+		merged.Classes += r.Classes
+		merged.Stats.Patterns += r.Stats.Patterns
+		merged.Stats.GateEvals += r.Stats.GateEvals
+		merged.Stats.Allocs += r.Stats.Allocs
+		merged.Stats.CacheHits += r.Stats.CacheHits
+		merged.Stats.CacheMisses += r.Stats.CacheMisses
+		if r.Elapsed > merged.Elapsed {
+			merged.Elapsed = r.Elapsed
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("atpg: fault %d owned by no shard", i)
+		}
+	}
+	return merged, nil
 }

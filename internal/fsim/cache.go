@@ -48,14 +48,20 @@ var (
 	traceMu      sync.Mutex
 	traceEntries []*traceEntry // LRU order: least recently used first
 	traceCap     = DefaultTraceCacheCap
+	traceFlights []*traceFlight // in-flight computations (singleflight)
 
-	traceHits, traceMisses, traceEvictions int64
+	traceHits, traceMisses, traceEvictions, traceWaits int64
 )
 
 // CacheStats is a snapshot of the shared good-trace cache counters.
 type CacheStats struct {
 	Hits, Misses, Evictions int64
-	Entries, Cap            int
+	// Waits counts singleflight joins: lookups that found the trace
+	// being computed by another goroutine and waited for it instead of
+	// recomputing.  Under concurrent identical queries this is the
+	// work the singleflight saved.
+	Waits        int64
+	Entries, Cap int
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -72,6 +78,7 @@ func TraceCacheStats() CacheStats {
 	defer traceMu.Unlock()
 	return CacheStats{
 		Hits: traceHits, Misses: traceMisses, Evictions: traceEvictions,
+		Waits:   traceWaits,
 		Entries: len(traceEntries), Cap: traceCap,
 	}
 }
@@ -161,6 +168,59 @@ func lookupTrace(key traceKey, seqs [][]uint64) any {
 	}
 	traceMisses++
 	return nil
+}
+
+// traceFlight is one in-flight trace computation.  Concurrent
+// requesters of the same (key, seqs) whose requirements the flight
+// covers wait on done instead of settling the good circuit again —
+// the singleflight that lets N identical concurrent coverage queries
+// pay for one good run.  A flight that computes less than a requester
+// needs (cycles or full states) is not joined; the requester starts
+// its own flight and the eventual storeTrace replace keeps the richer
+// trace.
+type traceFlight struct {
+	key                    traceKey
+	seqs                   [][]uint64
+	needCycles, needStates bool
+	done                   chan struct{}
+	tr                     any // set before done closes; nil if the leader failed
+}
+
+// BeginTraceFlight registers intent to compute the trace for
+// (key, seqs) at the given requirement level.  leader=true means the
+// caller must compute, then call finishTraceFlight; leader=false means
+// an in-flight computation covers the requirements — wait on fl.done
+// and read fl.tr.
+func beginTraceFlight(key traceKey, seqs [][]uint64, needCycles, needStates bool) (fl *traceFlight, leader bool) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	for _, f := range traceFlights {
+		if f.key == key && seqsEqual(f.seqs, seqs) &&
+			(f.needCycles || !needCycles) && (f.needStates || !needStates) {
+			traceWaits++
+			return f, false
+		}
+	}
+	fl = &traceFlight{key: key, seqs: seqs, needCycles: needCycles, needStates: needStates, done: make(chan struct{})}
+	traceFlights = append(traceFlights, fl)
+	return fl, true
+}
+
+// finishTraceFlight publishes the leader's result (nil on failure) and
+// releases the waiters.  The trace itself is published via storeTrace;
+// fl.tr additionally hands it to waiters directly, so they are served
+// even when the cache capacity is 0 or the entry was evicted at once.
+func finishTraceFlight(fl *traceFlight, tr any) {
+	traceMu.Lock()
+	for i, f := range traceFlights {
+		if f == fl {
+			traceFlights = append(traceFlights[:i], traceFlights[i+1:]...)
+			break
+		}
+	}
+	fl.tr = tr
+	traceMu.Unlock()
+	close(fl.done)
 }
 
 // storeTrace inserts or replaces the trace for the key, evicting the

@@ -2,6 +2,8 @@ package fsim
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/faults"
@@ -128,6 +130,158 @@ func TestTraceCacheReplaceKeepsOneEntry(t *testing.T) {
 	}
 	if got := lookupTrace(k, seqs); got != "v2" {
 		t.Fatalf("lookup = %v, want the replacing value", got)
+	}
+}
+
+// TestTraceFlightSingleLeader drives the singleflight registry
+// directly: one leader computes, every concurrent requester of the
+// same (key, seqs) joins as a waiter, the Waits counter records each
+// join, and the registry drains once the leader finishes.
+func TestTraceFlightSingleLeader(t *testing.T) {
+	resetCacheForTest(t)
+	seqs := [][]uint64{{5, 6}}
+	k, _ := fakeKey(seqs)
+
+	before := TraceCacheStats().Waits
+	fl, leader := beginTraceFlight(k, seqs, true, true)
+	if !leader {
+		t.Fatal("first requester must lead")
+	}
+	const followers = 8
+	var wg sync.WaitGroup
+	got := make([]any, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, lead := beginTraceFlight(k, seqs, true, true)
+			if lead {
+				t.Error("follower promoted to leader while flight in progress")
+				finishTraceFlight(f, nil)
+				return
+			}
+			<-f.done
+			got[i] = f.tr
+		}(i)
+	}
+	// Followers register before the leader publishes: wait for them.
+	for {
+		if TraceCacheStats().Waits-before == followers {
+			break
+		}
+		runtime.Gosched()
+	}
+	finishTraceFlight(fl, "the-trace")
+	wg.Wait()
+	for i, tr := range got {
+		if tr != "the-trace" {
+			t.Fatalf("waiter %d read %v, want the leader's trace", i, tr)
+		}
+	}
+	again, lead := beginTraceFlight(k, seqs, true, true)
+	if !lead {
+		t.Fatal("registry not drained: new requester joined a finished flight")
+	}
+	finishTraceFlight(again, nil)
+}
+
+// TestTraceFlightRequirementCovering: a flight is joined only when it
+// computes at least what the requester needs — a reset-only flight
+// must not absorb a requester needing per-cycle outputs, but a
+// full-state flight covers everyone.
+func TestTraceFlightRequirementCovering(t *testing.T) {
+	resetCacheForTest(t)
+	seqs := [][]uint64{{11}}
+	k, _ := fakeKey(seqs)
+
+	shallow, leader := beginTraceFlight(k, seqs, false, false)
+	if !leader {
+		t.Fatal("first flight must lead")
+	}
+	deep, lead := beginTraceFlight(k, seqs, true, false)
+	if !lead {
+		t.Fatal("cycle-needing requester joined a reset-only flight")
+	}
+	finishTraceFlight(shallow, nil)
+	finishTraceFlight(deep, nil)
+
+	rich, leader := beginTraceFlight(k, seqs, true, true)
+	if !leader {
+		t.Fatal("flight must lead after drain")
+	}
+	if f, lead := beginTraceFlight(k, seqs, false, false); lead {
+		finishTraceFlight(f, nil)
+		t.Fatal("reset-only requester refused a full-state flight that covers it")
+	} else if f != rich {
+		t.Fatal("joined a different flight")
+	}
+	finishTraceFlight(rich, nil)
+}
+
+// TestConcurrentSimulatorsShareOneTrace runs many Simulators over the
+// same circuit and sequence set at once: every report must be
+// bit-identical, and the good trace must not be settled once per
+// Simulator — the shared cache plus singleflight bound the distinct
+// computations well below the naive N.
+func TestConcurrentSimulatorsShareOneTrace(t *testing.T) {
+	resetCacheForTest(t)
+	rng := rand.New(rand.NewSource(777))
+	var c *netlist.Circuit
+	for c == nil {
+		if cand, ok := randckt.New(rng, randckt.Config{}); ok {
+			c = cand
+		}
+	}
+	universe := faults.OutputUniverse(c)
+	seqs := randSeqs(rng, c.NumInputs(), 32, 8)
+
+	const n = 8
+	delta := cacheDelta(t)
+	waitsBefore := TraceCacheStats().Waits
+	var wg sync.WaitGroup
+	results := make([][]Detection, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := New(c, universe, Options{Lanes: 64, Engine: EngineEvent})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = s.SimulateSequences(seqs, nil, nil, func(base int, br *BatchResult) {
+				results[i] = append(results[i], br.Detections...)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("simulator %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("simulator %d found %d detections, simulator 0 found %d",
+				i, len(results[i]), len(results[0]))
+		}
+		for j := range results[i] {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("simulator %d detection %d = %+v, simulator 0 = %+v",
+					i, j, results[i][j], results[0][j])
+			}
+		}
+	}
+	d := delta()
+	if len(results[0]) == 0 {
+		t.Fatal("no detections — the run proved nothing")
+	}
+	if d.Misses >= n {
+		t.Errorf("%d trace computations across %d identical simulators — no sharing", d.Misses, n)
+	}
+	if d.Hits+(TraceCacheStats().Waits-waitsBefore) == 0 {
+		t.Error("neither cache hits nor singleflight waits observed")
 	}
 }
 

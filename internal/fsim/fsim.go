@@ -38,10 +38,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faults"
 	"repro/internal/lanevec"
 	"repro/internal/netlist"
+	"repro/internal/sched"
 )
 
 // EngineKind selects the settling strategy of the fault machines.
@@ -100,6 +102,28 @@ type Options struct {
 	// assert it); the flag exists for those tests and for measuring
 	// the collapsing win.
 	NoCollapse bool
+
+	// ShardIndex/ShardCount select a static 1-of-N partition of the
+	// representative fault classes for multi-process sharding: with
+	// ShardCount > 1, this Simulator owns exactly the classes at
+	// positions i ≡ ShardIndex (mod ShardCount) of the deterministic
+	// representative order, and never simulates the rest (their
+	// verdicts stay empty; Owns reports the split).  Because faults
+	// are independent once the good trace is known, the per-fault
+	// verdicts of the owned slice are bit-identical to a single-process
+	// run over the whole universe — N shards' reports merge by
+	// disjoint union.  ShardCount ≤ 1 means unsharded.
+	ShardIndex int
+	ShardCount int
+
+	// Pipeline overlaps batches: while the workers settle the faults of
+	// the current batch, the next batch's good trace is computed (and
+	// published to the shared cache) in the background, so the serial
+	// good-trace phase of batch k+1 runs under the parallel fault phase
+	// of batch k.  Results are bit-identical either way; only the
+	// Stats/TraceCacheStats hit-miss attribution shifts (the prefetch
+	// takes the miss, the batch takes a hit).
+	Pipeline bool
 
 	// eagerSeed forces the event engine's pre-overhaul eager cone
 	// seeding: full state load per fault, every cone gate enqueued per
@@ -226,6 +250,7 @@ type BatchResult struct {
 // per-fault hot paths stay monomorphic.
 type laneRunner interface {
 	run(b *Batch) (*BatchResult, error)
+	prefetch(b *Batch)
 	addStats(st *Stats)
 }
 
@@ -300,9 +325,17 @@ type Simulator struct {
 	// members[r] lists the universe indices equivalent to representative
 	// r (including r itself); nil for non-representatives.
 	members [][]int
-	// shards holds the representative indices assigned to each worker,
-	// fixed at New so assignments stay sticky across batches.
-	shards [][]int
+	// units holds the representative indices cut into work units sized
+	// by cone-weight estimates (sched.Partition), fixed at New; each
+	// batch filters them down to live classes and runs them on the
+	// work-stealing pool.  weights[fi] is the per-class cost estimate,
+	// kept for re-weighting live units.
+	units    []sched.Unit
+	weights  []int64
+	nworkers int
+	// owned marks the universe indices this Simulator's shard simulates
+	// (nil: unsharded, everything owned).
+	owned []bool
 
 	runner laneRunner
 
@@ -311,6 +344,8 @@ type Simulator struct {
 	ndet     int
 
 	patterns int64 // applied patterns, summed over lanes
+
+	pfwg sync.WaitGroup // in-flight Pipeline prefetches
 }
 
 // New builds a simulator for the fault universe.  Stuck-at faults
@@ -331,6 +366,9 @@ func New(c *netlist.Circuit, universe []faults.Fault, opts Options) (*Simulator,
 			return nil, fmt.Errorf("fsim: fault %d (%s) is not a concrete stuck-at or transition fault", i, f.Describe(c))
 		}
 	}
+	if opts.ShardCount > 1 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount) {
+		return nil, fmt.Errorf("fsim: shard index %d out of range for %d shards", opts.ShardIndex, opts.ShardCount)
+	}
 	lanes := opts.lanes()
 	s := &Simulator{
 		c: c, universe: universe, opts: opts, lanes: lanes,
@@ -350,6 +388,28 @@ func New(c *netlist.Circuit, universe []faults.Fault, opts Options) (*Simulator,
 		s.members = cl.Members()
 		reps = cl.Representatives()
 	}
+	if opts.ShardCount > 1 {
+		// Keep every ShardCount-th class of the deterministic
+		// representative order; the excluded classes are dropped up
+		// front so no batch ever simulates them.  The round-robin cut
+		// (rather than a contiguous one) spreads the wide-cone classes —
+		// which cluster by gate index — evenly across shards.
+		s.owned = make([]bool, len(universe))
+		kept := reps[:0:0]
+		for i, fi := range reps {
+			if i%opts.ShardCount == opts.ShardIndex {
+				kept = append(kept, fi)
+				for _, mi := range s.members[fi] {
+					s.owned[mi] = true
+				}
+			} else {
+				for _, mi := range s.members[fi] {
+					s.dropped[mi] = true
+				}
+			}
+		}
+		reps = kept
+	}
 	nw := opts.workers()
 	if nw > len(reps) {
 		nw = len(reps)
@@ -357,19 +417,32 @@ func New(c *netlist.Circuit, universe []faults.Fault, opts Options) (*Simulator,
 	if nw < 1 {
 		nw = 1
 	}
-	s.shards = make([][]int, nw)
-	chunk := (len(reps) + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if lo > len(reps) {
-			lo = len(reps)
+	s.nworkers = nw
+
+	// Cut the representative classes into work units sized by a cost
+	// estimate.  For the event engine a class's settling cost scales
+	// with its fanout cone (the only gates it re-evaluates), so the
+	// cone population is the weight; the sweep engine settles the whole
+	// circuit per class, so every class weighs the same.  The units are
+	// re-balanced at run time by the work-stealing pool, so the
+	// estimate only needs to be proportional, not exact.
+	s.weights = make([]int64, len(universe))
+	if opts.Engine == EngineEvent {
+		topo := c.Topology()
+		for _, fi := range reps {
+			cone := topo.ConeOf(c.Gates[universe[fi].Gate].Out)
+			w := int64(0)
+			for _, cw := range cone {
+				w += int64(bits.OnesCount64(cw))
+			}
+			s.weights[fi] = w
 		}
-		if hi > len(reps) {
-			hi = len(reps)
+	} else {
+		for _, fi := range reps {
+			s.weights[fi] = 1
 		}
-		s.shards[w] = reps[lo:hi]
 	}
+	s.units = sched.Partition(reps, func(i int) int64 { return s.weights[reps[i]] }, nw*sched.UnitsPerWorker)
 	switch lanes {
 	case lanevec.Lanes1:
 		s.runner = newEngine[lanevec.V1](s)
@@ -414,6 +487,12 @@ func (s *Simulator) NumClasses() int {
 
 // Detected reports whether fault fi has been detected by any batch.
 func (s *Simulator) Detected(fi int) bool { return s.detected[fi] }
+
+// Owns reports whether this Simulator's shard simulates fault fi.
+// Unsharded (ShardCount ≤ 1) Simulators own the whole universe.
+func (s *Simulator) Owns(fi int) bool {
+	return s.owned == nil || s.owned[fi]
+}
 
 // Coverage returns detected/total (1 for an empty universe).
 func (s *Simulator) Coverage() float64 {
@@ -490,7 +569,7 @@ func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected [
 		record(0, br)
 		return nil
 	}
-	for base := 0; base < len(seqs); base += s.lanes {
+	chunk := func(base int) Batch {
 		end := min(base+s.lanes, len(seqs))
 		b := Batch{Seqs: seqs[base:end]}
 		if expected != nil {
@@ -499,7 +578,24 @@ func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected [
 		if resetExpected != nil {
 			b.ResetExpected = resetExpected[base:end]
 		}
+		return b
+	}
+	for base := 0; base < len(seqs); base += s.lanes {
+		b := chunk(base)
+		if s.opts.Pipeline && base+s.lanes < len(seqs) {
+			// Overlap: compute the next batch's good trace (into the
+			// shared cache) while this batch's faults settle.  The join
+			// below bounds it to one in-flight prefetch, so the dedicated
+			// prefetch machine and arenas are never shared.
+			nb := chunk(base + s.lanes)
+			s.pfwg.Add(1)
+			go func() {
+				defer s.pfwg.Done()
+				s.runner.prefetch(&nb)
+			}()
+		}
 		br, err := s.SimulateBatch(b)
+		s.pfwg.Wait()
 		if err != nil {
 			return err
 		}
@@ -531,15 +627,24 @@ type engine[V lanevec.Vec[V]] struct {
 	mode    EngineKind
 	topo    *netlist.Topology // cone index; event mode only
 	good    *machine[V]       // built on first use, reused for good runs
-	workers []*machine[V]     // sticky per-shard machines
+	workers []*machine[V]     // sticky per-worker machines
 	pk      packedBatch[V]    // pooled packed-batch arenas, reused per run
 
-	allocs                 int64 // engine-side backing-array allocations
-	cacheHits, cacheMisses int64 // this Simulator's trace-cache outcomes
+	// Prefetch state (Options.Pipeline): its own machine and arenas so
+	// the background good run of batch k+1 never contends with batch
+	// k's machines.  Touched only by the single in-flight prefetch
+	// goroutine; joined before any same-goroutine reuse.
+	pf   *machine[V]
+	pfPk packedBatch[V]
+
+	// The counters below are written by the batch goroutine and the
+	// prefetch goroutine concurrently, hence atomic.
+	allocs                 atomic.Int64 // engine-side backing-array allocations
+	cacheHits, cacheMisses atomic.Int64 // this Simulator's trace-cache outcomes
 }
 
 func newEngine[V lanevec.Vec[V]](s *Simulator) *engine[V] {
-	e := &engine[V]{s: s, mode: s.opts.Engine, workers: make([]*machine[V], len(s.shards))}
+	e := &engine[V]{s: s, mode: s.opts.Engine, workers: make([]*machine[V], s.nworkers)}
 	if e.mode == EngineEvent {
 		e.topo = s.c.Topology()
 	}
@@ -548,12 +653,14 @@ func newEngine[V lanevec.Vec[V]](s *Simulator) *engine[V] {
 
 // addStats folds the engine's work counters into st.
 func (e *engine[V]) addStats(st *Stats) {
-	st.Allocs += e.allocs
-	st.CacheHits += e.cacheHits
-	st.CacheMisses += e.cacheMisses
-	if e.good != nil {
-		st.GateEvals += e.good.eng.GateEvals()
-		st.Allocs += e.good.allocs
+	st.Allocs += e.allocs.Load()
+	st.CacheHits += e.cacheHits.Load()
+	st.CacheMisses += e.cacheMisses.Load()
+	for _, m := range []*machine[V]{e.good, e.pf} {
+		if m != nil {
+			st.GateEvals += m.eng.GateEvals()
+			st.Allocs += m.allocs
+		}
 	}
 	for _, m := range e.workers {
 		if m != nil {
@@ -570,66 +677,129 @@ func (e *engine[V]) goodMachine() *machine[V] {
 	return e.good
 }
 
-// goodTraceFor returns the good machine's trace for the batch, serving
-// it from the shared cache when the same sequence set was simulated
-// before (by this or any other Simulator) and computing+publishing it
-// otherwise.  needCycles requests the per-cycle output trace on top of
-// the reset response; needStates additionally requests the full-state
-// fixpoint trace the cone-limited engine consumes.
-func (e *engine[V]) goodTraceFor(b *Batch, pk *packedBatch[V], needCycles, needStates bool) *goodTrace[V] {
+func (e *engine[V]) prefetchMachine() *machine[V] {
+	if e.pf == nil {
+		e.pf = newMachine[V](e.s.c)
+	}
+	return e.pf
+}
+
+// sufficientTrace reports whether a trace satisfies the requirement
+// level of a lookup.
+func sufficientTrace[V lanevec.Vec[V]](tr *goodTrace[V], needCycles, needStates bool) bool {
+	return (tr.good1 != nil || !needCycles) && (tr.hasStates() || !needStates)
+}
+
+// traceFor returns the good machine's trace for the batch, serving it
+// from the shared cache when the same sequence set was simulated
+// before (by this or any other Simulator), waiting on an in-flight
+// computation by any other goroutine (singleflight — N identical
+// concurrent queries settle the good circuit once), and
+// computing+publishing it on m otherwise.  needCycles requests the
+// per-cycle output trace on top of the reset response; needStates
+// additionally requests the full-state fixpoint trace the cone-limited
+// engine consumes.
+func (e *engine[V]) traceFor(b *Batch, pk *packedBatch[V], m *machine[V], needCycles, needStates bool) *goodTrace[V] {
 	var zero V
 	key := traceKey{c: e.s.c, width: zero.Size(), hash: hashSeqs(b.Seqs)}
-	if cached := lookupTrace(key, b.Seqs); cached != nil {
-		tr := cached.(*goodTrace[V])
-		if (tr.good1 != nil || !needCycles) && (tr.hasStates() || !needStates) {
-			e.cacheHits++
-			return tr
+	for {
+		if cached := lookupTrace(key, b.Seqs); cached != nil {
+			tr := cached.(*goodTrace[V])
+			if sufficientTrace(tr, needCycles, needStates) {
+				e.cacheHits.Add(1)
+				return tr
+			}
 		}
+		fl, leader := beginTraceFlight(key, b.Seqs, needCycles, needStates)
+		if !leader {
+			<-fl.done
+			// The flight covered our requirements, so its result (also
+			// published via storeTrace) serves directly; a nil result
+			// means the leader failed — loop and compute ourselves.
+			if tr, ok := fl.tr.(*goodTrace[V]); ok && tr != nil {
+				e.cacheHits.Add(1)
+				return tr
+			}
+			continue
+		}
+		e.cacheMisses.Add(1)
+		tr := e.computeTrace(b, pk, m, needCycles, needStates)
+		storeTrace(key, b.Seqs, tr)
+		finishTraceFlight(fl, tr)
+		return tr
 	}
-	e.cacheMisses++
+}
+
+// computeTrace records the good machine's trace for the batch on m.
+func (e *engine[V]) computeTrace(b *Batch, pk *packedBatch[V], m *machine[V], needCycles, needStates bool) *goodTrace[V] {
 	tr := &goodTrace[V]{}
 	if needStates {
-		tr.runEvents(e.goodMachine(), pk, e.topo)
+		tr.runEvents(m, pk, e.topo)
 		// Derive the diff bitsets eagerly so their cost is accounted to
 		// the Simulator that recorded the trace (cache hits then find
 		// them precomputed).
-		e.allocs += tr.diffs(e.s.c).allocs
+		e.allocs.Add(tr.diffs(e.s.c).allocs)
 	} else {
-		tr.run(e.goodMachine(), pk, needCycles)
+		tr.run(m, pk, needCycles)
 	}
-	e.allocs += tr.allocs
-	storeTrace(key, b.Seqs, tr)
+	e.allocs.Add(tr.allocs)
 	return tr
 }
 
+// prefetch computes (and publishes to the shared cache) the good trace
+// of a future batch, on dedicated arenas and a dedicated machine, so
+// it can run while the current batch's faults settle.  Only the event
+// engine prefetches: it always needs the full-state trace, whereas a
+// sweep batch with declared responses needs no good run at all.
+func (e *engine[V]) prefetch(b *Batch) {
+	if e.mode != EngineEvent {
+		return
+	}
+	pk := &e.pfPk
+	var pfAllocs int64
+	if err := pack[V](e.s.c, b, pk, &pfAllocs); err != nil {
+		return // the real run will surface the error
+	}
+	e.allocs.Add(pfAllocs)
+	e.traceFor(b, pk, e.prefetchMachine(), true, true)
+}
+
 // run simulates one batch: pack, fill the response trace, then settle
-// every live fault class over its sticky shard.
+// every live fault class on the work-stealing pool.
 func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 	s := e.s
 	pk := &e.pk
-	if err := pack[V](s.c, b, pk, &e.allocs); err != nil {
+	var packAllocs int64
+	if err := pack[V](s.c, b, pk, &packAllocs); err != nil {
 		return nil, err
 	}
 	if b.Expected != nil {
-		pk.traceFromExpected(s.c, b, &e.allocs)
+		pk.traceFromExpected(s.c, b, &packAllocs)
 	}
 	if b.ResetExpected != nil {
-		pk.traceFromResetExpected(s.c, b, &e.allocs)
+		pk.traceFromResetExpected(s.c, b, &packAllocs)
 	}
+	e.allocs.Add(packAllocs)
 	res := &BatchResult{Lanes: make([]LaneMask, len(s.universe))}
-	live := make([][]int, len(s.shards))
-	active := 0
-	for w, shard := range s.shards {
-		for _, fi := range shard {
+	// Filter each unit down to its live classes, re-summing weights so
+	// the pool balances today's survivors, not the seed universe (after
+	// a few batches most classes are detected and dropped — the static
+	// cut would starve every worker but one).
+	var liveUnits []sched.Unit
+	for _, u := range s.units {
+		var items []int
+		var w int64
+		for _, fi := range u.Items {
 			if s.repLive(fi) {
-				live[w] = append(live[w], fi)
+				items = append(items, fi)
+				w += s.weights[fi]
 			}
 		}
-		if len(live[w]) > 0 {
-			active++
+		if len(items) > 0 {
+			liveUnits = append(liveUnits, sched.Unit{Items: items, Weight: w})
 		}
 	}
-	if active == 0 {
+	if len(liveUnits) == 0 {
 		// Nothing left to simulate: skip the good run entirely.
 		return res, nil
 	}
@@ -645,10 +815,10 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 	var tr *goodTrace[V]
 	var df *traceDiffs
 	if e.mode == EngineEvent {
-		tr = e.goodTraceFor(b, pk, true, true)
+		tr = e.traceFor(b, pk, e.goodMachine(), true, true)
 		df = tr.diffs(s.c)
 	} else if needReset || needCycles {
-		tr = e.goodTraceFor(b, pk, needCycles, false)
+		tr = e.traceFor(b, pk, e.goodMachine(), needCycles, false)
 	}
 	if tr != nil {
 		if pk.reset1 == nil {
@@ -673,32 +843,19 @@ func (e *engine[V]) run(b *Batch) (*BatchResult, error) {
 	}
 
 	// Class members are disjoint, so workers write disjoint res.Lanes
-	// entries and no synchronisation is needed beyond the join (the
-	// trace and diffs are shared read-only).
-	found := make([][]Detection, len(s.shards))
-	if active == 1 {
-		for w := range live {
-			if len(live[w]) > 0 {
-				found[w] = e.runShard(w, pk, tr, df, live[w], res.Lanes, eager)
-			}
-		}
-	} else {
-		var wg sync.WaitGroup
-		for w := range live {
-			if len(live[w]) == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				found[w] = e.runShard(w, pk, tr, df, live[w], res.Lanes, eager)
-			}(w)
-		}
-		wg.Wait()
+	// entries and no synchronisation is needed beyond the pool's join
+	// (the trace and diffs are shared read-only).  A unit is executed
+	// entirely by one worker, on that worker's sticky machine — stealing
+	// moves units, never splits them.
+	found := make([][]Detection, s.nworkers)
+	sched.Run(s.nworkers, liveUnits, func(w int, u sched.Unit) {
+		found[w] = append(found[w], e.runUnit(w, pk, tr, df, u.Items, res.Lanes, eager)...)
+	})
+	for _, part := range found {
+		res.Detections = append(res.Detections, part...)
 	}
-	for _, shard := range found {
-		res.Detections = append(res.Detections, shard...)
-	}
+	// Stealing makes the execution order nondeterministic; sorting by
+	// fault index keeps the result deterministic regardless.
 	sort.Slice(res.Detections, func(i, j int) bool {
 		return res.Detections[i].Fault < res.Detections[j].Fault
 	})
@@ -728,9 +885,10 @@ func expectedMatchesGood[V lanevec.Vec[V]](b *Batch, pk *packedBatch[V], tr *goo
 	return true
 }
 
-// runShard simulates the live representatives of one shard on its
-// sticky machine and fans each verdict out to the class members.
-func (e *engine[V]) runShard(w int, pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, shard []int, lanes []LaneMask, eager bool) []Detection {
+// runUnit simulates the live representatives of one work unit on
+// worker w's sticky machine and fans each verdict out to the class
+// members.
+func (e *engine[V]) runUnit(w int, pk *packedBatch[V], tr *goodTrace[V], df *traceDiffs, unit []int, lanes []LaneMask, eager bool) []Detection {
 	s := e.s
 	m := e.workers[w]
 	if m == nil {
@@ -738,7 +896,7 @@ func (e *engine[V]) runShard(w int, pk *packedBatch[V], tr *goodTrace[V], df *tr
 		e.workers[w] = m
 	}
 	var found []Detection
-	for _, fi := range shard {
+	for _, fi := range unit {
 		mask, lane, cycle, ok := e.runFault(m, pk, tr, df, fi, eager)
 		if !ok {
 			continue

@@ -3,6 +3,7 @@ package netlist
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Topology is the persistent structural index of a circuit, computed
@@ -148,12 +149,26 @@ func (t *Topology) GateMaskW(signals, dst []uint64) []uint64 {
 }
 
 // Topology returns the circuit's structural index, computing it on
-// first use.  The result is immutable and safe for concurrent use;
-// Clone copies share nothing (the copy rebuilds its own index).
+// first use.  The result is immutable and safe for concurrent use —
+// the sync.Once publishes the build to every goroutine, so concurrent
+// Simulators over one Circuit share a single index; Clone copies share
+// nothing (the copy rebuilds its own index).
 func (c *Circuit) Topology() *Topology {
-	c.topoOnce.Do(func() { c.topo = buildTopology(c) })
+	c.topoOnce.Do(func() {
+		c.topo = buildTopology(c)
+		topologyBuilds.Add(1)
+	})
 	return c.topo
 }
+
+// topologyBuilds counts Topology constructions process-wide.
+var topologyBuilds atomic.Int64
+
+// TopologyBuilds returns the number of Topology indexes built since
+// process start — the cache-effectiveness metric of the per-Circuit
+// topology store (a resident service interning circuits should see it
+// grow with distinct circuits, not with requests).
+func TopologyBuilds() int64 { return topologyBuilds.Load() }
 
 // topoState is the lazily-built Topology cache embedded in Circuit.
 type topoState struct {

@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/logic"
@@ -131,5 +132,33 @@ init S=0 R=1 Q=0 QB=1
 		if lv < 0 || lv > c.NumGates() {
 			t.Fatalf("gate %d level %d out of range", gi, lv)
 		}
+	}
+}
+
+// TestTopologyConcurrentBuildOnce hammers a fresh circuit's Topology()
+// from many goroutines: every caller must see the same index, and the
+// build counter must record exactly one construction — the sync.Once
+// contract the concurrent coverage service leans on.
+func TestTopologyConcurrentBuildOnce(t *testing.T) {
+	c := topoCircuit(t)
+	before := TopologyBuilds()
+	const n = 16
+	topos := make([]*Topology, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			topos[i] = c.Topology()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if topos[i] != topos[0] {
+			t.Fatalf("goroutine %d built a different Topology index", i)
+		}
+	}
+	if got := TopologyBuilds() - before; got != 1 {
+		t.Fatalf("%d topology builds for one circuit under %d concurrent callers, want 1", got, n)
 	}
 }

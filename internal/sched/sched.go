@@ -1,0 +1,207 @@
+// Package sched is the shard-parallel work scheduler of the coverage
+// engine: it cuts an item list (in practice, representative fault
+// classes) into work units sized by a per-item cost estimate and runs
+// them on a work-stealing pool of sticky workers.
+//
+// The static equal-count sharding it replaces balanced *classes*, not
+// *work*: a handful of wide-cone faults dominates the settling cost of
+// a batch (the DEFT observation — most pattern cost comes from a small
+// set of hard faults), so a worker that drew the deep cones finished
+// long after the others went idle.  Here the units are sized by the
+// measured-work proxy instead (cone weight for the event engine), the
+// initial assignment spreads them longest-first across workers, and
+// whatever imbalance survives the estimate is fixed at run time by
+// stealing: an idle worker takes a unit from the most-loaded victim's
+// tail.
+//
+// Workers are identified by a stable index so callers can keep sticky
+// per-worker state (cache-warm lane machines) across Run calls; a unit
+// is always executed entirely by one worker.
+package sched
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Unit is one work unit: item ids executed together by one worker,
+// with the summed cost estimate used for balancing.
+type Unit struct {
+	Items  []int
+	Weight int64
+}
+
+// UnitsPerWorker is the default unit granularity: enough units per
+// worker that stealing can rebalance a bad estimate, few enough that
+// the per-unit overhead stays invisible.
+const UnitsPerWorker = 4
+
+// Partition cuts items (order preserved within and across units) into
+// at most maxUnits units of near-equal total weight.  weight(i) is the
+// cost estimate of items[i]; non-positive estimates count as 1.  Fewer
+// units are returned when there are fewer items.
+func Partition(items []int, weight func(i int) int64, maxUnits int) []Unit {
+	if len(items) == 0 {
+		return nil
+	}
+	if maxUnits < 1 {
+		maxUnits = 1
+	}
+	if maxUnits > len(items) {
+		maxUnits = len(items)
+	}
+	var total int64
+	ws := make([]int64, len(items))
+	for i := range items {
+		w := weight(i)
+		if w <= 0 {
+			w = 1
+		}
+		ws[i] = w
+		total += w
+	}
+	target := (total + int64(maxUnits) - 1) / int64(maxUnits)
+	units := make([]Unit, 0, maxUnits)
+	start, acc := 0, int64(0)
+	for i := range items {
+		acc += ws[i]
+		// Close the unit once it reaches the target, but never beyond
+		// what would leave the remaining units empty.
+		if acc >= target && len(units) < maxUnits-1 {
+			units = append(units, Unit{Items: items[start : i+1], Weight: acc})
+			start, acc = i+1, 0
+		}
+	}
+	if start < len(items) {
+		units = append(units, Unit{Items: items[start:], Weight: acc})
+	}
+	return units
+}
+
+// queue is one worker's unit deque.  The owner pops from the front (its
+// assigned units in weight order), thieves steal from the back, so an
+// owner and a thief contend only on the last unit.
+type queue struct {
+	mu        sync.Mutex
+	units     []Unit
+	remaining atomic.Int64 // summed weight of units not yet taken
+}
+
+func (q *queue) popFront() (Unit, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.units) == 0 {
+		return Unit{}, false
+	}
+	u := q.units[0]
+	q.units = q.units[1:]
+	q.remaining.Add(-u.Weight)
+	return u, true
+}
+
+func (q *queue) stealBack() (Unit, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.units) == 0 {
+		return Unit{}, false
+	}
+	u := q.units[len(q.units)-1]
+	q.units = q.units[:len(q.units)-1]
+	q.remaining.Add(-u.Weight)
+	return u, true
+}
+
+// Run executes every unit exactly once across `workers` goroutines,
+// calling fn(worker, unit) with the stable index of the executing
+// worker.  The initial assignment is longest-processing-time greedy
+// (heaviest unit to the least-loaded worker); an idle worker then
+// steals from the back of the most-loaded victim until no unit
+// remains.  No new units are produced at run time, so termination is
+// the first fully-empty sweep.  With one worker (or one unit) Run
+// executes inline, goroutine-free.
+func Run(workers int, units []Unit, fn func(worker int, u Unit)) {
+	if len(units) == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || len(units) == 1 {
+		for _, u := range units {
+			fn(0, u)
+		}
+		return
+	}
+
+	// LPT assignment: visit units heaviest-first, give each to the
+	// currently least-loaded worker.  Sort a copy of the order, not the
+	// units, so callers' slices are untouched.
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return units[order[a]].Weight > units[order[b]].Weight
+	})
+	queues := make([]*queue, workers)
+	for w := range queues {
+		queues[w] = &queue{}
+	}
+	load := make([]int64, workers)
+	for _, ui := range order {
+		w := 0
+		for v := 1; v < workers; v++ {
+			if load[v] < load[w] {
+				w = v
+			}
+		}
+		queues[w].units = append(queues[w].units, units[ui])
+		load[w] += units[ui].Weight
+	}
+	for w := range queues {
+		queues[w].remaining.Store(load[w])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				u, ok := queues[w].popFront()
+				if !ok {
+					u, ok = steal(queues, w)
+				}
+				if !ok {
+					return
+				}
+				fn(w, u)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// steal takes a unit from the back of the victim with the most
+// remaining weight; ok=false when every queue is empty.
+func steal(queues []*queue, self int) (Unit, bool) {
+	for {
+		victim, best := -1, int64(0)
+		for v, q := range queues {
+			if v == self {
+				continue
+			}
+			if r := q.remaining.Load(); r > best {
+				victim, best = v, r
+			}
+		}
+		if victim < 0 {
+			return Unit{}, false
+		}
+		if u, ok := queues[victim].stealBack(); ok {
+			return u, true
+		}
+		// Lost the race for the victim's last unit; rescan.
+	}
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func flatten(units []Unit) []int {
+	var out []int
+	for _, u := range units {
+		out = append(out, u.Items...)
+	}
+	return out
+}
+
+func TestPartitionCoversEveryItemInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		items := make([]int, n)
+		weights := make([]int64, n)
+		for i := range items {
+			items[i] = 100 + i
+			weights[i] = int64(rng.Intn(50)) // zero weights must count as 1
+		}
+		maxUnits := rng.Intn(10)
+		units := Partition(items, func(i int) int64 { return weights[i] }, maxUnits)
+		got := flatten(units)
+		if len(got) != n {
+			t.Fatalf("trial %d: %d items partitioned into %d", trial, n, len(got))
+		}
+		for i, v := range got {
+			if v != items[i] {
+				t.Fatalf("trial %d: item order broken at %d: got %d want %d", trial, i, v, items[i])
+			}
+		}
+		if n > 0 && len(units) > maxUnits && maxUnits >= 1 {
+			t.Fatalf("trial %d: %d units exceed max %d", trial, len(units), maxUnits)
+		}
+	}
+}
+
+func TestPartitionBalancesWeight(t *testing.T) {
+	// 100 items of weight 1 plus one of weight 100: the heavy item must
+	// not drag half the light ones into its unit.
+	items := make([]int, 101)
+	for i := range items {
+		items[i] = i
+	}
+	w := func(i int) int64 {
+		if i == 0 {
+			return 100
+		}
+		return 1
+	}
+	units := Partition(items, w, 8)
+	if len(units) < 4 {
+		t.Fatalf("partition collapsed to %d units", len(units))
+	}
+	// The unit holding item 0 should hold few other items.
+	for _, u := range units {
+		if u.Items[0] == 0 && len(u.Items) > 2 {
+			t.Fatalf("heavy unit dragged %d items along", len(u.Items))
+		}
+	}
+}
+
+func TestRunExecutesEveryUnitOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		items := make([]int, 200)
+		for i := range items {
+			items[i] = i
+		}
+		units := Partition(items, func(i int) int64 { return int64(i%13 + 1) }, workers*UnitsPerWorker)
+		var mu sync.Mutex
+		seen := map[int]int{}
+		Run(workers, units, func(w int, u Unit) {
+			if w < 0 || w >= workers {
+				t.Errorf("worker index %d out of range", w)
+			}
+			mu.Lock()
+			for _, it := range u.Items {
+				seen[it]++
+			}
+			mu.Unlock()
+		})
+		if len(seen) != len(items) {
+			t.Fatalf("workers=%d: %d items executed, want %d", workers, len(seen), len(items))
+		}
+		for it, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: item %d executed %d times", workers, it, n)
+			}
+		}
+	}
+}
+
+func TestStealTakesFromHeaviestVictim(t *testing.T) {
+	// Three queues: self (empty), a light victim, a heavy victim.  The
+	// thief must take from the heavy one's tail first, and keep going
+	// until every queue is drained.
+	queues := []*queue{{}, {}, {}}
+	queues[1].units = []Unit{{Items: []int{10}, Weight: 1}}
+	queues[1].remaining.Store(1)
+	queues[2].units = []Unit{{Items: []int{20}, Weight: 5}, {Items: []int{21}, Weight: 5}}
+	queues[2].remaining.Store(10)
+
+	var got []int
+	for {
+		u, ok := steal(queues, 0)
+		if !ok {
+			break
+		}
+		got = append(got, u.Items...)
+	}
+	want := []int{21, 20, 10} // heavy victim's tail first, light victim last
+	if len(got) != len(want) {
+		t.Fatalf("stole %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("steal order %v, want %v", got, want)
+		}
+	}
+	if _, ok := steal(queues, 0); ok {
+		t.Fatal("steal succeeded on drained queues")
+	}
+	sort.Ints(got) // keep the sort import honest about intent
+	if got[0] != 10 {
+		t.Fatalf("lost an item: %v", got)
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	Run(4, nil, func(int, Unit) { t.Fatal("fn called for empty unit list") })
+	ran := 0
+	Run(0, []Unit{{Items: []int{1}}}, func(w int, u Unit) {
+		if w != 0 {
+			t.Fatalf("inline run on worker %d", w)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("single unit ran %d times", ran)
+	}
+}

@@ -1,0 +1,624 @@
+// Package service is the resident coverage server behind cmd/satpgd:
+// an HTTP API that accepts circuits and test programs, measures
+// guaranteed fault coverage with the shard-parallel fsim engine, and
+// optionally compacts programs — while sharing the expensive state
+// (parsed circuits, Topology indexes, good traces) across every
+// request the process serves.
+//
+// # API
+//
+//	POST /v1/circuits   body: .ckt text → {"id", "name", "inputs", "outputs", "gates", "signals"}
+//	POST /v1/coverage   body: CoverageRequest JSON → CoverageResponse JSON
+//	                    (with "stream": true, NDJSON: one BatchProgress
+//	                    line per simulated batch, then the final
+//	                    CoverageResponse line)
+//	POST /v1/compact    body: CompactRequest JSON → CompactResponse JSON
+//	GET  /metrics       plain-text counters (cache hit rates, query and
+//	                    pattern totals, in-flight gauge)
+//	GET  /healthz       liveness probe
+//	GET  /debug/pprof/  the standard Go profiler endpoints
+//
+// # Sharding model
+//
+// A request may restrict the measurement to shard i of an N-way
+// partition of the representative fault classes ("shard"/"shards");
+// the response then carries the ownership bitmask, and the shard
+// responses of all N workers merge losslessly into the single-process
+// report.  A server configured with peer URLs acts as the coordinator:
+// it forwards the request to each peer with an assigned shard index
+// (shipping the circuit text inline so workers need no shared state),
+// collects the partial verdicts, and returns the merged report — the
+// multi-process scale-out mode of the engine.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/compact"
+	"repro/internal/faults"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/tester"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the default fault-shard goroutine count of a coverage
+	// query (0: GOMAXPROCS); a request's "workers" field overrides it.
+	Workers int
+	// CircuitCap bounds the circuit intern store (0: DefaultCircuitCap).
+	CircuitCap int
+	// Peers lists worker base URLs (e.g. "http://10.0.0.2:8714").  When
+	// non-empty the server coordinates: unsharded coverage requests are
+	// partitioned across the peers and the verdicts merged.
+	Peers []string
+	// Client performs the coordinator's peer requests (nil:
+	// http.DefaultClient).
+	Client *http.Client
+}
+
+// Metrics is the server's atomic counter set, rendered by /metrics.
+type Metrics struct {
+	CoverageQueries atomic.Int64 // completed /v1/coverage requests
+	CompactQueries  atomic.Int64 // completed /v1/compact requests
+	CircuitSubmits  atomic.Int64 // completed /v1/circuits requests
+	Errors          atomic.Int64 // requests answered with a 4xx/5xx
+	InFlight        atomic.Int64 // requests currently being served
+	Patterns        atomic.Int64 // test patterns simulated, summed over lanes
+	FaultsMeasured  atomic.Int64 // per-fault verdicts produced
+}
+
+// Server is the resident coverage service.  It is an http.Handler;
+// every method is safe for concurrent use.
+type Server struct {
+	cfg      Config
+	circuits *CircuitStore
+	metrics  Metrics
+	mux      *http.ServeMux
+	start    time.Time
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		circuits: NewCircuitStore(cfg.CircuitCap),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/circuits", s.handleCircuits)
+	s.mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
+	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Metrics exposes the live counter set (reads must use the atomic
+// accessors).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Circuits exposes the intern store (for load generators reporting its
+// hit rate).
+func (s *Server) Circuits() *CircuitStore { return s.circuits }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError answers with a JSON error body and counts it.
+func (s *Server) httpError(w http.ResponseWriter, code int, err error) {
+	s.metrics.Errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// CircuitInfo is the POST /v1/circuits response.
+type CircuitInfo struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+	Gates   int    `json:"gates"`
+	Signals int    `json:"signals"`
+}
+
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	text, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, c, err := s.circuits.Intern(string(text), "submitted")
+	if err != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.CircuitSubmits.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(CircuitInfo{
+		ID: id, Name: c.Name,
+		Inputs: c.NumInputs(), Outputs: len(c.Outputs),
+		Gates: c.NumGates(), Signals: c.NumSignals(),
+	})
+}
+
+// TestJSON is one test sequence of a coverage request.  Expected is
+// optional: when any test omits it, faults are judged against the good
+// machine's own simulated response instead of declared expectations.
+type TestJSON struct {
+	Patterns []uint64 `json:"patterns"`
+	Expected []uint64 `json:"expected,omitempty"`
+}
+
+// CoverageRequest is the POST /v1/coverage body.
+type CoverageRequest struct {
+	// Circuit names an interned circuit id; CircuitText supplies the
+	// .ckt source inline (and interns it).  Exactly one is required.
+	Circuit     string `json:"circuit,omitempty"`
+	CircuitText string `json:"circuit_text,omitempty"`
+
+	Model   string     `json:"model,omitempty"`   // input (default) | output
+	Faults  string     `json:"faults,omitempty"`  // sa (default) | transition | both
+	Engine  string     `json:"engine,omitempty"`  // event (default) | sweep
+	Lanes   int        `json:"lanes,omitempty"`   // 64 (default) | 128 | 256
+	Workers int        `json:"workers,omitempty"` // 0: server default
+	Tests   []TestJSON `json:"tests"`
+
+	// Shard/Shards restrict the measurement to one shard of an N-way
+	// class partition (both 0: full universe).  Local setting a
+	// coordinator assigns to its peers; clients normally leave it unset.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
+
+	// Stream switches the response to NDJSON: one BatchProgress line
+	// after each simulated batch, then the final CoverageResponse line.
+	Stream bool `json:"stream,omitempty"`
+	// Local forces single-process measurement even on a coordinator.
+	Local bool `json:"local,omitempty"`
+}
+
+// VerdictJSON is one per-fault verdict on the wire.
+type VerdictJSON struct {
+	Detected bool `json:"detected"`
+	Test     int  `json:"test"`  // detecting test index; -1 reset-only or undetected
+	Cycle    int  `json:"cycle"` // first detecting cycle; -1 at reset
+}
+
+// BatchProgress is one NDJSON streaming line ("kind": "batch").
+type BatchProgress struct {
+	Kind       string `json:"kind"`
+	Base       int    `json:"base"`       // first test index of the batch
+	Detections int    `json:"detections"` // new detections this batch
+	Detected   int    `json:"detected"`   // cumulative detections
+	Total      int    `json:"total"`
+}
+
+// CoverageResponse is the final coverage verdict ("kind": "report").
+type CoverageResponse struct {
+	Kind      string        `json:"kind"`
+	CircuitID string        `json:"circuit_id"`
+	Total     int           `json:"total"`
+	Detected  int           `json:"detected"`
+	Coverage  float64       `json:"coverage"`
+	Classes   int           `json:"classes"`
+	Lanes     int           `json:"lanes"`
+	Workers   int           `json:"workers"`
+	Engine    string        `json:"engine"`
+	Shard     int           `json:"shard,omitempty"`
+	Shards    int           `json:"shards,omitempty"`
+	Owned     []uint64      `json:"owned,omitempty"` // bitmask words, fault i at bit i%64 of word i/64
+	PerFault  []VerdictJSON `json:"per_fault"`
+	Patterns  int64         `json:"patterns"`
+	GateEvals int64         `json:"gate_evals"`
+	CacheHits int64         `json:"cache_hits"`
+	CacheMiss int64         `json:"cache_misses"`
+	ElapsedNS int64         `json:"elapsed_ns"`
+}
+
+// resolveCircuit returns the request's circuit and its intern id.
+func (s *Server) resolveCircuit(id, text string) (string, *netlist.Circuit, error) {
+	switch {
+	case id != "" && text != "":
+		return "", nil, fmt.Errorf("use either circuit or circuit_text, not both")
+	case text != "":
+		return s.circuits.Intern(text, "submitted")
+	case id != "":
+		_, c, ok := s.circuits.Lookup(id)
+		if !ok {
+			return "", nil, fmt.Errorf("unknown circuit id %q (submit it via /v1/circuits first)", id)
+		}
+		return id, c, nil
+	}
+	return "", nil, fmt.Errorf("one of circuit or circuit_text is required")
+}
+
+// resolveUniverse maps the request's model/faults keywords to the
+// fault universe, with cmd/satpg's keyword vocabulary.
+func resolveUniverse(c *netlist.Circuit, model, sel string) ([]faults.Fault, error) {
+	fm := faults.InputSA
+	switch model {
+	case "", "input":
+	case "output":
+		fm = faults.OutputSA
+	default:
+		return nil, fmt.Errorf("unknown model %q (want input or output)", model)
+	}
+	fs := faults.SelStuckAt
+	if sel != "" {
+		var ok bool
+		if fs, ok = faults.ParseSelection(sel); !ok {
+			return nil, fmt.Errorf("unknown faults %q (want sa, transition or both)", sel)
+		}
+	}
+	return faults.SelectUniverse(c, fm, fs), nil
+}
+
+func resolveEngine(s string) (fsim.EngineKind, error) {
+	switch s {
+	case "", "event":
+		return fsim.EngineEvent, nil
+	case "sweep":
+		return fsim.EngineSweep, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want event or sweep)", s)
+}
+
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	var req CoverageRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(s.cfg.Peers) > 0 && !req.Local && req.Shards == 0 {
+		s.coordinateCoverage(w, &req)
+		return
+	}
+	id, c, err := s.resolveCircuit(req.Circuit, req.CircuitText)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	universe, err := resolveUniverse(c, req.Model, req.Faults)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	engine, err := resolveEngine(req.Engine)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	tests := make([]atpg.Test, len(req.Tests))
+	for i, t := range req.Tests {
+		tests[i] = atpg.Test{Patterns: t.Patterns, Expected: t.Expected}
+	}
+	opts := atpg.CoverageOptions{
+		Workers: workers, Lanes: req.Lanes, Engine: engine,
+		Shard: req.Shard, Shards: req.Shards,
+	}
+
+	var enc *json.Encoder
+	var flush func()
+	if req.Stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc = json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		flush = func() {
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		total := len(universe)
+		opts.OnBatch = func(base, detections, cum int) {
+			enc.Encode(BatchProgress{Kind: "batch", Base: base, Detections: detections, Detected: cum, Total: total})
+			flush()
+		}
+	}
+
+	rep, err := atpg.CoverageOfOpts(c, universe, tests, opts)
+	if err != nil {
+		// Streaming has already committed a 200; the decode failure on
+		// the client is the best remaining signal there.
+		s.httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.CoverageQueries.Add(1)
+	s.metrics.Patterns.Add(rep.Stats.Patterns)
+	s.metrics.FaultsMeasured.Add(int64(rep.Total))
+	resp := coverageResponse(id, rep)
+	if enc == nil {
+		w.Header().Set("Content-Type", "application/json")
+		enc = json.NewEncoder(w)
+	}
+	enc.Encode(resp)
+	if flush != nil {
+		flush()
+	}
+}
+
+// coverageResponse converts a report to its wire form.
+func coverageResponse(circuitID string, rep *atpg.CoverageReport) *CoverageResponse {
+	resp := &CoverageResponse{
+		Kind: "report", CircuitID: circuitID,
+		Total: rep.Total, Detected: rep.Detected, Coverage: rep.Coverage(),
+		Classes: rep.Classes, Lanes: rep.Lanes, Workers: rep.Workers,
+		Engine: rep.Engine.String(),
+		Shard:  rep.Shard, Shards: rep.Shards,
+		PerFault:  make([]VerdictJSON, len(rep.PerFault)),
+		Patterns:  rep.Stats.Patterns,
+		GateEvals: rep.Stats.GateEvals,
+		CacheHits: rep.Stats.CacheHits,
+		CacheMiss: rep.Stats.CacheMisses,
+		ElapsedNS: rep.Elapsed.Nanoseconds(),
+	}
+	for i, fc := range rep.PerFault {
+		resp.PerFault[i] = VerdictJSON{Detected: fc.Detected, Test: fc.TestIndex, Cycle: fc.Cycle}
+	}
+	if rep.Owned != nil {
+		resp.Owned = make([]uint64, (len(rep.Owned)+63)/64)
+		for i, own := range rep.Owned {
+			if own {
+				resp.Owned[i/64] |= 1 << uint(i%64)
+			}
+		}
+	}
+	return resp
+}
+
+// coverageReport converts a wire response back to a report for
+// merging; the universe supplies the Fault identities the wire omits.
+func coverageReport(resp *CoverageResponse, universe []faults.Fault) (*atpg.CoverageReport, error) {
+	if resp.Total != len(universe) {
+		return nil, fmt.Errorf("shard universe mismatch: peer reports %d faults, coordinator has %d", resp.Total, len(universe))
+	}
+	if len(resp.PerFault) != resp.Total {
+		return nil, fmt.Errorf("malformed shard response: %d verdicts for %d faults", len(resp.PerFault), resp.Total)
+	}
+	rep := &atpg.CoverageReport{
+		Total: resp.Total, Detected: resp.Detected,
+		Classes: resp.Classes, Lanes: resp.Lanes, Workers: resp.Workers,
+		Shard: resp.Shard, Shards: resp.Shards,
+		PerFault: make([]atpg.FaultCoverage, resp.Total),
+		Stats: fsim.Stats{
+			Patterns: resp.Patterns, GateEvals: resp.GateEvals,
+			CacheHits: resp.CacheHits, CacheMisses: resp.CacheMiss,
+		},
+		Elapsed: time.Duration(resp.ElapsedNS),
+	}
+	if resp.Engine == "sweep" {
+		rep.Engine = fsim.EngineSweep
+	}
+	for i, v := range resp.PerFault {
+		rep.PerFault[i] = atpg.FaultCoverage{
+			Fault: universe[i], Detected: v.Detected, TestIndex: v.Test, Cycle: v.Cycle,
+		}
+	}
+	rep.Owned = make([]bool, resp.Total)
+	for i := range rep.Owned {
+		w := i / 64
+		rep.Owned[i] = w < len(resp.Owned) && resp.Owned[w]>>uint(i%64)&1 == 1
+	}
+	return rep, nil
+}
+
+// coordinateCoverage fans the request out to the configured peers, one
+// shard each, and merges the verdicts.  The circuit ships inline so
+// workers need no prior state; everything else about the request is
+// forwarded verbatim (minus streaming, which has no cross-shard
+// meaning).
+func (s *Server) coordinateCoverage(w http.ResponseWriter, req *CoverageRequest) {
+	id, c, err := s.resolveCircuit(req.Circuit, req.CircuitText)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	text, _, ok := s.circuits.Lookup(id)
+	if !ok {
+		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("interned circuit %q evicted mid-request", id))
+		return
+	}
+	universe, err := resolveUniverse(c, req.Model, req.Faults)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	client := s.cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	n := len(s.cfg.Peers)
+	reports := make([]*atpg.CoverageReport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, peer := range s.cfg.Peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			sub := *req
+			sub.Circuit, sub.CircuitText = "", text
+			sub.Shard, sub.Shards = i, n
+			sub.Stream, sub.Local = false, true
+			body, err := json.Marshal(&sub)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := client.Post(peer+"/v1/coverage", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = fmt.Errorf("peer %s: %w", peer, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+				errs[i] = fmt.Errorf("peer %s: %s: %s", peer, resp.Status, bytes.TrimSpace(msg))
+				return
+			}
+			var cr CoverageResponse
+			if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+				errs[i] = fmt.Errorf("peer %s: decoding response: %w", peer, err)
+				return
+			}
+			reports[i], errs[i] = coverageReport(&cr, universe)
+		}(i, peer)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.httpError(w, http.StatusBadGateway, err)
+			return
+		}
+	}
+	merged, err := atpg.MergeShardReports(reports)
+	if err != nil {
+		s.httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	s.metrics.CoverageQueries.Add(1)
+	s.metrics.Patterns.Add(merged.Stats.Patterns)
+	s.metrics.FaultsMeasured.Add(int64(merged.Total))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(coverageResponse(id, merged))
+}
+
+// ProgramJSON is one tester program on the wire.
+type ProgramJSON struct {
+	Patterns      []uint64 `json:"patterns"`
+	Expected      []uint64 `json:"expected"`
+	ResetExpected uint64   `json:"reset_expected"`
+}
+
+// CompactRequest is the POST /v1/compact body.
+type CompactRequest struct {
+	Circuit     string        `json:"circuit,omitempty"`
+	CircuitText string        `json:"circuit_text,omitempty"`
+	Model       string        `json:"model,omitempty"`
+	Faults      string        `json:"faults,omitempty"`
+	Engine      string        `json:"engine,omitempty"`
+	Lanes       int           `json:"lanes,omitempty"`
+	Workers     int           `json:"workers,omitempty"`
+	Mode        string        `json:"mode,omitempty"` // none | reverse | dominance | greedy | all (default)
+	Programs    []ProgramJSON `json:"programs"`
+}
+
+// CompactResponse is the compaction outcome.
+type CompactResponse struct {
+	CircuitID string        `json:"circuit_id"`
+	Mode      string        `json:"mode"`
+	Before    int           `json:"before"`
+	After     int           `json:"after"`
+	Kept      []int         `json:"kept"`
+	Programs  []ProgramJSON `json:"programs"`
+	Detected  int           `json:"detected"` // fault classes the program covers (preserved exactly)
+	ElapsedNS int64         `json:"elapsed_ns"`
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	var req CompactRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	id, c, err := s.resolveCircuit(req.Circuit, req.CircuitText)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	universe, err := resolveUniverse(c, req.Model, req.Faults)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	engine, err := resolveEngine(req.Engine)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	mode := compact.ModeAll
+	if req.Mode != "" {
+		var ok bool
+		if mode, ok = compact.ParseMode(req.Mode); !ok {
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want none, reverse, dominance, greedy or all)", req.Mode))
+			return
+		}
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	progs := make([]tester.Program, len(req.Programs))
+	for i, p := range req.Programs {
+		progs[i] = tester.Program{Patterns: p.Patterns, Expected: p.Expected, ResetExpected: p.ResetExpected}
+	}
+	start := time.Now()
+	cr, err := compact.Compact(c, progs, universe, mode, compact.Options{Workers: workers, Lanes: req.Lanes, Engine: engine})
+	if err != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.CompactQueries.Add(1)
+	s.metrics.Patterns.Add(cr.Matrix.Stats.Patterns)
+	resp := &CompactResponse{
+		CircuitID: id, Mode: mode.String(),
+		Before: cr.Before, After: cr.After,
+		Kept:      append([]int(nil), cr.Kept...),
+		Programs:  make([]ProgramJSON, len(cr.Programs)),
+		Detected:  cr.Matrix.Detected,
+		ElapsedNS: time.Since(start).Nanoseconds(),
+	}
+	sort.Ints(resp.Kept)
+	for i, p := range cr.Programs {
+		resp.Programs[i] = ProgramJSON{Patterns: p.Patterns, Expected: p.Expected, ResetExpected: p.ResetExpected}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	tc := fsim.TraceCacheStats()
+	cs := s.circuits.Stats()
+	fmt.Fprintf(w, "satpgd_uptime_seconds %.0f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "satpgd_inflight_requests %d\n", s.metrics.InFlight.Load())
+	fmt.Fprintf(w, "satpgd_coverage_queries_total %d\n", s.metrics.CoverageQueries.Load())
+	fmt.Fprintf(w, "satpgd_compact_queries_total %d\n", s.metrics.CompactQueries.Load())
+	fmt.Fprintf(w, "satpgd_circuit_submits_total %d\n", s.metrics.CircuitSubmits.Load())
+	fmt.Fprintf(w, "satpgd_errors_total %d\n", s.metrics.Errors.Load())
+	fmt.Fprintf(w, "satpgd_patterns_simulated_total %d\n", s.metrics.Patterns.Load())
+	fmt.Fprintf(w, "satpgd_faults_measured_total %d\n", s.metrics.FaultsMeasured.Load())
+	fmt.Fprintf(w, "satpgd_trace_cache_hits_total %d\n", tc.Hits)
+	fmt.Fprintf(w, "satpgd_trace_cache_misses_total %d\n", tc.Misses)
+	fmt.Fprintf(w, "satpgd_trace_cache_evictions_total %d\n", tc.Evictions)
+	fmt.Fprintf(w, "satpgd_trace_cache_waits_total %d\n", tc.Waits)
+	fmt.Fprintf(w, "satpgd_trace_cache_hit_rate %.4f\n", tc.HitRate())
+	fmt.Fprintf(w, "satpgd_trace_cache_entries %d\n", tc.Entries)
+	fmt.Fprintf(w, "satpgd_circuit_store_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "satpgd_circuit_store_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "satpgd_circuit_store_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "satpgd_topology_builds_total %d\n", netlist.TopologyBuilds())
+}

@@ -330,6 +330,28 @@ func FaultSimBatch(c *Circuit, model FaultModel, tests []Test, opts Options) (*C
 	return atpg.CoverageOf(c, faults.SelectUniverse(c, model, opts.Faults), tests, opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
 }
 
+// FaultSimBatchShard is FaultSimBatch restricted to shard `shard` of a
+// `shards`-way partition of the representative fault classes — the
+// per-worker measurement of the distributed coverage flow.  The report
+// carries its ownership mask; the reports of all `shards` shards (over
+// the same circuit, model, tests and options) merge losslessly with
+// MergeCoverageShards into a report whose per-fault verdicts are
+// bit-identical to the unsharded FaultSimBatch.
+func FaultSimBatchShard(c *Circuit, model FaultModel, tests []Test, shard, shards int, opts Options) (*CoverageReport, error) {
+	return atpg.CoverageOfOpts(c, faults.SelectUniverse(c, model, opts.Faults), tests, atpg.CoverageOptions{
+		Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes, Engine: opts.FaultSimEngine,
+		Shard: shard, Shards: shards,
+	})
+}
+
+// MergeCoverageShards folds the shard reports of a distributed
+// measurement (FaultSimBatchShard over every shard index) into the
+// single-process report: each fault's verdict is taken from the shard
+// that owns it, and counters sum.
+func MergeCoverageShards(reports []*CoverageReport) (*CoverageReport, error) {
+	return atpg.MergeShardReports(reports)
+}
+
 // MeasureProgramCoverage is FaultSimBatch for tester programs: the
 // stimulus/response view of the same measurement.
 func MeasureProgramCoverage(c *Circuit, progs []Program, model FaultModel, opts Options) (ProgramCoverageSummary, error) {
