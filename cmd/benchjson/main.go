@@ -10,10 +10,13 @@
 // (the model/engine/lanes-N naming of BenchmarkEventVsSweepTable1, the
 // engine shapes of BenchmarkFaultSimEngines, the model/mode naming of
 // BenchmarkCompactTable1, the circuit/signals-N naming of
-// BenchmarkISCASScale, and the workers-N / inflight-N throughput
+// BenchmarkISCASScale, the workers-N / inflight-N throughput
 // dimension of BenchmarkServiceShardThroughput and
 // BenchmarkServiceConcurrentQueries, whose queries/sec and aggregate
-// patterns/sec metrics ride along like any other custom metric).
+// patterns/sec metrics ride along like any other custom metric, and
+// the podem-on/podem-off dimension of BenchmarkPodemHardFaults, whose
+// hard-faults / covered / decisions / backtracks metrics record what
+// the deterministic phase adds on faults the random walks miss).
 //
 // With -compare it additionally diffs the fresh run against a committed
 // baseline report, matching rows by benchmark name on the patterns/sec
@@ -65,8 +68,12 @@ type Entry struct {
 	// benchmarks (e.g. ServiceShardThroughput/s953/workers-4,
 	// ServiceConcurrentQueries/s27/inflight-1024/workers-2): the shard
 	// or handler worker count, and the concurrent in-flight query count.
-	Workers    int                `json:"workers,omitempty"`
-	Inflight   int                `json:"inflight,omitempty"`
+	Workers  int `json:"workers,omitempty"`
+	Inflight int `json:"inflight,omitempty"`
+	// Podem is the deterministic-phase dimension of the PodemHardFaults
+	// benchmark ("on"/"off"), whose hard-faults / covered / decisions /
+	// backtracks custom metrics ride along like any other metric.
+	Podem      string             `json:"podem,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -206,6 +213,8 @@ func finish(entries []Entry) []Entry {
 				}
 			case strings.HasPrefix(seg, "sharded-"):
 				e.Engine = "sweep"
+			case seg == "podem-on" || seg == "podem-off":
+				e.Podem = strings.TrimPrefix(seg, "podem-")
 			}
 		}
 	}

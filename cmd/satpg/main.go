@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -37,6 +40,9 @@ func main() {
 		fsimEngine  = flag.String("fsim-engine", "event", "fault-simulation engine: event (cone-limited, default) or sweep (full-Jacobi oracle)")
 		compactMode = flag.String("compact", "none", "test-program compaction passes: none, reverse, dominance, greedy or all (coverage preserved fault for fault)")
 		direct      = flag.Bool("direct", false, "use the CSSG-free direct flow (automatic for circuits past the 64-signal explicit-state ceiling)")
+		skipPodem   = flag.Bool("skip-podem", false, "disable the deterministic bit-parallel PODEM phase")
+		podemBudget = flag.Int("podem-budget", 0, "PODEM decision budget per targeted fault (0: default 512)")
+		podemCycles = flag.Int("podem-cycles", 0, "PODEM test-length cap in cycles per target (0: default 8)")
 		testsOut    = flag.String("tests", "", "write tester programs to this file")
 		validate    = flag.Int("validate", 0, "Monte-Carlo trials on the timed chip model (0: skip)")
 		perFault    = flag.Bool("per-fault", false, "print the verdict for every fault")
@@ -109,29 +115,38 @@ func main() {
 		RandomSequences: *seqs, RandomLength: *seqLen, SkipRandom: *skipRandom,
 		FaultSimWorkers: workers, FaultSimLanes: laneWidth, FaultSimEngine: engine,
 		Faults: sel, Compact: cmode,
+		SkipPodem: *skipPodem, PodemBudget: *podemBudget, PodemCycles: *podemCycles,
+	}
+	if *direct {
+		opts.Flow = satpg.FlowDirect
 	}
 
+	// SIGINT cancels the generation cooperatively: the flow stops at
+	// the next batch or decision boundary and hands back the partial
+	// result, which is summarised before exiting.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
 	useDirect := *direct || c.NumSignals() > satpg.MaxExplicitSignals
-	var (
-		g     *satpg.CSSG
-		res   *satpg.Result
-		progs []satpg.Program
-	)
 	if useDirect {
 		fmt.Printf("direct flow: %d signals, CSSG-free random walks on the scalar ternary machine\n", c.NumSignals())
-		res, err = satpg.GenerateDirect(c, fm, opts)
-		if err != nil {
+	}
+	res, err := satpg.Run(ctx, c, fm, opts)
+	if err != nil {
+		if res == nil || !errors.Is(err, context.Canceled) {
 			fatal(err)
 		}
-		progs = satpg.ProgramsForCircuit(c, res)
-	} else {
-		g, err = satpg.Abstract(c, opts)
-		if err != nil {
-			fatal(err)
-		}
+		fmt.Println("interrupted: partial results up to the last completed batch/decision boundary")
+		fmt.Println(res.Summary())
+		os.Exit(130)
+	}
+	g := res.Graph
+	var progs []satpg.Program
+	if g != nil {
 		fmt.Println(g.Summary())
-		res = satpg.Generate(g, fm, opts)
 		progs = satpg.Programs(g, res)
+	} else {
+		progs = satpg.ProgramsForCircuit(c, res)
 	}
 	fmt.Println(res.Summary())
 	if *stats {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,13 +52,18 @@ func runSuite(suite []satpg.Benchmark, opts satpg.Options) {
 	var outTot, outCov, inTot, inCov int
 	start := time.Now()
 	for _, bm := range suite {
-		g, err := satpg.Abstract(bm.Circuit, opts)
+		// The table suites are all explicit-state sized, so Run resolves
+		// FlowAuto to the CSSG flow — the paper's exact configuration.
+		out, err := satpg.Run(context.Background(), bm.Circuit, satpg.OutputStuckAt, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", bm.Name, err)
 			os.Exit(1)
 		}
-		out := satpg.Generate(g, satpg.OutputStuckAt, opts)
-		in := satpg.Generate(g, satpg.InputStuckAt, opts)
+		in, err := satpg.Run(context.Background(), bm.Circuit, satpg.InputStuckAt, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", bm.Name, err)
+			os.Exit(1)
+		}
 		fmt.Println(satpg.TableRow(bm.Name, out, in))
 		outTot += out.Total
 		outCov += out.Covered

@@ -22,6 +22,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
+	"repro/internal/podem"
 	"repro/internal/sim"
 )
 
@@ -39,12 +41,15 @@ import (
 // (the paper's "rnd", "3-ph" and "sim" columns).
 type Phase uint8
 
-// Detection phases.
+// Detection phases.  PhasePodem is appended after the paper's three so
+// the historical values stay stable; in flow order it sits between the
+// random walks and the exhaustive three-phase fallback.
 const (
 	PhaseNone Phase = iota
 	PhaseRandom
 	PhaseThree
 	PhaseSim
+	PhasePodem
 )
 
 // String names the phase as in the paper's tables.
@@ -56,6 +61,8 @@ func (p Phase) String() string {
 		return "3-ph"
 	case PhaseSim:
 		return "sim"
+	case PhasePodem:
+		return "podem"
 	}
 	return "-"
 }
@@ -103,6 +110,15 @@ type Options struct {
 	// fault simulation: event-driven cone-limited (default) or full
 	// Jacobi sweeps.  The results are identical either way.
 	FaultSimEngine fsim.EngineKind
+	// SkipPodem disables the deterministic PODEM phase that runs
+	// between the random walks and the exhaustive fallback.
+	SkipPodem bool
+	// PodemBudget caps the primary-input assignments the deterministic
+	// phase spends per target fault (0: podem's default, 512).
+	PodemBudget int
+	// PodemCycles caps the synchronous frames per deterministic target
+	// (0: podem's default, 8).
+	PodemCycles int
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +163,17 @@ type Result struct {
 	// state-buffer allocations, good-trace cache outcomes) — the raw
 	// material of cmd/satpg's -stats line.
 	FaultSim fsim.Stats
+	// Podem aggregates the deterministic phase's search counters
+	// (targets, decisions, backtracks, group settles).
+	Podem podem.Stats
+	// Fallback counts the exhaustive three-phase product searches run
+	// after the cheaper phases (universe flow only) — the invocations
+	// the deterministic phase exists to avoid.
+	Fallback int
+	// Graph is the CSSG the universe flow ran over (nil for the direct
+	// flow): satpg.Run hands it back so callers can derive tester
+	// programs and baselines without re-abstracting the circuit.
+	Graph *core.CSSG
 }
 
 // Coverage returns covered/total (1 for an empty universe).
@@ -177,9 +204,10 @@ func (r *Result) DetectionsByTest() [][]int {
 
 // Summary renders a one-line summary in the spirit of a table row.
 func (r *Result) Summary() string {
-	return fmt.Sprintf("tot=%d cov=%d (%.2f%%) rnd=%d 3ph=%d sim=%d untestable=%d aborted=%d tests=%d cpu=%v",
-		r.Total, r.Covered, 100*r.Coverage(), r.ByPhase[PhaseRandom], r.ByPhase[PhaseThree],
-		r.ByPhase[PhaseSim], r.Untestable, r.Aborted, len(r.Tests), r.CPU.Round(time.Millisecond))
+	return fmt.Sprintf("tot=%d cov=%d (%.2f%%) rnd=%d podem=%d 3ph=%d sim=%d untestable=%d aborted=%d fallback=%d tests=%d cpu=%v",
+		r.Total, r.Covered, 100*r.Coverage(), r.ByPhase[PhaseRandom], r.ByPhase[PhasePodem],
+		r.ByPhase[PhaseThree], r.ByPhase[PhaseSim], r.Untestable, r.Aborted, r.Fallback,
+		len(r.Tests), r.CPU.Round(time.Millisecond))
 }
 
 // Run executes the full flow (random TPG, then three-phase ATPG with
@@ -200,6 +228,16 @@ func Run(g *core.CSSG, model faults.Type, opts Options) *Result {
 // the stuck-at flavour of a mixed list; the universe itself decides
 // what is simulated.
 func RunUniverse(g *core.CSSG, model faults.Type, universe []faults.Fault, opts Options) *Result {
+	res, _ := RunUniverseCtx(context.Background(), g, model, universe, opts)
+	return res
+}
+
+// RunUniverseCtx is RunUniverse with cooperative cancellation, checked
+// at every batch, target and fallback-fault boundary.  On cancellation
+// it returns the partial Result accumulated so far together with
+// ctx.Err(): every detection already marked is final (each was exactly
+// confirmed), and the faults not yet reached simply stay undetected.
+func RunUniverseCtx(ctx context.Context, g *core.CSSG, model faults.Type, universe []faults.Fault, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 	res := &Result{
@@ -207,6 +245,7 @@ func RunUniverse(g *core.CSSG, model faults.Type, universe []faults.Fault, opts 
 		Total:    len(universe),
 		ByPhase:  map[Phase]int{},
 		PerFault: make([]FaultResult, len(universe)),
+		Graph:    g,
 	}
 	for i, f := range universe {
 		res.PerFault[i] = FaultResult{Fault: f, TestIndex: -1}
@@ -267,7 +306,7 @@ func RunUniverse(g *core.CSSG, model faults.Type, universe []faults.Fault, opts 
 			panic("atpg: " + err.Error())
 		}
 		width := fs.Lanes()
-		for base := 0; base < len(walks) && len(remaining) > 0; base += width {
+		for base := 0; base < len(walks) && len(remaining) > 0 && ctx.Err() == nil; base += width {
 			end := min(base+width, len(walks))
 			chunk := walks[base:end]
 			batch := fsim.Batch{
@@ -307,6 +346,47 @@ func RunUniverse(g *core.CSSG, model faults.Type, universe []faults.Fault, opts 
 		res.FaultSim = fs.Stats()
 	}
 
+	// Deterministic phase: bit-parallel PODEM on the faults the random
+	// walks missed, ordered by the structural scorer (random-phase
+	// near-misses, dominator leverage, cone size).  Every candidate
+	// test is re-walked on the CSSG — the graph's TCR_k semantics are
+	// strictly more pessimistic than the plain ternary settling the
+	// search runs on — and exactly confirmed before being marked, so
+	// this phase can only add detections, never change a verdict.
+	if !opts.SkipPodem && len(remaining) > 0 && ctx.Err() == nil {
+		if pg, err := podem.New(g.C, podem.Options{
+			Lanes: opts.FaultSimLanes, DecisionBudget: opts.PodemBudget, MaxCycles: opts.PodemCycles,
+		}); err == nil {
+			order := podem.OrderTargets(g.C, universe, remaining, podemFeatures(g.C, universe, remaining, res))
+			for _, fi := range order {
+				if ctx.Err() != nil {
+					break
+				}
+				if res.PerFault[fi].Detected {
+					continue // collateral of an earlier podem test
+				}
+				pt, ok := pg.Target(ctx, universe[fi])
+				if !ok {
+					continue
+				}
+				test, ok := walkTest(g, pt.Patterns)
+				if !ok {
+					continue // not walkable on the CSSG
+				}
+				if !Verify(g, universe[fi], test, opts) {
+					continue // pessimistic model rejects the detection
+				}
+				res.Tests = append(res.Tests, test)
+				ti := len(res.Tests) - 1
+				remaining = mark(res, remaining, []int{fi}, PhasePodem, ti)
+				if !opts.SkipFaultSim && len(remaining) > 0 {
+					remaining = mark(res, remaining, collateral(test), PhaseSim, ti)
+				}
+			}
+			res.Podem = pg.Stats()
+		}
+	}
+
 	// Phase 2+3 targeting order: dominated faults first.  A test
 	// generated for a dominated fault tends to detect its structural
 	// dominator too, and the collateral fault-simulation pass below
@@ -339,8 +419,12 @@ func RunUniverse(g *core.CSSG, model faults.Type, universe []faults.Fault, opts 
 	// Phase 2+3: three-phase ATPG per remaining fault, with fault
 	// simulation of each new test over the rest.
 	for len(remaining) > 0 {
+		if ctx.Err() != nil {
+			break
+		}
 		fi := remaining[0]
 		fr := &res.PerFault[fi]
+		res.Fallback++
 		test, outcome := GenerateTest(g, fr.Fault, opts)
 		switch outcome {
 		case OutcomeFound:
@@ -366,7 +450,46 @@ func RunUniverse(g *core.CSSG, model faults.Type, universe []faults.Fault, opts 
 		}
 	}
 	res.CPU = time.Since(start)
-	return res
+	return res, ctx.Err()
+}
+
+// walkTest re-walks a pattern sequence on the CSSG, rejecting it when
+// any vector is invalid in its node (the universe flow only emits
+// CSSG-walkable tests) and rebuilding the expected responses from the
+// graph's output labels.
+func walkTest(g *core.CSSG, patterns []uint64) (Test, bool) {
+	t := Test{
+		Patterns: make([]uint64, 0, len(patterns)),
+		Expected: make([]uint64, 0, len(patterns)),
+	}
+	node := g.Init
+	for _, p := range patterns {
+		next, ok := g.Succ(node, p)
+		if !ok {
+			return Test{}, false
+		}
+		t.Patterns = append(t.Patterns, p)
+		t.Expected = append(t.Expected, g.OutputsOf(next))
+		node = next
+	}
+	return t, len(t.Patterns) > 0
+}
+
+// podemFeatures assembles the structural scorer's inputs: dominator
+// leverage from the collapse rules and near-miss counts replayed off
+// the random phase's accepted tests.
+func podemFeatures(c *netlist.Circuit, universe []faults.Fault, remaining []int, res *Result) podem.TargetFeatures {
+	ft := podem.TargetFeatures{DomDepth: make([]int, len(universe))}
+	cl := faults.Collapse(c, universe)
+	for _, fi := range remaining {
+		ft.DomDepth[fi] = len(cl.DominatorClosure(fi))
+	}
+	seqs := make([][]uint64, len(res.Tests))
+	for i, t := range res.Tests {
+		seqs[i] = t.Patterns
+	}
+	ft.NearMiss = podem.NearMisses(c, universe, remaining, seqs)
+	return ft
 }
 
 // mark flags the given fault indices as detected and removes them from

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -106,6 +107,14 @@ type CoverageOptions struct {
 // declared ones — the form service-submitted bare pattern programs
 // arrive in.
 func CoverageOfOpts(c *netlist.Circuit, universe []faults.Fault, tests []Test, opts CoverageOptions) (*CoverageReport, error) {
+	return CoverageOfCtx(context.Background(), c, universe, tests, opts)
+}
+
+// CoverageOfCtx is CoverageOfOpts with cooperative cancellation,
+// checked between lane-width batches: a cancelled measurement returns
+// ctx.Err() and no report (a partial coverage number is a lie — it
+// undercounts silently).
+func CoverageOfCtx(ctx context.Context, c *netlist.Circuit, universe []faults.Fault, tests []Test, opts CoverageOptions) (*CoverageReport, error) {
 	start := time.Now()
 	if opts.Shards > 0 && (opts.Shard < 0 || opts.Shard >= opts.Shards) {
 		return nil, fmt.Errorf("atpg: shard index %d out of range for %d shards", opts.Shard, opts.Shards)
@@ -156,7 +165,7 @@ func CoverageOfOpts(c *netlist.Circuit, universe []faults.Fault, tests []Test, o
 	if !haveExpected {
 		expected = nil
 	}
-	err = s.SimulateSequences(seqs, expected, nil, func(base int, br *fsim.BatchResult) {
+	err = s.SimulateSequencesCtx(ctx, seqs, expected, nil, func(base int, br *fsim.BatchResult) {
 		n := 0
 		for _, d := range br.Detections {
 			fc := &rep.PerFault[d.Fault]

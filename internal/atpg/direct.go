@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/podem"
 	"repro/internal/sim"
 )
 
@@ -30,10 +32,20 @@ import (
 // no exact-machine confirmation pass — that pass exists to reconcile
 // ternary detections with the CSSG's strictly more pessimistic
 // path-based TCR_k semantics, and the direct flow's contract is the
-// ternary (fair finite-delay) semantics itself.  There is also no
-// three-phase targeting: faults the walks miss stay uncovered
-// (Detected=false), never marked untestable.
+// ternary (fair finite-delay) semantics itself.  There is no
+// three-phase targeting, but the deterministic PODEM phase runs after
+// the walks — it is the only deterministic path past 64 signals;
+// faults both phases miss stay uncovered (Detected=false), never
+// marked untestable.
 func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, opts Options) (*Result, error) {
+	return RunDirectCtx(context.Background(), c, model, universe, opts)
+}
+
+// RunDirectCtx is RunDirect with cooperative cancellation, checked at
+// every batch and deterministic-target boundary.  On cancellation it
+// returns the partial Result accumulated so far together with
+// ctx.Err().
+func RunDirectCtx(ctx context.Context, c *netlist.Circuit, model faults.Type, universe []faults.Fault, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 	res := &Result{
@@ -109,8 +121,13 @@ func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, o
 	// test-selection replay below is observably identical to per-walk
 	// simulation; a walk joins the program only when it is the first to
 	// detect some still-live fault.
+screen:
 	for k := 0; k < numChunks && len(remaining) > 0; k++ {
-		<-ready[k]
+		select {
+		case <-ready[k]:
+		case <-ctx.Done():
+			break screen
+		}
 		chunk := walks[k*width : min((k+1)*width, total)]
 		batch := fsim.Batch{
 			Seqs:     make([][]uint64, len(chunk)),
@@ -149,9 +166,75 @@ func RunDirect(c *netlist.Circuit, model faults.Type, universe []faults.Fault, o
 	}
 	stop.Store(true)
 	wg.Wait()
+
+	// Deterministic phase: bit-parallel PODEM on the faults the walks
+	// missed, ordered by the structural scorer.  A candidate test is
+	// committed only when the scalar good-machine replay holds up (the
+	// flow's validity oracle) and the batched screen confirms the
+	// target fault — the same detection semantics as the walks — so
+	// the phase can only add detections, never change a verdict.
+	if !opts.SkipPodem && len(remaining) > 0 && ctx.Err() == nil {
+		if pg, perr := podem.New(c, podem.Options{
+			Lanes: opts.FaultSimLanes, DecisionBudget: opts.PodemBudget, MaxCycles: opts.PodemCycles,
+		}); perr == nil {
+			order := podem.OrderTargets(c, universe, remaining, podemFeatures(c, universe, remaining, res))
+			for _, fi := range order {
+				if ctx.Err() != nil {
+					break
+				}
+				if res.PerFault[fi].Detected {
+					continue // collateral of an earlier podem test
+				}
+				pt, ok := pg.Target(ctx, universe[fi])
+				if !ok {
+					continue
+				}
+				test := Test{Patterns: pt.Patterns, Expected: pt.Expected}
+				if !VerifyDirectGood(c, test) {
+					continue
+				}
+				br, err := fs.SimulateBatch(fsim.Batch{
+					Seqs: [][]uint64{test.Patterns}, Expected: [][]uint64{test.Expected},
+				})
+				if err != nil {
+					return nil, err
+				}
+				var detected []int
+				target := false
+				for _, fj := range remaining {
+					if br.Lanes[fj].Has(0) {
+						detected = append(detected, fj)
+						target = target || fj == fi
+					}
+				}
+				if !target {
+					continue // the batched screen must agree before commit
+				}
+				res.Tests = append(res.Tests, test)
+				ti := len(res.Tests) - 1
+				remaining = mark(res, remaining, []int{fi}, PhasePodem, ti)
+				if !opts.SkipFaultSim {
+					rest := detected[:0]
+					for _, fj := range detected {
+						if fj != fi {
+							rest = append(rest, fj)
+						}
+					}
+					if len(rest) > 0 {
+						remaining = mark(res, remaining, rest, PhaseSim, ti)
+					}
+				}
+				for _, fj := range detected {
+					fs.Drop(fj)
+				}
+			}
+			res.Podem = pg.Stats()
+		}
+	}
+
 	res.FaultSim = fs.Stats()
 	res.CPU = time.Since(start)
-	return res, nil
+	return res, ctx.Err()
 }
 
 // walkSeed derives the rng seed of walk i from the run seed by a

@@ -39,6 +39,7 @@
 package compact
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"time"
@@ -156,8 +157,17 @@ func (r *Result) Summary() string {
 // ResetExpected, and that semantic switch could *add* detections the
 // original never made.
 func Compact(c *netlist.Circuit, progs []tester.Program, universe []faults.Fault, mode Mode, opts Options) (*Result, error) {
+	return CompactCtx(context.Background(), c, progs, universe, mode, opts)
+}
+
+// CompactCtx is Compact with cooperative cancellation.  The context
+// gates the matrix pass (the expensive part — the passes themselves
+// are pure bit-mask sweeps); a cancelled run returns ctx.Err() and no
+// result, because a program compacted against a partial matrix could
+// drop detections.
+func CompactCtx(ctx context.Context, c *netlist.Circuit, progs []tester.Program, universe []faults.Fault, mode Mode, opts Options) (*Result, error) {
 	start := time.Now()
-	mx, err := BuildMatrix(c, progs, universe, opts)
+	mx, err := BuildMatrixCtx(ctx, c, progs, universe, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package compact
 
 import (
+	"context"
+
 	"repro/internal/faults"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
@@ -37,6 +39,12 @@ func (m *Matrix) Covers(fi, t int) bool { return m.Rows[fi].Has(t) }
 // for program t when the reset response or some cycle's response is
 // guaranteed to differ from the program's declared expectations.
 func BuildMatrix(c *netlist.Circuit, progs []tester.Program, universe []faults.Fault, opts Options) (*Matrix, error) {
+	return BuildMatrixCtx(context.Background(), c, progs, universe, opts)
+}
+
+// BuildMatrixCtx is BuildMatrix with cooperative cancellation, checked
+// between the underlying fault-simulation batches.
+func BuildMatrixCtx(ctx context.Context, c *netlist.Circuit, progs []tester.Program, universe []faults.Fault, opts Options) (*Matrix, error) {
 	seqs := make([][]uint64, len(progs))
 	expected := make([][]uint64, len(progs))
 	resetExp := make([]uint64, len(progs))
@@ -45,7 +53,7 @@ func BuildMatrix(c *netlist.Circuit, progs []tester.Program, universe []faults.F
 		expected[i] = p.Expected
 		resetExp[i] = p.ResetExpected
 	}
-	rows, stats, err := fsim.DetectionMatrix(c, universe, seqs, expected, resetExp,
+	rows, stats, err := fsim.DetectionMatrixCtx(ctx, c, universe, seqs, expected, resetExp,
 		fsim.Options{Workers: opts.Workers, Lanes: opts.Lanes, Engine: opts.Engine, CheckReset: true})
 	if err != nil {
 		return nil, err

@@ -33,6 +33,7 @@
 package fsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -561,6 +562,14 @@ func (s *Simulator) SimulateBatch(b Batch) (*BatchResult, error) {
 // measured when CheckReset is on.  expected and resetExpected may be
 // nil; when present they must parallel seqs.
 func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected []uint64, record func(base int, br *BatchResult)) error {
+	return s.SimulateSequencesCtx(context.Background(), seqs, expected, resetExpected, record)
+}
+
+// SimulateSequencesCtx is SimulateSequences with cooperative
+// cancellation: the context is checked between lane-width batches, so
+// a cancelled run returns ctx.Err() within one batch of settling and
+// every batch already handed to record remains valid.
+func (s *Simulator) SimulateSequencesCtx(ctx context.Context, seqs, expected [][]uint64, resetExpected []uint64, record func(base int, br *BatchResult)) error {
 	if len(seqs) == 0 {
 		br, err := s.SimulateBatch(Batch{Seqs: [][]uint64{nil}})
 		if err != nil {
@@ -581,6 +590,9 @@ func (s *Simulator) SimulateSequences(seqs, expected [][]uint64, resetExpected [
 		return b
 	}
 	for base := 0; base < len(seqs); base += s.lanes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		b := chunk(base)
 		if s.opts.Pipeline && base+s.lanes < len(seqs) {
 			// Overlap: compute the next batch's good trace (into the

@@ -1,6 +1,8 @@
 package fsim
 
 import (
+	"context"
+
 	"repro/internal/faults"
 	"repro/internal/netlist"
 )
@@ -22,6 +24,14 @@ import (
 // sequence set yields all-empty masks: with no program there is no
 // lane to charge a detection to.
 func DetectionMatrix(c *netlist.Circuit, universe []faults.Fault, seqs, expected [][]uint64, resetExpected []uint64, opts Options) ([]LaneMask, Stats, error) {
+	return DetectionMatrixCtx(context.Background(), c, universe, seqs, expected, resetExpected, opts)
+}
+
+// DetectionMatrixCtx is DetectionMatrix with cooperative cancellation,
+// checked between lane-width batches.  A cancelled pass returns
+// ctx.Err() and no matrix: a partial matrix would silently claim the
+// unsimulated cells are non-detections.
+func DetectionMatrixCtx(ctx context.Context, c *netlist.Circuit, universe []faults.Fault, seqs, expected [][]uint64, resetExpected []uint64, opts Options) ([]LaneMask, Stats, error) {
 	opts.NoDrop = true
 	s, err := New(c, universe, opts)
 	if err != nil {
@@ -32,7 +42,7 @@ func DetectionMatrix(c *netlist.Circuit, universe []faults.Fault, seqs, expected
 		return rows, s.Stats(), nil
 	}
 	words := (len(seqs) + 63) / 64
-	err = s.SimulateSequences(seqs, expected, resetExpected, func(base int, br *BatchResult) {
+	err = s.SimulateSequencesCtx(ctx, seqs, expected, resetExpected, func(base int, br *BatchResult) {
 		w0 := base >> 6
 		for fi, lm := range br.Lanes {
 			if !lm.Any() {

@@ -1,0 +1,167 @@
+package podem
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+const ccInf = int32(1) << 28
+
+// controllability computes SCOAP-style static 0/1-controllability per
+// signal: rails cost 1, a gate output's cost-to-v is 1 plus the
+// cheapest OnSet/OffSet minterm (sum of the fanin costs the minterm
+// requires; the self pin of a C gate is free — its value is state, not
+// something the backtrace drives).  Feedback is handled by iterating
+// the relaxation to a fixpoint; signals only reachable through their
+// own loop keep ccInf and simply never win a tie-break.
+func controllability(c *netlist.Circuit) (cc0, cc1 []int32) {
+	n := c.NumSignals()
+	cc0 = make([]int32, n)
+	cc1 = make([]int32, n)
+	for s := 0; s < n; s++ {
+		cc0[s], cc1[s] = ccInf, ccInf
+	}
+	for i := 0; i < c.NumInputs(); i++ {
+		cc0[i], cc1[i] = 1, 1
+	}
+	for changed := true; changed; {
+		changed = false
+		for gi := range c.Gates {
+			gate := &c.Gates[gi]
+			out := c.GateOutput(gi)
+			if c1 := mintermCost(gate, gate.OnSet, cc0, cc1); c1 < cc1[out] {
+				cc1[out] = c1
+				changed = true
+			}
+			if c0 := mintermCost(gate, gate.OffSet, cc0, cc1); c0 < cc0[out] {
+				cc0[out] = c0
+				changed = true
+			}
+		}
+	}
+	return cc0, cc1
+}
+
+func mintermCost(g *netlist.Gate, set []uint16, cc0, cc1 []int32) int32 {
+	best := ccInf
+	for _, mt := range set {
+		sum := int32(1)
+		for p, fin := range g.Fanin {
+			var c int32
+			if mt>>uint(p)&1 == 1 {
+				c = cc1[fin]
+			} else {
+				c = cc0[fin]
+			}
+			if sum += c; sum >= ccInf {
+				sum = ccInf
+				break
+			}
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// TargetFeatures carries the per-fault structural scores computed by
+// the caller (which owns the collapse sets and the accepted tests).
+// Either slice may be nil; missing features score zero.
+type TargetFeatures struct {
+	// DomDepth is the dominator-closure size per universe index: how
+	// many other faults a test for this one would also cover.
+	DomDepth []int
+	// NearMiss counts the cycles of the random phase's accepted tests
+	// that excited the fault site without observing it — evidence the
+	// fault is activatable and only propagation was missing.
+	NearMiss []int
+}
+
+// OrderTargets ranks the remaining faults for the deterministic
+// phase: near-miss count descending (almost-caught faults first),
+// dominator depth descending (high-leverage faults next), cone
+// popcount ascending (small cones mean cheap settles and tight
+// budgets go further), index ascending for determinism.
+func OrderTargets(c *netlist.Circuit, universe []faults.Fault, remaining []int, ft TargetFeatures) []int {
+	topo := c.Topology()
+	type row struct{ fi, nm, dd, cone int }
+	rows := make([]row, 0, len(remaining))
+	for _, fi := range remaining {
+		cone := topo.ConeOf(universe[fi].Site(c))
+		pc := 0
+		for _, w := range cone {
+			pc += bits.OnesCount64(w)
+		}
+		r := row{fi: fi, cone: pc}
+		if fi < len(ft.NearMiss) {
+			r.nm = ft.NearMiss[fi]
+		}
+		if fi < len(ft.DomDepth) {
+			r.dd = ft.DomDepth[fi]
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.nm != b.nm {
+			return a.nm > b.nm
+		}
+		if a.dd != b.dd {
+			return a.dd > b.dd
+		}
+		if a.cone != b.cone {
+			return a.cone < b.cone
+		}
+		return a.fi < b.fi
+	})
+	order := make([]int, len(rows))
+	for i, r := range rows {
+		order[i] = r.fi
+	}
+	return order
+}
+
+// NearMisses replays the accepted tests' good traces and counts, per
+// remaining fault, the cycles whose settled state excites the fault
+// site (the random phase activated it but never propagated it).
+func NearMisses(c *netlist.Circuit, universe []faults.Fault, remaining []int, seqs [][]uint64) []int {
+	counts := make([]int, len(universe))
+	if len(remaining) == 0 || len(seqs) == 0 {
+		return counts
+	}
+	sites := make([]netlist.SigID, len(remaining))
+	for k, fi := range remaining {
+		sites[k] = universe[fi].Site(c)
+	}
+	good := sim.Machine{C: c}
+	init := good.InitState()
+	for _, seq := range seqs {
+		st := init
+		for _, pat := range seq {
+			st = good.Step(st, pat)
+			for k, fi := range remaining {
+				if excitedTernary(&universe[fi], st[sites[k]]) {
+					counts[fi]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// excitedTernary is faults.ExcitedIn lifted to a ternary site value.
+func excitedTernary(f *faults.Fault, v logic.V) bool {
+	switch f.Type {
+	case faults.SlowRise:
+		return v == logic.One
+	case faults.SlowFall:
+		return v == logic.Zero
+	}
+	return v.IsDefinite() && v != f.Value
+}

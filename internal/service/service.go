@@ -12,11 +12,20 @@
 //	                    (with "stream": true, NDJSON: one BatchProgress
 //	                    line per simulated batch, then the final
 //	                    CoverageResponse line)
+//	POST /v1/generate   body: GenerateRequest JSON → GenerateResponse JSON
+//	                    (full ATPG: random walks, bit-parallel PODEM,
+//	                    and — CSSG flow — three-phase targeting)
 //	POST /v1/compact    body: CompactRequest JSON → CompactResponse JSON
 //	GET  /metrics       plain-text counters (cache hit rates, query and
-//	                    pattern totals, in-flight gauge)
+//	                    pattern totals, PODEM decision counters,
+//	                    in-flight gauge)
 //	GET  /healthz       liveness probe
 //	GET  /debug/pprof/  the standard Go profiler endpoints
+//
+// Every measurement handler threads its request's context into the
+// engines, so a client disconnect cancels the work at the next batch
+// or decision boundary instead of burning the server's cores on an
+// abandoned query.
 //
 // # Sharding model
 //
@@ -33,6 +42,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -45,6 +55,7 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/compact"
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
@@ -71,11 +82,19 @@ type Config struct {
 type Metrics struct {
 	CoverageQueries atomic.Int64 // completed /v1/coverage requests
 	CompactQueries  atomic.Int64 // completed /v1/compact requests
+	GenerateQueries atomic.Int64 // completed /v1/generate requests
 	CircuitSubmits  atomic.Int64 // completed /v1/circuits requests
 	Errors          atomic.Int64 // requests answered with a 4xx/5xx
 	InFlight        atomic.Int64 // requests currently being served
 	Patterns        atomic.Int64 // test patterns simulated, summed over lanes
 	FaultsMeasured  atomic.Int64 // per-fault verdicts produced
+
+	// PODEM work counters, summed over the deterministic phases of
+	// every completed /v1/generate request.
+	PodemTargeted   atomic.Int64 // faults the deterministic phase attempted
+	PodemFound      atomic.Int64 // tests it produced
+	PodemDecisions  atomic.Int64 // decision-tree nodes explored
+	PodemBacktracks atomic.Int64 // decisions undone
 }
 
 // Server is the resident coverage service.  It is an http.Handler;
@@ -98,6 +117,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -291,7 +311,7 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(s.cfg.Peers) > 0 && !req.Local && req.Shards == 0 {
-		s.coordinateCoverage(w, &req)
+		s.coordinateCoverage(r.Context(), w, &req)
 		return
 	}
 	id, c, err := s.resolveCircuit(req.Circuit, req.CircuitText)
@@ -340,10 +360,13 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	rep, err := atpg.CoverageOfOpts(c, universe, tests, opts)
+	rep, err := atpg.CoverageOfCtx(r.Context(), c, universe, tests, opts)
 	if err != nil {
 		// Streaming has already committed a 200; the decode failure on
-		// the client is the best remaining signal there.
+		// the client is the best remaining signal there.  A cancelled
+		// context lands here too: the client is gone, the error body is
+		// written into the void, and the point — the engines stopped at
+		// the next batch boundary — has already been made.
 		s.httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -430,8 +453,9 @@ func coverageReport(resp *CoverageResponse, universe []faults.Fault) (*atpg.Cove
 // shard each, and merges the verdicts.  The circuit ships inline so
 // workers need no prior state; everything else about the request is
 // forwarded verbatim (minus streaming, which has no cross-shard
-// meaning).
-func (s *Server) coordinateCoverage(w http.ResponseWriter, req *CoverageRequest) {
+// meaning).  The peer requests carry the client's context, so a
+// disconnect cancels every in-flight shard.
+func (s *Server) coordinateCoverage(ctx context.Context, w http.ResponseWriter, req *CoverageRequest) {
 	id, c, err := s.resolveCircuit(req.Circuit, req.CircuitText)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
@@ -468,7 +492,13 @@ func (s *Server) coordinateCoverage(w http.ResponseWriter, req *CoverageRequest)
 				errs[i] = err
 				return
 			}
-			resp, err := client.Post(peer+"/v1/coverage", "application/json", bytes.NewReader(body))
+			preq, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/coverage", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			preq.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(preq)
 			if err != nil {
 				errs[i] = fmt.Errorf("peer %s: %w", peer, err)
 				return
@@ -504,6 +534,159 @@ func (s *Server) coordinateCoverage(w http.ResponseWriter, req *CoverageRequest)
 	s.metrics.FaultsMeasured.Add(int64(merged.Total))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(coverageResponse(id, merged))
+}
+
+// GenerateRequest is the POST /v1/generate body: run the full ATPG
+// flow on a circuit and return the generated tests with per-phase
+// attribution.
+type GenerateRequest struct {
+	Circuit     string `json:"circuit,omitempty"`
+	CircuitText string `json:"circuit_text,omitempty"`
+
+	Model   string `json:"model,omitempty"`   // input (default) | output
+	Faults  string `json:"faults,omitempty"`  // sa (default) | transition | both
+	Engine  string `json:"engine,omitempty"`  // event (default) | sweep
+	Lanes   int    `json:"lanes,omitempty"`   // 64 (default) | 128 | 256
+	Workers int    `json:"workers,omitempty"` // 0: server default
+	Flow    string `json:"flow,omitempty"`    // auto (default) | cssg | direct
+
+	Seed       int64 `json:"seed,omitempty"`
+	RandomSeqs int   `json:"random_seqs,omitempty"`
+	RandomLen  int   `json:"random_len,omitempty"`
+	SkipRandom bool  `json:"skip_random,omitempty"`
+
+	SkipPodem   bool `json:"skip_podem,omitempty"`
+	PodemBudget int  `json:"podem_budget,omitempty"`
+	PodemCycles int  `json:"podem_cycles,omitempty"`
+}
+
+// PodemJSON is the deterministic phase's work counters on the wire.
+type PodemJSON struct {
+	Targeted   int   `json:"targeted"`
+	Found      int   `json:"found"`
+	Decisions  int64 `json:"decisions"`
+	Backtracks int64 `json:"backtracks"`
+	Settles    int64 `json:"settles"`
+}
+
+// GenerateResponse is the generation outcome.
+type GenerateResponse struct {
+	CircuitID  string         `json:"circuit_id"`
+	Total      int            `json:"total"`
+	Covered    int            `json:"covered"`
+	Coverage   float64        `json:"coverage"`
+	ByPhase    map[string]int `json:"by_phase"`
+	Untestable int            `json:"untestable"`
+	Aborted    int            `json:"aborted"`
+	Fallback   int            `json:"fallback"` // exhaustive product-machine searches run
+	Podem      PodemJSON      `json:"podem"`
+	Tests      []TestJSON     `json:"tests"`
+	ElapsedNS  int64          `json:"elapsed_ns"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	id, c, err := s.resolveCircuit(req.Circuit, req.CircuitText)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	fm := faults.InputSA
+	switch req.Model {
+	case "", "input":
+	case "output":
+		fm = faults.OutputSA
+	default:
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("unknown model %q (want input or output)", req.Model))
+		return
+	}
+	sel := faults.SelStuckAt
+	if req.Faults != "" {
+		var ok bool
+		if sel, ok = faults.ParseSelection(req.Faults); !ok {
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("unknown faults %q (want sa, transition or both)", req.Faults))
+			return
+		}
+	}
+	engine, err := resolveEngine(req.Engine)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	useDirect := false
+	switch req.Flow {
+	case "", "auto":
+		useDirect = c.NumSignals() > netlist.WordBits
+	case "cssg":
+		if c.NumSignals() > netlist.WordBits {
+			s.httpError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("%s has %d signals, past the %d-signal ceiling of the cssg flow (use direct or auto)",
+					c.Name, c.NumSignals(), netlist.WordBits))
+			return
+		}
+	case "direct":
+		useDirect = true
+	default:
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("unknown flow %q (want auto, cssg or direct)", req.Flow))
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	opts := atpg.Options{
+		Seed:            req.Seed,
+		RandomSequences: req.RandomSeqs, RandomLength: req.RandomLen, SkipRandom: req.SkipRandom,
+		FaultSimWorkers: workers, FaultSimLanes: req.Lanes, FaultSimEngine: engine,
+		SkipPodem: req.SkipPodem, PodemBudget: req.PodemBudget, PodemCycles: req.PodemCycles,
+	}
+	universe := faults.SelectUniverse(c, fm, sel)
+	start := time.Now()
+	var res *atpg.Result
+	if useDirect {
+		res, err = atpg.RunDirectCtx(r.Context(), c, fm, universe, opts)
+	} else {
+		var g *core.CSSG
+		if g, err = core.Build(c, core.Options{}); err == nil {
+			res, err = atpg.RunUniverseCtx(r.Context(), g, fm, universe, opts)
+		}
+	}
+	if err != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.GenerateQueries.Add(1)
+	s.metrics.Patterns.Add(res.FaultSim.Patterns)
+	s.metrics.FaultsMeasured.Add(int64(res.Total))
+	s.metrics.PodemTargeted.Add(int64(res.Podem.Targeted))
+	s.metrics.PodemFound.Add(int64(res.Podem.Found))
+	s.metrics.PodemDecisions.Add(res.Podem.Decisions)
+	s.metrics.PodemBacktracks.Add(res.Podem.Backtracks)
+	resp := &GenerateResponse{
+		CircuitID: id,
+		Total:     res.Total, Covered: res.Covered, Coverage: res.Coverage(),
+		ByPhase:    make(map[string]int, len(res.ByPhase)),
+		Untestable: res.Untestable, Aborted: res.Aborted, Fallback: res.Fallback,
+		Podem: PodemJSON{
+			Targeted: res.Podem.Targeted, Found: res.Podem.Found,
+			Decisions: res.Podem.Decisions, Backtracks: res.Podem.Backtracks,
+			Settles: res.Podem.Settles,
+		},
+		Tests:     make([]TestJSON, len(res.Tests)),
+		ElapsedNS: time.Since(start).Nanoseconds(),
+	}
+	for ph, n := range res.ByPhase {
+		resp.ByPhase[ph.String()] = n
+	}
+	for i, t := range res.Tests {
+		resp.Tests[i] = TestJSON{Patterns: t.Patterns, Expected: t.Expected}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // ProgramJSON is one tester program on the wire.
@@ -576,7 +759,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		progs[i] = tester.Program{Patterns: p.Patterns, Expected: p.Expected, ResetExpected: p.ResetExpected}
 	}
 	start := time.Now()
-	cr, err := compact.Compact(c, progs, universe, mode, compact.Options{Workers: workers, Lanes: req.Lanes, Engine: engine})
+	cr, err := compact.CompactCtx(r.Context(), c, progs, universe, mode, compact.Options{Workers: workers, Lanes: req.Lanes, Engine: engine})
 	if err != nil {
 		s.httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -607,7 +790,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "satpgd_inflight_requests %d\n", s.metrics.InFlight.Load())
 	fmt.Fprintf(w, "satpgd_coverage_queries_total %d\n", s.metrics.CoverageQueries.Load())
 	fmt.Fprintf(w, "satpgd_compact_queries_total %d\n", s.metrics.CompactQueries.Load())
+	fmt.Fprintf(w, "satpgd_generate_queries_total %d\n", s.metrics.GenerateQueries.Load())
 	fmt.Fprintf(w, "satpgd_circuit_submits_total %d\n", s.metrics.CircuitSubmits.Load())
+	fmt.Fprintf(w, "satpgd_podem_targeted_total %d\n", s.metrics.PodemTargeted.Load())
+	fmt.Fprintf(w, "satpgd_podem_found_total %d\n", s.metrics.PodemFound.Load())
+	fmt.Fprintf(w, "satpgd_podem_decisions_total %d\n", s.metrics.PodemDecisions.Load())
+	fmt.Fprintf(w, "satpgd_podem_backtracks_total %d\n", s.metrics.PodemBacktracks.Load())
 	fmt.Fprintf(w, "satpgd_errors_total %d\n", s.metrics.Errors.Load())
 	fmt.Fprintf(w, "satpgd_patterns_simulated_total %d\n", s.metrics.Patterns.Load())
 	fmt.Fprintf(w, "satpgd_faults_measured_total %d\n", s.metrics.FaultsMeasured.Load())

@@ -23,12 +23,18 @@
 // Quickstart:
 //
 //	c, _ := satpg.LoadBenchmark("si/chu150")
-//	g, _ := satpg.Abstract(c, satpg.Options{})
-//	res := satpg.Generate(g, satpg.InputStuckAt, satpg.Options{Seed: 1})
+//	res, _ := satpg.Run(context.Background(), c, satpg.InputStuckAt, satpg.Options{Seed: 1})
 //	fmt.Println(res.Summary())
+//
+// Run picks the CSSG flow or the size-agnostic direct flow by circuit
+// size (Options.Flow overrides), runs random walks, the deterministic
+// bit-parallel PODEM phase and — in the CSSG flow — three-phase
+// targeting, and honours context cancellation at every batch and
+// decision boundary.
 package satpg
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -213,6 +219,87 @@ type Options struct {
 	// coverage; it only removes tests whose every detection another
 	// kept test carries.
 	Compact CompactMode
+	// Flow selects the generation flow Run uses: FlowAuto (the default)
+	// picks the CSSG flow for circuits within MaxExplicitSignals and
+	// the direct flow past it; FlowCSSG and FlowDirect force one.
+	Flow Flow
+	// SkipPodem disables the deterministic bit-parallel PODEM phase
+	// that runs after the random walks in both flows.
+	SkipPodem bool
+	// PodemBudget caps the decision-tree size per targeted fault
+	// (0: 512 decisions); PodemCycles caps the test length a single
+	// target may grow to (0: 8 cycles).
+	PodemBudget int
+	PodemCycles int
+}
+
+// Flow selects which generation flow Run uses.
+type Flow uint8
+
+// Generation flows.
+const (
+	// FlowAuto (the default) picks FlowCSSG for circuits within
+	// MaxExplicitSignals and FlowDirect past it.
+	FlowAuto Flow = iota
+	// FlowCSSG abstracts the circuit into its confluent stable state
+	// graph and generates on it — the paper's exact flow, limited to
+	// MaxExplicitSignals signals.
+	FlowCSSG
+	// FlowDirect generates on the scalar/packed ternary machines
+	// without building a CSSG — valid at any size up to MaxSignals.
+	FlowDirect
+)
+
+func (f Flow) String() string {
+	switch f {
+	case FlowAuto:
+		return "auto"
+	case FlowCSSG:
+		return "cssg"
+	case FlowDirect:
+		return "direct"
+	}
+	return fmt.Sprintf("Flow(%d)", uint8(f))
+}
+
+// Validate reports the first nonsensical option with a descriptive
+// error, or nil.  Run calls it; zero values are always valid (they
+// select the documented defaults).
+func (o Options) Validate() error {
+	if o.K < 0 {
+		return fmt.Errorf("satpg: K must be ≥ 0, got %d (0 selects the 4·NumSignals default)", o.K)
+	}
+	if o.RandomSequences < 0 {
+		return fmt.Errorf("satpg: RandomSequences must be ≥ 0, got %d", o.RandomSequences)
+	}
+	if o.RandomLength < 0 {
+		return fmt.Errorf("satpg: RandomLength must be ≥ 0, got %d", o.RandomLength)
+	}
+	if o.FaultSimWorkers < 0 {
+		return fmt.Errorf("satpg: FaultSimWorkers must be ≥ 0, got %d (0 selects GOMAXPROCS)", o.FaultSimWorkers)
+	}
+	switch o.FaultSimLanes {
+	case 0, 64, 128, 256:
+	default:
+		return fmt.Errorf("satpg: FaultSimLanes must be 64, 128 or 256, got %d", o.FaultSimLanes)
+	}
+	switch o.FaultSimEngine {
+	case EventEngine, SweepEngine:
+	default:
+		return fmt.Errorf("satpg: unknown fault-simulation engine %d (want EventEngine or SweepEngine)", o.FaultSimEngine)
+	}
+	switch o.Flow {
+	case FlowAuto, FlowCSSG, FlowDirect:
+	default:
+		return fmt.Errorf("satpg: unknown flow %d (want FlowAuto, FlowCSSG or FlowDirect)", uint8(o.Flow))
+	}
+	if o.PodemBudget < 0 {
+		return fmt.Errorf("satpg: PodemBudget must be ≥ 0, got %d (0 selects the default decision budget)", o.PodemBudget)
+	}
+	if o.PodemCycles < 0 {
+		return fmt.Errorf("satpg: PodemCycles must be ≥ 0, got %d (0 selects the default cycle cap)", o.PodemCycles)
+	}
+	return nil
 }
 
 func (o Options) coreOpts() core.Options { return core.Options{K: o.K} }
@@ -227,6 +314,9 @@ func (o Options) atpgOpts() atpg.Options {
 		FaultSimWorkers: o.FaultSimWorkers,
 		FaultSimLanes:   o.FaultSimLanes,
 		FaultSimEngine:  o.FaultSimEngine,
+		SkipPodem:       o.SkipPodem,
+		PodemBudget:     o.PodemBudget,
+		PodemCycles:     o.PodemCycles,
 	}
 }
 
@@ -274,16 +364,73 @@ func SelectedUniverse(c *Circuit, model FaultModel, sel FaultSelection) []Fault 
 	return faults.SelectUniverse(c, model, sel)
 }
 
-// Generate runs the full ATPG flow (§5) on a prebuilt CSSG over the
+// Run is the single ATPG entrypoint: it validates opts, selects the
+// generation flow (Options.Flow; FlowAuto picks the CSSG flow within
+// MaxExplicitSignals and the direct flow past it) and generates tests
+// for the universe Options.Faults selects — random walks, then the
+// deterministic bit-parallel PODEM phase, then (CSSG flow only)
+// three-phase targeting of the leftovers.
+//
+// The context cancels cooperatively at every batch and decision
+// boundary: on cancellation Run returns the partial Result accumulated
+// so far together with ctx.Err(), and every test and verdict in that
+// partial Result is as valid as a completed run's.  In the CSSG flow
+// the built abstraction is returned via Result.Graph, so callers
+// needing it (Programs, ValidateOnTester, the table tooling) don't
+// abstract twice.
+func Run(ctx context.Context, c *Circuit, model FaultModel, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	flow := opts.Flow
+	if flow == FlowAuto {
+		if c.NumSignals() <= MaxExplicitSignals {
+			flow = FlowCSSG
+		} else {
+			flow = FlowDirect
+		}
+	}
+	universe := faults.SelectUniverse(c, model, opts.Faults)
+	if flow == FlowDirect {
+		return atpg.RunDirectCtx(ctx, c, model, universe, opts.atpgOpts())
+	}
+	if c.NumSignals() > MaxExplicitSignals {
+		return nil, fmt.Errorf("satpg: %s has %d signals, past the %d-signal ceiling of the CSSG flow (use FlowDirect or FlowAuto)",
+			c.Name, c.NumSignals(), MaxExplicitSignals)
+	}
+	g, err := Abstract(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return atpg.RunUniverseCtx(ctx, g, model, universe, opts.atpgOpts())
+}
+
+// Generate runs the CSSG-flow ATPG (§5) on a prebuilt CSSG over the
 // universe Options.Faults selects (the model's stuck-at faults by
 // default; SelectTransition or SelectBoth widen it to the gross
 // gate-delay extension).
+//
+// Deprecated: Use Run (or GenerateCtx when the CSSG is prebuilt) —
+// they validate options and support cancellation.  Generate is kept
+// as a thin wrapper and never returns partial results.
 func Generate(g *CSSG, model FaultModel, opts Options) *Result {
-	return atpg.RunUniverse(g, model, faults.SelectUniverse(g.C, model, opts.Faults), opts.atpgOpts())
+	res, _ := GenerateCtx(context.Background(), g, model, opts)
+	return res
+}
+
+// GenerateCtx is the context-aware CSSG-flow generation over a
+// prebuilt abstraction: cancellation is checked at every batch and
+// decision boundary, and a cancelled run returns the partial Result
+// alongside ctx.Err().
+func GenerateCtx(ctx context.Context, g *CSSG, model FaultModel, opts Options) (*Result, error) {
+	return atpg.RunUniverseCtx(ctx, g, model, faults.SelectUniverse(g.C, model, opts.Faults), opts.atpgOpts())
 }
 
 // GenerateForCircuit is the one-shot convenience: Abstract then
 // Generate.
+//
+// Deprecated: Use Run with Options.Flow = FlowCSSG (or FlowAuto); the
+// built abstraction is returned via Result.Graph.
 func GenerateForCircuit(c *Circuit, model FaultModel, opts Options) (*CSSG, *Result, error) {
 	g, err := Abstract(c, opts)
 	if err != nil {
@@ -306,8 +453,18 @@ func VerifyTestDirect(c *Circuit, f Fault, t Test) bool {
 // and screened with the batched multi-word fault simulator.  It is the
 // only generation path for circuits past the 64-signal ceiling of the
 // explicit-state abstraction, and works at any size.
+//
+// Deprecated: Use Run with Options.Flow = FlowDirect (or FlowAuto) —
+// it validates options and supports cancellation.
 func GenerateDirect(c *Circuit, model FaultModel, opts Options) (*Result, error) {
-	return atpg.RunDirect(c, model, faults.SelectUniverse(c, model, opts.Faults), opts.atpgOpts())
+	return GenerateDirectCtx(context.Background(), c, model, opts)
+}
+
+// GenerateDirectCtx is the context-aware direct-flow generation:
+// cancellation is checked at every batch and decision boundary, and a
+// cancelled run returns the partial Result alongside ctx.Err().
+func GenerateDirectCtx(ctx context.Context, c *Circuit, model FaultModel, opts Options) (*Result, error) {
+	return atpg.RunDirectCtx(ctx, c, model, faults.SelectUniverse(c, model, opts.Faults), opts.atpgOpts())
 }
 
 // VerifyTest replays a test against one fault with the exact
@@ -327,7 +484,17 @@ func VerifyTest(g *CSSG, f Fault, t Test) bool {
 // class list is sharded across Options.FaultSimWorkers goroutines, and
 // faults are dropped from later batches once detected.
 func FaultSimBatch(c *Circuit, model FaultModel, tests []Test, opts Options) (*CoverageReport, error) {
-	return atpg.CoverageOf(c, faults.SelectUniverse(c, model, opts.Faults), tests, opts.FaultSimWorkers, opts.FaultSimLanes, opts.FaultSimEngine)
+	return FaultSimBatchCtx(context.Background(), c, model, tests, opts)
+}
+
+// FaultSimBatchCtx is FaultSimBatch with cooperative cancellation,
+// checked between lane-width batches; a cancelled measurement returns
+// ctx.Err() and no report (a partial coverage number undercounts
+// silently).
+func FaultSimBatchCtx(ctx context.Context, c *Circuit, model FaultModel, tests []Test, opts Options) (*CoverageReport, error) {
+	return atpg.CoverageOfCtx(ctx, c, faults.SelectUniverse(c, model, opts.Faults), tests, atpg.CoverageOptions{
+		Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes, Engine: opts.FaultSimEngine,
+	})
 }
 
 // FaultSimBatchShard is FaultSimBatch restricted to shard `shard` of a
@@ -366,7 +533,15 @@ func MeasureProgramCoverage(c *Circuit, progs []Program, model FaultModel, opts 
 // only tests whose every detection another kept test carries are
 // dropped.
 func CompactProgram(c *Circuit, progs []Program, model FaultModel, opts Options) (*CompactionResult, error) {
-	return compact.Compact(c, progs, faults.SelectUniverse(c, model, opts.Faults), opts.Compact,
+	return CompactProgramCtx(context.Background(), c, progs, model, opts)
+}
+
+// CompactProgramCtx is CompactProgram with cooperative cancellation:
+// the context gates the detection-matrix pass (the expensive part),
+// checked between lane-width batches; a cancelled run returns
+// ctx.Err() and no result.
+func CompactProgramCtx(ctx context.Context, c *Circuit, progs []Program, model FaultModel, opts Options) (*CompactionResult, error) {
+	return compact.CompactCtx(ctx, c, progs, faults.SelectUniverse(c, model, opts.Faults), opts.Compact,
 		compact.Options{Workers: opts.FaultSimWorkers, Lanes: opts.FaultSimLanes, Engine: opts.FaultSimEngine})
 }
 
@@ -416,12 +591,16 @@ func ValidateOnTester(g *CSSG, r *Result, trials int, seed int64) error {
 			return fmt.Errorf("satpg: good circuit mismatched program %d under %d delay assignments", i, mism)
 		}
 	}
-	for _, fr := range r.PerFault {
+	for fi, fr := range r.PerFault {
 		if !fr.Detected {
 			continue
 		}
 		fc := faults.Apply(g.C, fr.Fault)
-		_, mism := tester.MonteCarlo(fc, progs[fr.TestIndex], trials, seed, cycle)
+		// Salt per fault, offset past the good-circuit loop's salts
+		// (seed+i for i < len(progs)): an unsalted seed would reuse one
+		// delay-assignment sample across every fault, so a systematic
+		// blind spot of that single sample could pass validation.
+		_, mism := tester.MonteCarlo(fc, progs[fr.TestIndex], trials, seed+int64(len(progs))+int64(fi), cycle)
 		if mism != trials {
 			return fmt.Errorf("satpg: fault %s evaded detection in %d/%d delay assignments",
 				fr.Fault.Describe(g.C), trials-mism, trials)
