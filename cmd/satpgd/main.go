@@ -8,10 +8,15 @@
 //	satpgd -addr :8714
 //	satpgd -addr :8714 -trace-cache 256 -circuit-cache 128
 //	satpgd -addr :8700 -peers http://127.0.0.1:8714,http://127.0.0.1:8715
+//	satpgd -addr :8714 -store /var/lib/satpgd
 //
 // The third form starts a coordinator: unsharded coverage requests are
 // partitioned across the peer workers (one fault-class shard each) and
-// the verdicts merged, bit-identical to a single-process run.
+// the verdicts merged, bit-identical to a single-process run.  The
+// coordinator health-probes its workers, retries and re-assigns failed
+// shards with backoff, and degrades to local execution when no peer is
+// healthy.  The fourth form persists finished coverage and compaction
+// responses so repeated audits replay from the store, across restarts.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/fsim"
+	"repro/internal/resultstore"
 	"repro/internal/service"
 )
 
@@ -38,6 +44,11 @@ func main() {
 		workers    = flag.Int("workers", 0, "default fault-shard goroutines per query (0: GOMAXPROCS)")
 		traceCap   = flag.Int("trace-cache", 64, "shared good-trace cache capacity in entries (0 disables)")
 		circuitCap = flag.Int("circuit-cache", 0, "interned circuit capacity (0: default)")
+		storeDir   = flag.String("store", "", "result-store directory; persists finished responses across restarts")
+		storeCap   = flag.Int("store-cache", 0, "result-store in-memory LRU capacity in entries (0: default)")
+		probeEvery = flag.Duration("probe-interval", 0, "peer health-probe period (0: default; negative disables)")
+		shardTO    = flag.Duration("shard-timeout", 0, "deadline per shard dispatch attempt (0: default)")
+		shardTries = flag.Int("shard-attempts", 0, "dispatch attempts per shard before local fallback (0: default)")
 	)
 	flag.Parse()
 
@@ -48,13 +59,30 @@ func main() {
 	if err := validateCaps(*workers, *traceCap, *circuitCap); err != nil {
 		fatal(err)
 	}
+	if err := validateDispatch(*storeCap, *shardTO, *shardTries); err != nil {
+		fatal(err)
+	}
 	fsim.SetTraceCacheCap(*traceCap)
 
+	var store *resultstore.Store
+	if *storeDir != "" || *storeCap > 0 {
+		store, err = resultstore.Open(*storeDir, *storeCap)
+		if err != nil {
+			fatal(fmt.Errorf("opening result store: %w", err))
+		}
+		defer store.Close()
+	}
+
 	srv := service.New(service.Config{
-		Workers:    *workers,
-		CircuitCap: *circuitCap,
-		Peers:      peers,
+		Workers:       *workers,
+		CircuitCap:    *circuitCap,
+		Peers:         peers,
+		Store:         store,
+		ProbeInterval: *probeEvery,
+		ShardTimeout:  *shardTO,
+		ShardAttempts: *shardTries,
 	})
+	defer srv.Close()
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -115,6 +143,21 @@ func validateCaps(workers, traceCap, circuitCap int) error {
 	}
 	if circuitCap < 0 {
 		return fmt.Errorf("invalid -circuit-cache %d (want a positive entry count, or 0 for the default)", circuitCap)
+	}
+	return nil
+}
+
+// validateDispatch rejects nonsensical fault-tolerance flags up front.
+// (-probe-interval is exempt: negative deliberately disables probing.)
+func validateDispatch(storeCap int, shardTO time.Duration, shardTries int) error {
+	if storeCap < 0 {
+		return fmt.Errorf("invalid -store-cache %d (want a positive entry count, or 0 for the default)", storeCap)
+	}
+	if shardTO < 0 {
+		return fmt.Errorf("invalid -shard-timeout %v (want a positive duration, or 0 for the default)", shardTO)
+	}
+	if shardTries < 0 {
+		return fmt.Errorf("invalid -shard-attempts %d (want a positive count, or 0 for the default)", shardTries)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -48,6 +49,30 @@ func TestValidateCaps(t *testing.T) {
 		err := validateCaps(tc.w, tc.tcap, tc.ccap)
 		if err == nil || !strings.Contains(err.Error(), tc.flag) {
 			t.Fatalf("validateCaps(%d,%d,%d) = %v; want %s rejection", tc.w, tc.tcap, tc.ccap, err, tc.flag)
+		}
+	}
+}
+
+func TestValidateDispatch(t *testing.T) {
+	if err := validateDispatch(0, 0, 0); err != nil {
+		t.Fatalf("zero dispatch flags rejected: %v", err)
+	}
+	if err := validateDispatch(128, 30*time.Second, 5); err != nil {
+		t.Fatalf("sane dispatch flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		cap   int
+		to    time.Duration
+		tries int
+		flag  string
+	}{
+		{-1, 0, 0, "-store-cache"},
+		{0, -time.Second, 0, "-shard-timeout"},
+		{0, 0, -1, "-shard-attempts"},
+	} {
+		err := validateDispatch(tc.cap, tc.to, tc.tries)
+		if err == nil || !strings.Contains(err.Error(), tc.flag) {
+			t.Fatalf("validateDispatch(%d,%v,%d) = %v; want %s rejection", tc.cap, tc.to, tc.tries, err, tc.flag)
 		}
 	}
 }

@@ -11,6 +11,19 @@
 // Every request carries the same deterministic random test set, so the
 // run exercises exactly the resident-service win: one good-trace
 // computation (singleflight) amortised over every in-flight query.
+//
+// # Chaos proxy mode
+//
+// With -chaos-listen, satpgload instead runs a fault-injecting reverse
+// proxy in front of one worker, for exercising the coordinator's
+// failover paths (internal/chaos):
+//
+//	satpgload -chaos-listen :8801 -chaos-target http://127.0.0.1:8714 \
+//	          -chaos-kill 0.25 -chaos-corrupt 0.1
+//
+// Point a coordinator's -peers entry at the proxy and a fraction of its
+// shard dispatches die mid-request, stall, or come back mangled — the
+// merged report must stay bit-identical regardless.
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/netlist"
 	"repro/internal/service"
 )
@@ -43,8 +57,26 @@ func main() {
 		seed        = flag.Int64("seed", 29, "random pattern seed")
 		lanes       = flag.Int("lanes", 0, "fault-simulation lane width (0: server default)")
 		workers     = flag.Int("workers", 0, "fault-shard goroutines per query (0: server default)")
+
+		chaosListen  = flag.String("chaos-listen", "", "run as a chaos proxy on this address instead of generating load")
+		chaosTarget  = flag.String("chaos-target", "http://127.0.0.1:8714", "worker base URL the chaos proxy forwards to")
+		chaosKill    = flag.Float64("chaos-kill", 0, "fraction of proxied requests whose connection is dropped mid-response")
+		chaosStall   = flag.Float64("chaos-stall", 0, "fraction of proxied requests delayed by -chaos-stall-for")
+		chaosStallD  = flag.Duration("chaos-stall-for", 0, "delay applied to stalled requests")
+		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "fraction of proxied responses with mangled bodies")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "chaos decision seed")
 	)
 	flag.Parse()
+	if *chaosListen != "" {
+		cfg := chaos.Config{
+			Kill: *chaosKill, Stall: *chaosStall, StallFor: *chaosStallD,
+			Corrupt: *chaosCorrupt, Seed: *chaosSeed,
+		}
+		if err := runChaosProxy(*chaosListen, *chaosTarget, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *circuitFile == "" {
 		fatal(fmt.Errorf("-circuit is required"))
 	}
@@ -189,6 +221,21 @@ func runLoad(client *http.Client, baseURL string, body []byte, concurrency, requ
 		return nil, firstErr
 	}
 	return res, firstErr
+}
+
+// runChaosProxy validates the chaos configuration and serves the
+// fault-injecting proxy until the process is killed.
+func runChaosProxy(listen, target string, cfg chaos.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
+		return fmt.Errorf("invalid -chaos-target %q (want http://host:port)", target)
+	}
+	p := chaos.NewProxy(strings.TrimSuffix(target, "/"), cfg)
+	fmt.Printf("chaos proxy on %s -> %s (kill=%.2f stall=%.2f/%v corrupt=%.2f)\n",
+		listen, target, cfg.Kill, cfg.Stall, cfg.StallFor, cfg.Corrupt)
+	return http.ListenAndServe(listen, p)
 }
 
 // fetchCacheMetrics pulls the server-side cache counters the load run

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/netlist"
 	"repro/internal/service"
 )
@@ -60,5 +61,26 @@ func TestRunLoadAgainstService(t *testing.T) {
 	}
 	if !strings.Contains(metrics, "satpgd_trace_cache_hit_rate") {
 		t.Fatalf("cache metrics missing hit rate:\n%s", metrics)
+	}
+}
+
+// TestRunChaosProxyValidation: the chaos mode rejects broken flag
+// combinations instead of serving a proxy that injects nonsense.
+func TestRunChaosProxyValidation(t *testing.T) {
+	bad := []struct {
+		target string
+		cfg    chaos.Config
+		want   string
+	}{
+		{"http://127.0.0.1:8714", chaos.Config{Kill: 1.5}, "fraction"},
+		{"http://127.0.0.1:8714", chaos.Config{Kill: 0.6, Corrupt: 0.6}, "sum"},
+		{"http://127.0.0.1:8714", chaos.Config{Stall: 0.5}, "stall"},
+		{"127.0.0.1:8714", chaos.Config{}, "-chaos-target"},
+	}
+	for _, tc := range bad {
+		err := runChaosProxy("127.0.0.1:0", tc.target, tc.cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("runChaosProxy(%q, %+v) = %v; want error mentioning %q", tc.target, tc.cfg, err, tc.want)
+		}
 	}
 }

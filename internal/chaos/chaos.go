@@ -1,0 +1,194 @@
+// Package chaos is the failure-injection proxy behind satpgload's
+// chaos mode and the coordinator failure tests: an http.Handler that
+// forwards requests to a target server while killing, stalling, or
+// corrupting a configurable fraction of the responses.  Fronting a
+// satpgd worker with it turns an ordinary test run into a hostile
+// network: dropped connections mid-request, peers slower than any
+// reasonable deadline, and well-framed HTTP carrying garbage JSON —
+// exactly the failures a fault-tolerant coordinator must absorb
+// without changing a single verdict.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the injection mix.  Kill, Stall and Corrupt are
+// fractions in [0, 1]; they are tried in that order against one
+// uniform draw per request, so their sum must be <= 1 (the remainder
+// passes through untouched).
+type Config struct {
+	// Kill drops the client connection without a response — the
+	// "peer died mid-request" failure.
+	Kill float64
+	// Stall sleeps StallFor before forwarding — the "peer slower than
+	// the shard deadline" failure.  The sleep aborts early if the
+	// client gives up (deadline or disconnect).
+	Stall    float64
+	StallFor time.Duration
+	// Corrupt forwards the request but mangles the response body — the
+	// "well-framed HTTP, garbage JSON" failure.
+	Corrupt float64
+	// Seed makes the injection sequence reproducible (0: fixed default).
+	Seed int64
+}
+
+// Validate rejects meaningless fractions up front.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"kill", c.Kill}, {"stall", c.Stall}, {"corrupt", c.Corrupt}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("chaos: %s fraction %v out of [0,1]", f.name, f.v)
+		}
+	}
+	if s := c.Kill + c.Stall + c.Corrupt; s > 1 {
+		return fmt.Errorf("chaos: fractions sum to %v, over 1", s)
+	}
+	if c.Stall > 0 && c.StallFor <= 0 {
+		return fmt.Errorf("chaos: stall fraction %v needs a positive stall duration", c.Stall)
+	}
+	return nil
+}
+
+// Counts is a snapshot of the proxy's injection tally.
+type Counts struct {
+	Killed, Stalled, Corrupted, Passed int64
+}
+
+// Proxy is the injecting reverse proxy.  Safe for concurrent use.
+type Proxy struct {
+	target string
+	cfg    Config
+	client *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	killed, stalled, corrupted, passed atomic.Int64
+}
+
+// NewProxy builds a proxy forwarding to the target base URL (e.g.
+// "http://127.0.0.1:8714").  The caller should Validate the config
+// first; NewProxy trusts it.
+func NewProxy(target string, cfg Config) *Proxy {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Proxy{
+		target: strings.TrimSuffix(target, "/"),
+		cfg:    cfg,
+		client: &http.Client{Timeout: 10 * time.Minute},
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Counts returns the injection tally so far.
+func (p *Proxy) Counts() Counts {
+	return Counts{
+		Killed: p.killed.Load(), Stalled: p.stalled.Load(),
+		Corrupted: p.corrupted.Load(), Passed: p.passed.Load(),
+	}
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	roll := p.rng.Float64()
+	p.mu.Unlock()
+
+	// Drain the request body before injecting anything: once the body is
+	// consumed the HTTP server watches the connection, so a stalled
+	// handler learns about a client disconnect through r.Context()
+	// instead of sleeping out the full stall against a dead socket.
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+
+	switch {
+	case roll < p.cfg.Kill:
+		p.killed.Add(1)
+		// http.ErrAbortHandler is the sanctioned way to slam the
+		// connection shut: the server recovers the panic and closes the
+		// socket, so the client sees a mid-request EOF.
+		panic(http.ErrAbortHandler)
+	case roll < p.cfg.Kill+p.cfg.Stall:
+		p.stalled.Add(1)
+		t := time.NewTimer(p.cfg.StallFor)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return // client gave up; nothing to forward
+		}
+		p.forward(w, r, false)
+	case roll < p.cfg.Kill+p.cfg.Stall+p.cfg.Corrupt:
+		p.corrupted.Add(1)
+		p.forward(w, r, true)
+	default:
+		p.passed.Add(1)
+		p.forward(w, r, false)
+	}
+}
+
+// forward relays the request to the target, optionally mangling the
+// response body.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, corrupt bool) {
+	url := p.target + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if corrupt {
+		body = mangle(body)
+	}
+	for k, vs := range resp.Header {
+		// The body length changed under corruption; let the server
+		// reframe it.
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// mangle turns a response body into well-framed garbage: truncated
+// mid-token with a non-JSON tail, so decoders fail loudly rather than
+// half-succeed.
+func mangle(body []byte) []byte {
+	cut := len(body) / 2
+	out := append([]byte(nil), body[:cut]...)
+	return append(out, []byte("\x00corrupted-by-chaos-proxy")...)
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func backend() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true,"path":"`+r.URL.Path+`"}`)
+	}))
+}
+
+func TestValidate(t *testing.T) {
+	good := []Config{{}, {Kill: 1}, {Kill: 0.3, Stall: 0.3, StallFor: time.Second, Corrupt: 0.4}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Kill: -0.1},
+		{Corrupt: 1.5},
+		{Kill: 0.6, Corrupt: 0.6},
+		{Stall: 0.5}, // stall without duration
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	be := backend()
+	defer be.Close()
+	px := httptest.NewServer(NewProxy(be.URL, Config{}))
+	defer px.Close()
+	resp, err := http.Get(px.URL + "/v1/thing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		OK   bool   `json:"ok"`
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.Path != "/v1/thing" {
+		t.Fatalf("pass-through body %+v", out)
+	}
+}
+
+func TestKillDropsConnection(t *testing.T) {
+	be := backend()
+	defer be.Close()
+	p := NewProxy(be.URL, Config{Kill: 1})
+	px := httptest.NewServer(p)
+	defer px.Close()
+	if _, err := http.Get(px.URL + "/x"); err == nil {
+		t.Fatal("killed response delivered without error")
+	}
+	if c := p.Counts(); c.Killed != 1 || c.Passed != 0 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestCorruptBreaksJSON(t *testing.T) {
+	be := backend()
+	defer be.Close()
+	p := NewProxy(be.URL, Config{Corrupt: 1})
+	px := httptest.NewServer(p)
+	defer px.Close()
+	resp, err := http.Get(px.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("corrupt mode changed the status: %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err == nil {
+		t.Fatal("corrupted body still decoded")
+	}
+	if c := p.Counts(); c.Corrupted != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestStallRespectsClientDeadline(t *testing.T) {
+	be := backend()
+	defer be.Close()
+	p := NewProxy(be.URL, Config{Stall: 1, StallFor: 10 * time.Second})
+	px := httptest.NewServer(p)
+	defer px.Close()
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(px.URL + "/x")
+	if err == nil || !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "Timeout") {
+		t.Fatalf("stalled request returned %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("stall ignored the client deadline (took %v)", time.Since(start))
+	}
+	if c := p.Counts(); c.Stalled != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+}

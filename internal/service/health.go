@@ -1,0 +1,210 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// PeerState is one position in the per-peer health state machine the
+// coordinator runs over its workers:
+//
+//	healthy ──failure──▶ suspect ──(downAfter consecutive failures)──▶ down
+//	   ▲                    │                                            │
+//	   │◀────success────────┘                                         success
+//	   │                                                                 ▼
+//	   └──(healthyAfter consecutive successes)──────────────────── recovering
+//
+// Evidence feeds in from two sides: the background prober's periodic
+// /healthz checks and the real shard dispatches.  Down peers are
+// skipped at shard assignment; every other state stays eligible (a
+// suspect peer is likely fine, and a recovering one must carry load
+// again to finish proving itself).
+type PeerState int32
+
+const (
+	PeerHealthy PeerState = iota
+	PeerSuspect
+	PeerDown
+	PeerRecovering
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerHealthy:
+		return "healthy"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDown:
+		return "down"
+	case PeerRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+const (
+	// downAfter consecutive failures demote suspect to down.
+	downAfter = 3
+	// healthyAfter consecutive successes promote recovering to healthy.
+	healthyAfter = 2
+	// probeTimeout bounds one /healthz round trip.
+	probeTimeout = 2 * time.Second
+)
+
+// DefaultProbeInterval is the health-probe period when the Config
+// leaves it zero.
+const DefaultProbeInterval = 5 * time.Second
+
+// peerHealth tracks one worker.
+type peerHealth struct {
+	url string
+
+	mu    sync.Mutex
+	state PeerState
+	fails int // consecutive failures
+	oks   int // consecutive successes while recovering
+
+	probes, probeFails, transitions int64
+}
+
+// reportSuccess feeds one successful probe or dispatch.
+func (p *peerHealth) reportSuccess() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails = 0
+	switch p.state {
+	case PeerSuspect:
+		p.setStateLocked(PeerHealthy)
+	case PeerDown:
+		p.oks = 1
+		p.setStateLocked(PeerRecovering)
+	case PeerRecovering:
+		p.oks++
+		if p.oks >= healthyAfter {
+			p.setStateLocked(PeerHealthy)
+		}
+	}
+}
+
+// reportFailure feeds one failed probe or dispatch.
+func (p *peerHealth) reportFailure() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.oks = 0
+	p.fails++
+	switch p.state {
+	case PeerHealthy:
+		p.setStateLocked(PeerSuspect)
+	case PeerSuspect:
+		if p.fails >= downAfter {
+			p.setStateLocked(PeerDown)
+		}
+	case PeerRecovering:
+		// A relapse mid-recovery goes straight back down: the peer
+		// already proved unreliable once.
+		p.setStateLocked(PeerDown)
+	}
+}
+
+func (p *peerHealth) setStateLocked(s PeerState) {
+	if p.state != s {
+		p.state = s
+		p.transitions++
+	}
+}
+
+func (p *peerHealth) State() PeerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// eligible reports whether the peer should receive shard dispatches.
+func (p *peerHealth) eligible() bool { return p.State() != PeerDown }
+
+// PeerStatus is one peer's health snapshot, for /metrics and tests.
+type PeerStatus struct {
+	URL         string
+	State       PeerState
+	Probes      int64 // health probes sent
+	ProbeFails  int64 // health probes failed
+	Transitions int64 // state changes since start
+}
+
+// PeerStates snapshots the coordinator's view of its workers (nil on a
+// non-coordinator).
+func (s *Server) PeerStates() []PeerStatus {
+	out := make([]PeerStatus, len(s.peers))
+	for i, p := range s.peers {
+		p.mu.Lock()
+		out[i] = PeerStatus{
+			URL: p.url, State: p.state,
+			Probes: p.probes, ProbeFails: p.probeFails,
+			Transitions: p.transitions,
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// probeLoop drives the periodic health probes until Close.  Intervals
+// are jittered ±25% so a fleet of coordinators does not synchronise
+// its probe bursts against shared workers.
+func (s *Server) probeLoop(interval time.Duration) {
+	defer close(s.probeDone)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for {
+		d := interval/2 + time.Duration(rng.Int63n(int64(interval)))/2 + interval/4
+		t := time.NewTimer(d)
+		select {
+		case <-s.stopProbe:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		s.probeOnce()
+	}
+}
+
+// probeOnce checks every peer's /healthz concurrently and feeds the
+// verdicts into the state machines.
+func (s *Server) probeOnce() {
+	var wg sync.WaitGroup
+	for _, p := range s.peers {
+		wg.Add(1)
+		go func(p *peerHealth) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+			defer cancel()
+			p.mu.Lock()
+			p.probes++
+			p.mu.Unlock()
+			ok := s.probePeer(ctx, p.url)
+			if ok {
+				p.reportSuccess()
+			} else {
+				p.mu.Lock()
+				p.probeFails++
+				p.mu.Unlock()
+				p.reportFailure()
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (s *Server) probePeer(ctx context.Context, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.peerClient().Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

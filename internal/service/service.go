@@ -11,7 +11,9 @@
 //	POST /v1/coverage   body: CoverageRequest JSON → CoverageResponse JSON
 //	                    (with "stream": true, NDJSON: one BatchProgress
 //	                    line per simulated batch, then the final
-//	                    CoverageResponse line)
+//	                    CoverageResponse line; a coordinator rejects
+//	                    streaming with 400 — per-batch progress does not
+//	                    exist for a merged report — unless "local": true)
 //	POST /v1/generate   body: GenerateRequest JSON → GenerateResponse JSON
 //	                    (full ATPG: random walks, bit-parallel PODEM,
 //	                    and — CSSG flow — three-phase targeting)
@@ -38,11 +40,31 @@
 // (shipping the circuit text inline so workers need no shared state),
 // collects the partial verdicts, and returns the merged report — the
 // multi-process scale-out mode of the engine.
+//
+// # Fault tolerance
+//
+// The coordinator treats its workers as unreliable.  A background
+// prober and the real dispatch outcomes feed a per-peer health state
+// machine (healthy → suspect → down → recovering, see PeerState); down
+// peers are skipped at shard assignment.  Each shard dispatch runs
+// under a per-attempt deadline with jittered exponential backoff
+// between attempts, re-assigning the shard to the next eligible peer
+// on failure, and degrading to coordinator-local execution when no
+// peer can serve it.  Because the shard partition is a pure function
+// of (fault universe, shard count), the merged report stays
+// bit-identical to a single-process measurement no matter which
+// executor finally ran each shard.
+//
+// # Result store
+//
+// With Config.Store set (`satpgd -store DIR`), finished coverage and
+// compaction responses persist under a key hashing every
+// verdict-affecting request dimension; a repeated audit replays from
+// the store (response carries "from_store": true) instead of
+// re-simulating, surviving process restarts.
 package service
 
 import (
-	"bytes"
-	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -59,6 +81,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
+	"repro/internal/resultstore"
 	"repro/internal/tester"
 )
 
@@ -73,9 +96,32 @@ type Config struct {
 	// non-empty the server coordinates: unsharded coverage requests are
 	// partitioned across the peers and the verdicts merged.
 	Peers []string
-	// Client performs the coordinator's peer requests (nil:
-	// http.DefaultClient).
+	// Client performs the coordinator's peer requests.  Nil gets a
+	// default client with a timeout (never http.DefaultClient, whose
+	// missing timeout lets one hung worker stall a query forever).
 	Client *http.Client
+	// Store, when non-nil, caches finished coverage and compaction
+	// responses keyed by every verdict-affecting request dimension, so
+	// repeated audits replay in O(1) (`satpgd -store DIR`).
+	Store *resultstore.Store
+	// ProbeInterval paces the coordinator's background /healthz probes
+	// of its peers (0: DefaultProbeInterval; negative disables probing
+	// — dispatch outcomes still drive the per-peer state machines).
+	ProbeInterval time.Duration
+	// ShardTimeout bounds one shard dispatch attempt
+	// (0: DefaultShardTimeout).
+	ShardTimeout time.Duration
+	// ShardAttempts is the per-shard dispatch budget across retries and
+	// peer re-assignments (0: DefaultShardAttempts).
+	ShardAttempts int
+	// BackoffBase/BackoffMax shape the exponential jittered backoff
+	// between a shard's dispatch attempts (0: DefaultBackoffBase/Max).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// NoLocalFallback disables the coordinator's last resort of
+	// executing an undeliverable shard in-process; the query then fails
+	// with every peer's error joined.
+	NoLocalFallback bool
 }
 
 // Metrics is the server's atomic counter set, rendered by /metrics.
@@ -95,16 +141,39 @@ type Metrics struct {
 	PodemFound      atomic.Int64 // tests it produced
 	PodemDecisions  atomic.Int64 // decision-tree nodes explored
 	PodemBacktracks atomic.Int64 // decisions undone
+
+	// EncodeFailures counts response bodies that failed to reach the
+	// client (disconnect mid-encode).  Such requests are NOT booked in
+	// the per-query success counters above.
+	EncodeFailures atomic.Int64
+
+	// Coordinator failover counters.
+	ShardRetries        atomic.Int64 // shard dispatches beyond each first attempt
+	ShardReassignments  atomic.Int64 // dispatches sent to a non-home peer
+	ShardLocalFallbacks atomic.Int64 // orphaned shards executed in-process
+
+	// Result-store outcome counters (only move when a store is
+	// configured).
+	StoreHits   atomic.Int64 // queries answered from the store
+	StoreMisses atomic.Int64 // queries that had to simulate
 }
 
 // Server is the resident coverage service.  It is an http.Handler;
-// every method is safe for concurrent use.
+// every method is safe for concurrent use.  A coordinator Server
+// (Config.Peers non-empty) runs a background health prober — call
+// Close when done with it.
 type Server struct {
 	cfg      Config
 	circuits *CircuitStore
 	metrics  Metrics
 	mux      *http.ServeMux
 	start    time.Time
+
+	peers     []*peerHealth // coordinator's per-worker health machines
+	defClient *http.Client  // timeout-bounded default for peer traffic
+	stopProbe chan struct{}
+	probeDone chan struct{} // nil when no prober was started
+	closeOnce sync.Once
 }
 
 // New builds a Server.
@@ -114,6 +183,19 @@ func New(cfg Config) *Server {
 		circuits: NewCircuitStore(cfg.CircuitCap),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		stopProbe: make(chan struct{}),
+	}
+	s.defClient = &http.Client{Timeout: s.shardTimeout() + 30*time.Second}
+	for _, p := range cfg.Peers {
+		s.peers = append(s.peers, &peerHealth{url: p})
+	}
+	if len(s.peers) > 0 && cfg.ProbeInterval >= 0 {
+		interval := cfg.ProbeInterval
+		if interval == 0 {
+			interval = DefaultProbeInterval
+		}
+		s.probeDone = make(chan struct{})
+		go s.probeLoop(interval)
 	}
 	s.mux.HandleFunc("POST /v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
@@ -129,6 +211,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// Close stops the background health prober (a no-op on a worker).
+// The Server remains usable as a handler afterwards; only the
+// periodic probing stops.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stopProbe)
+		if s.probeDone != nil {
+			<-s.probeDone
+		}
+	})
 }
 
 // Metrics exposes the live counter set (reads must use the atomic
@@ -153,6 +247,26 @@ func (s *Server) httpError(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// writeJSON renders v as the response body and reports whether the
+// full body reached the client.  The body is marshalled up front so a
+// marshal failure can still produce a 500; a failed write means the
+// client went away mid-body, counted in EncodeFailures — the caller
+// must only book its per-query success counter when this returns true,
+// so a disconnected client is not recorded as a served query.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) bool {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, err)
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(body, '\n')); err != nil {
+		s.metrics.EncodeFailures.Add(1)
+		return false
+	}
+	return true
+}
+
 // CircuitInfo is the POST /v1/circuits response.
 type CircuitInfo struct {
 	ID      string `json:"id"`
@@ -174,13 +288,13 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.metrics.CircuitSubmits.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(CircuitInfo{
+	if s.writeJSON(w, CircuitInfo{
 		ID: id, Name: c.Name,
 		Inputs: c.NumInputs(), Outputs: len(c.Outputs),
 		Gates: c.NumGates(), Signals: c.NumSignals(),
-	})
+	}) {
+		s.metrics.CircuitSubmits.Add(1)
+	}
 }
 
 // TestJSON is one test sequence of a coverage request.  Expected is
@@ -248,6 +362,7 @@ type CoverageResponse struct {
 	Shard     int           `json:"shard,omitempty"`
 	Shards    int           `json:"shards,omitempty"`
 	Owned     []uint64      `json:"owned,omitempty"` // bitmask words, fault i at bit i%64 of word i/64
+	FromStore bool          `json:"from_store,omitempty"` // replayed from the result store, no simulation ran
 	PerFault  []VerdictJSON `json:"per_fault"`
 	Patterns  int64         `json:"patterns"`
 	GateEvals int64         `json:"gate_evals"`
@@ -310,8 +425,13 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	if len(s.cfg.Peers) > 0 && !req.Local && req.Shards == 0 {
-		s.coordinateCoverage(r.Context(), w, &req)
+	coordinating := len(s.cfg.Peers) > 0 && !req.Local && req.Shards == 0
+	if coordinating && req.Stream {
+		// Per-batch progress has no cross-shard meaning; silently
+		// downgrading to a buffered response (the old behavior) left
+		// clients waiting on flushes that never came.
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf(
+			`streaming is not supported on a coordinator: set "stream": false, or "local": true to measure on the coordinator itself`))
 		return
 	}
 	id, c, err := s.resolveCircuit(req.Circuit, req.CircuitText)
@@ -329,6 +449,39 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
+
+	// Result store probe — shared by the local and coordinated paths.
+	var storeKey string
+	if s.cfg.Store != nil {
+		storeKey = coverageKey(id, &req)
+		var cached CoverageResponse
+		if s.storeGet(storeKey, &cached) {
+			cached.FromStore = true
+			cached.CircuitID = id
+			ok := false
+			if req.Stream {
+				// The whole verdict is already known: the stream is
+				// just the final report line.
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				ok = json.NewEncoder(w).Encode(&cached) == nil
+				if !ok {
+					s.metrics.EncodeFailures.Add(1)
+				}
+			} else {
+				ok = s.writeJSON(w, &cached)
+			}
+			if ok {
+				s.metrics.CoverageQueries.Add(1)
+			}
+			return
+		}
+	}
+
+	if coordinating {
+		s.coordinateCoverage(r.Context(), w, &req, id, c, universe, storeKey)
+		return
+	}
+
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.cfg.Workers
@@ -344,6 +497,7 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 
 	var enc *json.Encoder
 	var flush func()
+	var streamErr error
 	if req.Stream {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc = json.NewEncoder(w)
@@ -355,7 +509,12 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		}
 		total := len(universe)
 		opts.OnBatch = func(base, detections, cum int) {
-			enc.Encode(BatchProgress{Kind: "batch", Base: base, Detections: detections, Detected: cum, Total: total})
+			if streamErr != nil {
+				return
+			}
+			if streamErr = enc.Encode(BatchProgress{Kind: "batch", Base: base, Detections: detections, Detected: cum, Total: total}); streamErr != nil {
+				return
+			}
 			flush()
 		}
 	}
@@ -370,17 +529,27 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.metrics.CoverageQueries.Add(1)
+	// The simulation ran whatever happens to the response below, so the
+	// work counters move unconditionally; the query counter only moves
+	// once the client has the verdict.
 	s.metrics.Patterns.Add(rep.Stats.Patterns)
 	s.metrics.FaultsMeasured.Add(int64(rep.Total))
 	resp := coverageResponse(id, rep)
-	if enc == nil {
-		w.Header().Set("Content-Type", "application/json")
-		enc = json.NewEncoder(w)
-	}
-	enc.Encode(resp)
-	if flush != nil {
+	s.storePut(storeKey, resp)
+	if enc != nil {
+		if streamErr == nil {
+			streamErr = enc.Encode(resp)
+		}
+		if streamErr != nil {
+			s.metrics.EncodeFailures.Add(1)
+			return
+		}
 		flush()
+		s.metrics.CoverageQueries.Add(1)
+		return
+	}
+	if s.writeJSON(w, resp) {
+		s.metrics.CoverageQueries.Add(1)
 	}
 }
 
@@ -447,93 +616,6 @@ func coverageReport(resp *CoverageResponse, universe []faults.Fault) (*atpg.Cove
 		rep.Owned[i] = w < len(resp.Owned) && resp.Owned[w]>>uint(i%64)&1 == 1
 	}
 	return rep, nil
-}
-
-// coordinateCoverage fans the request out to the configured peers, one
-// shard each, and merges the verdicts.  The circuit ships inline so
-// workers need no prior state; everything else about the request is
-// forwarded verbatim (minus streaming, which has no cross-shard
-// meaning).  The peer requests carry the client's context, so a
-// disconnect cancels every in-flight shard.
-func (s *Server) coordinateCoverage(ctx context.Context, w http.ResponseWriter, req *CoverageRequest) {
-	id, c, err := s.resolveCircuit(req.Circuit, req.CircuitText)
-	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	text, _, ok := s.circuits.Lookup(id)
-	if !ok {
-		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("interned circuit %q evicted mid-request", id))
-		return
-	}
-	universe, err := resolveUniverse(c, req.Model, req.Faults)
-	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	client := s.cfg.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	n := len(s.cfg.Peers)
-	reports := make([]*atpg.CoverageReport, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i, peer := range s.cfg.Peers {
-		wg.Add(1)
-		go func(i int, peer string) {
-			defer wg.Done()
-			sub := *req
-			sub.Circuit, sub.CircuitText = "", text
-			sub.Shard, sub.Shards = i, n
-			sub.Stream, sub.Local = false, true
-			body, err := json.Marshal(&sub)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			preq, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/coverage", bytes.NewReader(body))
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			preq.Header.Set("Content-Type", "application/json")
-			resp, err := client.Do(preq)
-			if err != nil {
-				errs[i] = fmt.Errorf("peer %s: %w", peer, err)
-				return
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-				errs[i] = fmt.Errorf("peer %s: %s: %s", peer, resp.Status, bytes.TrimSpace(msg))
-				return
-			}
-			var cr CoverageResponse
-			if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
-				errs[i] = fmt.Errorf("peer %s: decoding response: %w", peer, err)
-				return
-			}
-			reports[i], errs[i] = coverageReport(&cr, universe)
-		}(i, peer)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			s.httpError(w, http.StatusBadGateway, err)
-			return
-		}
-	}
-	merged, err := atpg.MergeShardReports(reports)
-	if err != nil {
-		s.httpError(w, http.StatusBadGateway, err)
-		return
-	}
-	s.metrics.CoverageQueries.Add(1)
-	s.metrics.Patterns.Add(merged.Stats.Patterns)
-	s.metrics.FaultsMeasured.Add(int64(merged.Total))
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(coverageResponse(id, merged))
 }
 
 // GenerateRequest is the POST /v1/generate body: run the full ATPG
@@ -659,7 +741,6 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.metrics.GenerateQueries.Add(1)
 	s.metrics.Patterns.Add(res.FaultSim.Patterns)
 	s.metrics.FaultsMeasured.Add(int64(res.Total))
 	s.metrics.PodemTargeted.Add(int64(res.Podem.Targeted))
@@ -685,8 +766,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	for i, t := range res.Tests {
 		resp.Tests[i] = TestJSON{Patterns: t.Patterns, Expected: t.Expected}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	if s.writeJSON(w, resp) {
+		s.metrics.GenerateQueries.Add(1)
+	}
 }
 
 // ProgramJSON is one tester program on the wire.
@@ -718,6 +800,7 @@ type CompactResponse struct {
 	Kept      []int         `json:"kept"`
 	Programs  []ProgramJSON `json:"programs"`
 	Detected  int           `json:"detected"` // fault classes the program covers (preserved exactly)
+	FromStore bool          `json:"from_store,omitempty"` // replayed from the result store
 	ElapsedNS int64         `json:"elapsed_ns"`
 }
 
@@ -754,6 +837,19 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
+	var storeKey string
+	if s.cfg.Store != nil {
+		storeKey = compactKey(id, &req)
+		var cached CompactResponse
+		if s.storeGet(storeKey, &cached) {
+			cached.FromStore = true
+			cached.CircuitID = id
+			if s.writeJSON(w, &cached) {
+				s.metrics.CompactQueries.Add(1)
+			}
+			return
+		}
+	}
 	progs := make([]tester.Program, len(req.Programs))
 	for i, p := range req.Programs {
 		progs[i] = tester.Program{Patterns: p.Patterns, Expected: p.Expected, ResetExpected: p.ResetExpected}
@@ -764,7 +860,6 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.metrics.CompactQueries.Add(1)
 	s.metrics.Patterns.Add(cr.Matrix.Stats.Patterns)
 	resp := &CompactResponse{
 		CircuitID: id, Mode: mode.String(),
@@ -778,8 +873,10 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	for i, p := range cr.Programs {
 		resp.Programs[i] = ProgramJSON{Patterns: p.Patterns, Expected: p.Expected, ResetExpected: p.ResetExpected}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	s.storePut(storeKey, resp)
+	if s.writeJSON(w, resp) {
+		s.metrics.CompactQueries.Add(1)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -809,4 +906,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "satpgd_circuit_store_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "satpgd_circuit_store_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "satpgd_topology_builds_total %d\n", netlist.TopologyBuilds())
+	fmt.Fprintf(w, "satpgd_encode_failures_total %d\n", s.metrics.EncodeFailures.Load())
+	fmt.Fprintf(w, "satpgd_shard_retries_total %d\n", s.metrics.ShardRetries.Load())
+	fmt.Fprintf(w, "satpgd_shard_reassignments_total %d\n", s.metrics.ShardReassignments.Load())
+	fmt.Fprintf(w, "satpgd_shard_local_fallbacks_total %d\n", s.metrics.ShardLocalFallbacks.Load())
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		fmt.Fprintf(w, "satpgd_result_store_hits_total %d\n", s.metrics.StoreHits.Load())
+		fmt.Fprintf(w, "satpgd_result_store_misses_total %d\n", s.metrics.StoreMisses.Load())
+		fmt.Fprintf(w, "satpgd_result_store_disk_hits_total %d\n", st.DiskHits)
+		fmt.Fprintf(w, "satpgd_result_store_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "satpgd_result_store_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "satpgd_result_store_indexed %d\n", st.Indexed)
+	}
+	for _, ps := range s.PeerStates() {
+		fmt.Fprintf(w, "satpgd_peer_state_code{peer=%q} %d\n", ps.URL, ps.State)
+		fmt.Fprintf(w, "satpgd_peer_probes_total{peer=%q} %d\n", ps.URL, ps.Probes)
+		fmt.Fprintf(w, "satpgd_peer_probe_failures_total{peer=%q} %d\n", ps.URL, ps.ProbeFails)
+		fmt.Fprintf(w, "satpgd_peer_state_transitions_total{peer=%q} %d\n", ps.URL, ps.Transitions)
+	}
 }

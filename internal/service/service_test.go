@@ -202,6 +202,7 @@ func TestCoordinatorMergesPeerShards(t *testing.T) {
 			peers = append(peers, ts.URL)
 		}
 		coord := service.New(service.Config{Peers: peers})
+		defer coord.Close()
 		got := decodeCoverage(t, postJSON(t, coord, "/v1/coverage", &service.CoverageRequest{
 			CircuitText: text, Tests: tests,
 		}))
